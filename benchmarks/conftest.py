@@ -1,0 +1,24 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper and prints its
+rows/series (visible with ``pytest benchmarks/ --benchmark-only -s``).
+Experiment functions are deterministic per seed, so a benchmark run doubles
+as a reproduction of the evaluation section.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.harness import ExperimentConfig
+
+
+@pytest.fixture(scope="session")
+def config() -> ExperimentConfig:
+    """One shared configuration so every figure sees the same settings."""
+    return ExperimentConfig(seed=0)
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Benchmark a heavy experiment with a single measured round."""
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)

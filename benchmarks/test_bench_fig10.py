@@ -1,0 +1,44 @@
+"""Bench for Fig 10 — cluster efficiency under loose deadlines."""
+
+from conftest import run_once
+
+from repro.experiments import fig10_cluster_efficiency, format_series, format_table
+
+
+def test_fig10_cluster_efficiency(benchmark, config):
+    result = run_once(benchmark, fig10_cluster_efficiency, config=config)
+    print()
+    print("Fig 10: cluster efficiency over time (Eq. 8)")
+    for name, values in result.efficiency.items():
+        shown = min(len(values), 12)
+        print(
+            format_series(
+                name,
+                [round(h, 1) for h in result.hours[name][:shown]],
+                [round(v, 3) for v in values[:shown]],
+                x_label="hour",
+            )
+        )
+    print()
+    print(
+        format_table(
+            ["Policy", "Mean CE", "Makespan (h)"],
+            [
+                (name, result.mean_efficiency[name], result.makespan_h[name])
+                for name in result.mean_efficiency
+            ],
+        )
+    )
+    # Deadlines are loose (lambda = 1.5) so every scheduler ran all jobs.
+    assert result.all_jobs_ran_everywhere
+    # Paper shape: ElasticFlow posts the best average efficiency and the
+    # smallest makespan.
+    best_ce = result.mean_efficiency["elasticflow"]
+    for name, value in result.mean_efficiency.items():
+        assert best_ce >= value - 1e-9, f"{name} more efficient than ElasticFlow"
+    # ... and a makespan at least as small as every baseline's, up to the
+    # checkpoint/restore stalls its own rescaling pays on the final job
+    # (makespan is tail-dominated; a few stalls amount to ~2 %).
+    best_makespan = result.makespan_h["elasticflow"]
+    for name, value in result.makespan_h.items():
+        assert best_makespan <= 1.05 * value, f"{name} finished before ElasticFlow"

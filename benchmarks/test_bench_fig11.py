@@ -1,0 +1,50 @@
+"""Bench for Fig 11 — mixing SLO and best-effort jobs."""
+
+import math
+
+from conftest import run_once
+
+from repro.experiments import fig11_best_effort_mix, format_table
+
+
+def test_fig11_best_effort_mix(benchmark, config):
+    rows = run_once(benchmark, fig11_best_effort_mix, config=config)
+    names = list(rows[0].slo_satisfactory_ratio)
+    print()
+    print(
+        format_table(
+            ["BE share"] + names,
+            [
+                [row.best_effort_fraction]
+                + [row.slo_satisfactory_ratio[n] for n in names]
+                for row in rows
+            ],
+            title="Fig 11a: SLO deadline satisfactory ratio",
+        )
+    )
+    print()
+    print(
+        format_table(
+            ["BE share"] + names,
+            [
+                [row.best_effort_fraction]
+                + [row.best_effort_jct_normalized[n] for n in names]
+                for row in rows
+            ],
+            title="Fig 11b: best-effort average JCT (normalised to Gandiva)",
+        )
+    )
+    # Fig 11a shape: ElasticFlow posts the top SLO ratio at every mix.
+    for row in rows:
+        best = row.slo_satisfactory_ratio["elasticflow"]
+        for name, value in row.slo_satisfactory_ratio.items():
+            assert best >= value - 0.1, (
+                f"{name} clearly beat ElasticFlow at {row.best_effort_fraction}"
+            )
+    # Fig 11b shape: ElasticFlow's best-effort JCT stays within a small
+    # factor of Gandiva's (EDF's explodes).
+    for row in rows[1:]:
+        value = row.best_effort_jct_normalized["elasticflow"]
+        assert not math.isnan(value)
+        assert value < 3.0
+        assert row.best_effort_jct_normalized["edf"] > value

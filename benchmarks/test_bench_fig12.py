@@ -1,0 +1,51 @@
+"""Benches for Fig 12 — profiling and scaling/migration overheads."""
+
+from repro.experiments import (
+    fig12a_profiling_overheads,
+    fig12b_scaling_overheads,
+    format_table,
+)
+from repro.experiments.fig12_overheads import SCALING_CASES
+
+
+def test_fig12a_profiling_overheads(benchmark):
+    rows = benchmark(fig12a_profiling_overheads)
+    print()
+    print(
+        format_table(
+            ["Model", "Batch sizes", "Configs", "Overhead (min)"],
+            [
+                (
+                    row.model,
+                    ",".join(map(str, row.batch_sizes)),
+                    row.configurations_profiled,
+                    row.overhead_minutes,
+                )
+                for row in rows
+            ],
+            title="Fig 12a: pre-run profiling overheads",
+        )
+    )
+    assert len(rows) == 6
+    # Profiling costs minutes, marginal next to hours-long training jobs.
+    for row in rows:
+        assert 0.5 < row.overhead_minutes < 60.0
+
+
+def test_fig12b_scaling_overheads(benchmark):
+    rows = benchmark(fig12b_scaling_overheads)
+    labels = [label for _, _, label in SCALING_CASES]
+    print()
+    print(
+        format_table(
+            ["Model"] + labels,
+            [[row.model] + [row.seconds_by_case[l] for l in labels] for row in rows],
+            title="Fig 12b: scaling/migration overheads (seconds)",
+        )
+    )
+    for row in rows:
+        values = list(row.seconds_by_case.values())
+        # Paper shape: the five cases are similar (checkpoint/restore
+        # dominates) and small next to the ~23-minute scheduling interval.
+        assert max(values) < 2 * min(values)
+        assert max(values) < 120.0

@@ -1,0 +1,35 @@
+"""Benches for Fig 2 — scaling curves and placement sensitivity."""
+
+from repro.experiments import (
+    fig2a_scaling_curves,
+    fig2b_placement_throughput,
+    format_series,
+)
+
+
+def test_fig2a_scaling_curves(benchmark):
+    series = benchmark(fig2a_scaling_curves)
+    assert len(series) == 6
+    print()
+    print("Fig 2a: normalised scaling curves (global batch 256)")
+    for line in series:
+        print(format_series(line.model, line.xs, line.speedups, x_label="gpus"))
+        # Every curve is sub-linear at 8 GPUs (the paper's observation).
+        speedup_8 = dict(zip(line.xs, line.speedups))[8]
+        assert 1.0 < speedup_8 < 8.0
+
+
+def test_fig2b_placement_throughput(benchmark):
+    series = benchmark(fig2b_placement_throughput)
+    print()
+    print("Fig 2b: 8-GPU job throughput by servers spanned (norm. to 8 servers)")
+    by_model = {}
+    for line in series:
+        print(format_series(line.model, line.xs, line.speedups, x_label="servers"))
+        by_model[line.model] = dict(zip(line.xs, line.speedups))
+    # Paper headline: same-server ResNet50 is ~2.17x the 8-server placement.
+    assert 1.9 < by_model["resnet50"][1] < 2.5
+    # Placement always matters: fewer servers is never slower.
+    for spans in by_model.values():
+        values = [spans[k] for k in sorted(spans)]
+        assert values == sorted(values, reverse=True)

@@ -1,0 +1,31 @@
+"""Bench for Fig 3 — EDF's failure on non-linearly scaling jobs."""
+
+from repro.experiments import fig3_edf_example, format_table
+
+
+def test_fig3_edf_counterexample(benchmark):
+    outcome = benchmark(fig3_edf_example)
+    edf = outcome["edf"]
+    one_each = outcome["one_worker_each"]
+    print()
+    print(
+        format_table(
+            ["Schedule", "A finishes", "B finishes", "Deadlines met"],
+            [
+                (edf.schedule, edf.finish_a, edf.finish_b, edf.deadlines_met),
+                (
+                    one_each.schedule,
+                    one_each.finish_a,
+                    one_each.finish_b,
+                    one_each.deadlines_met,
+                ),
+            ],
+            title="Fig 3: deadlines at t=3.0 (A) and t=3.5 (B)",
+        )
+    )
+    # Fig 3(b): EDF satisfies A but violates B.
+    assert edf.a_met and not edf.b_met
+    # Fig 3(c): one worker each satisfies both.
+    assert one_each.deadlines_met == 2
+    # ElasticFlow's progressive filling finds the feasible schedule.
+    assert outcome["elasticflow_admits_both"]

@@ -1,0 +1,25 @@
+"""Bench for Fig 4 — the minimum-satisfactory-share worked example."""
+
+from repro.experiments import fig4_admission_example, format_table
+
+
+def test_fig4_admission_example(benchmark):
+    result = benchmark(fig4_admission_example)
+    print()
+    print(
+        format_table(
+            ["Scenario", "GPU time"],
+            [
+                ("job C alone (Fig 4b)", result.gpu_time_alone),
+                ("job C after A and B (Fig 4c)", result.gpu_time_contended),
+            ],
+            title="Fig 4: job C (deadline 2, work 3) on a 4-GPU cluster",
+        )
+    )
+    print(f"minimum satisfactory share plan: {result.plan}")
+    # The paper's numbers: 4 GPU-time alone, 5 GPU-time behind jobs A and B,
+    # realised as 1 GPU in slot 0 and 4 GPUs in slot 1.
+    assert result.gpu_time_alone == 4.0
+    assert result.gpu_time_contended == 5.0
+    assert result.plan[:2] == (1, 4)
+    assert result.iterations_achieved >= 3.0

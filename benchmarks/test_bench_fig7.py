@@ -1,0 +1,47 @@
+"""Bench for Fig 7 — GPU allocation and admission over time."""
+
+from conftest import run_once
+
+from repro.experiments import fig7_timelines, format_series
+
+
+def test_fig7_timelines(benchmark, config):
+    series = run_once(benchmark, fig7_timelines, config=config, scale="large")
+    print()
+    print("Fig 7a: GPUs allocated over time (hours)")
+    for name, line in series.items():
+        shown = min(len(line.hours), 12)
+        print(
+            format_series(
+                name,
+                [round(h, 1) for h in line.hours[:shown]],
+                line.gpus_in_use[:shown],
+                x_label="hour",
+            )
+        )
+    elastic = series["elasticflow"]
+    print()
+    print("Fig 7b: ElasticFlow submitted vs admitted jobs")
+    shown = min(len(elastic.hours), 12)
+    print(
+        format_series(
+            "submitted", [round(h, 1) for h in elastic.hours[:shown]],
+            elastic.submitted[:shown], x_label="hour",
+        )
+    )
+    print(
+        format_series(
+            "admitted", [round(h, 1) for h in elastic.hours[:shown]],
+            elastic.admitted[:shown], x_label="hour",
+        )
+    )
+    # ElasticFlow exploits idle GPUs: its peak allocation tops the
+    # non-elastic baselines'.
+    peak = {name: max(line.gpus_in_use) for name, line in series.items()}
+    assert peak["elasticflow"] >= peak["gandiva"]
+    assert peak["elasticflow"] >= peak["tiresias"]
+    # Counters are cumulative and admission never exceeds submission.
+    assert list(elastic.submitted) == sorted(elastic.submitted)
+    assert all(a <= s for a, s in zip(elastic.admitted, elastic.submitted))
+    # Some jobs were dropped during the burst (admitted < submitted at end).
+    assert elastic.admitted[-1] < elastic.submitted[-1]

@@ -1,0 +1,33 @@
+"""Bench for Fig 9 — sources of improvement (ablation)."""
+
+from conftest import run_once
+
+from repro.experiments import fig9_sources_of_improvement, format_table
+
+
+def test_fig9_sources_of_improvement(benchmark, config):
+    rows = run_once(benchmark, fig9_sources_of_improvement, config=config)
+    print()
+    headers = ["GPUs"] + list(rows[0].ratios)
+    print(
+        format_table(
+            headers,
+            [[row.cluster_gpus] + [row.ratios[n] for n in rows[0].ratios] for row in rows],
+            title="Fig 9: deadline satisfactory ratio vs cluster size (fixed load)",
+        )
+    )
+    smallest, largest = rows[0], rows[-1]
+    # Both ingredients beat plain EDF on the constrained cluster.
+    assert smallest.ratios["edf+ac"] > smallest.ratios["edf"]
+    assert smallest.ratios["edf+es"] > smallest.ratios["edf"]
+    assert smallest.ratios["elasticflow"] > smallest.ratios["edf"]
+    # The EDF+ES gap to ElasticFlow narrows as the cluster grows: with
+    # abundant GPUs nearly everything is admitted and elasticity dominates.
+    gap_small = abs(
+        smallest.ratios["elasticflow"] - smallest.ratios["edf+es"]
+    )
+    gap_large = abs(largest.ratios["elasticflow"] - largest.ratios["edf+es"])
+    assert gap_large <= gap_small + 0.05
+    # Every scheduler improves (weakly) with more GPUs.
+    for name in rows[0].ratios:
+        assert largest.ratios[name] >= smallest.ratios[name] - 0.05

@@ -1,0 +1,36 @@
+"""Bench for the deadline-tightness sweep (extension beyond the paper)."""
+
+from conftest import run_once
+
+from repro.experiments import format_table, lambda_tightness_sweep
+
+
+def test_lambda_tightness_sweep(benchmark, config):
+    rows = run_once(benchmark, lambda_tightness_sweep, config=config)
+    names = list(rows[0].ratios)
+    print()
+    print(
+        format_table(
+            ["lambda"] + names,
+            [[row.tightness] + [row.ratios[n] for n in names] for row in rows],
+            title="DSR vs uniform deadline tightness (lambda x duration)",
+        )
+    )
+    tightest, loosest = rows[0], rows[-1]
+    # Structural crossover 1: with lambda < 1 the non-elastic schedulers
+    # are capped at (essentially) zero, while elastic ones still deliver.
+    assert tightest.ratios["gandiva"] <= 0.05
+    assert tightest.ratios["chronus"] <= 0.05
+    assert tightest.ratios["elasticflow"] > 0.3
+    # Structural crossover 2: with generous slack everyone converges.
+    for name in names:
+        assert loosest.ratios[name] > 0.8
+    # ElasticFlow leads (weakly) at every tightness.
+    for row in rows:
+        best = row.ratios["elasticflow"]
+        for name, value in row.ratios.items():
+            assert best >= value - 1e-9, f"{name} at lambda {row.tightness}"
+    # DSR is (weakly) monotone in slack for every scheduler.
+    for name in names:
+        series = [row.ratios[name] for row in rows]
+        assert all(a <= b + 0.05 for a, b in zip(series, series[1:])), name

@@ -1,0 +1,20 @@
+"""Bench for Table 1 — the evaluation's model pool."""
+
+from repro.experiments import format_table, table1_models
+
+
+def test_table1_model_pool(benchmark):
+    rows = benchmark(table1_models)
+    assert len(rows) == 6
+    assert {row.task for row in rows} == {"cv", "nlp", "speech"}
+    print()
+    print(
+        format_table(
+            ["Task", "Dataset", "Model", "Batch sizes"],
+            [
+                (row.task, row.dataset, row.model, ",".join(map(str, row.batch_sizes)))
+                for row in rows
+            ],
+            title="Table 1: DNN models used in the evaluation",
+        )
+    )

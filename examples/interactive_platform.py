@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Driving ElasticFlow through its serverless front end.
+
+The experiment harness replays pre-recorded traces; a real deployment is
+interactive — developers submit jobs whenever they like and immediately
+learn whether their deadline is guaranteed.  This example plays a morning
+on a small cluster through :class:`repro.platform.ElasticFlowPlatform`:
+submissions arrive over time, admission answers come back synchronously,
+and the cluster map shows elasticity at work.
+
+Run:  python examples/interactive_platform.py
+"""
+
+from repro import ClusterSpec, ElasticFlowPlatform
+from repro.cluster import PlacementManager, render_occupancy  # noqa: F401 (docs)
+from repro.profiles import ThroughputModel
+
+HOUR = 3600.0
+
+
+def main() -> None:
+    throughput = ThroughputModel()
+    platform = ElasticFlowPlatform(
+        ClusterSpec(n_nodes=2, gpus_per_node=8), throughput=throughput
+    )
+    rate = throughput.curve("resnet50", 128).throughput(1)
+
+    print("09:00  nightly retrain lands with a lunchtime deadline")
+    nightly = platform.submit(
+        model_name="resnet50",
+        global_batch_size=128,
+        max_iterations=int(rate * 9.0 * HOUR),  # ~9 single-GPU hours
+        deadline_in=3.0 * HOUR,
+        job_id="retrain",
+    )
+    print(f"       admitted={nightly.admitted}  gpus={nightly.gpus}")
+
+    platform.run_until(0.5 * HOUR)
+    print(f"09:30  retrain progress {nightly.progress:5.1%} on {nightly.gpus} GPUs")
+
+    print("09:30  a researcher asks for the impossible")
+    hopeless = platform.submit(
+        model_name="vgg16",
+        global_batch_size=256,
+        max_iterations=int(10_000_000),
+        deadline_in=0.5 * HOUR,
+        job_id="hopeless",
+    )
+    print(f"       admitted={hopeless.admitted} (declined up front, not at the deadline)")
+
+    print("09:30  ...and resubmits as best-effort")
+    besteffort = platform.submit(
+        model_name="gpt2",
+        global_batch_size=128,
+        max_iterations=int(throughput.curve("gpt2", 128).throughput(1) * 4.0 * HOUR),
+        job_id="research",
+    )
+    print(f"       admitted={besteffort.admitted} (no deadline, runs on leftovers)")
+
+    platform.run_until(1.5 * HOUR)
+    print(
+        f"10:30  cluster: {platform.gpus_in_use}/16 GPUs busy, "
+        f"active jobs: {', '.join(platform.active_jobs)}"
+    )
+    print(f"       retrain {nightly.progress:5.1%}   research {besteffort.progress:5.1%}")
+
+    result = platform.drain()
+    print()
+    print("end of session")
+    print(f"  retrain  finished {nightly.completion_time / HOUR:4.2f}h "
+          f"(deadline 3.00h) on-time={nightly.met_deadline}")
+    print(f"  research finished {besteffort.completion_time / HOUR:4.2f}h (best-effort)")
+    print(f"  platform DSR over the session: {result.deadline_satisfactory_ratio:.2f}")
+
+
+if __name__ == "__main__":
+    main()

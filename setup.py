@@ -1,0 +1,5 @@
+"""Legacy setup shim: enables editable installs on setuptools without PEP 660."""
+
+from setuptools import setup
+
+setup()

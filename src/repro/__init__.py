@@ -1,0 +1,50 @@
+"""ElasticFlow reproduction: elastic serverless deadline-driven DL scheduling.
+
+A from-scratch Python implementation of *ElasticFlow: An Elastic Serverless
+Training Platform for Distributed Deep Learning* (ASPLOS 2023) — the
+scheduler (Minimum Satisfactory Share admission control, greedy elastic
+allocation, buddy-allocation placement) together with every substrate the
+paper's evaluation needs: a discrete-event GPU-cluster simulator, an
+analytic throughput model for the Table 1 workloads, production-like trace
+generators, and the six baseline schedulers.
+
+Quickstart::
+
+    from repro import ClusterSpec, ElasticFlowPolicy, JobSpec, Simulator
+
+    jobs = [JobSpec(job_id="j1", model_name="resnet50",
+                    global_batch_size=128, max_iterations=60_000,
+                    deadline=3600.0)]
+    result = Simulator(ClusterSpec(n_nodes=2, gpus_per_node=8),
+                       ElasticFlowPolicy(), jobs).run()
+    print(result.deadline_satisfactory_ratio)
+
+See ``DESIGN.md`` for the system inventory and ``EXPERIMENTS.md`` for the
+paper-versus-measured record of every table and figure.
+"""
+
+from repro.cluster.topology import ClusterSpec
+from repro.core.job import Job, JobSpec, JobStatus
+from repro.core.scheduler import ElasticFlowPolicy
+from repro.errors import ReproError
+from repro.platform import ElasticFlowPlatform, JobHandle
+from repro.profiles.throughput import ThroughputModel
+from repro.sim.engine import Simulator
+from repro.sim.metrics import SimulationResult
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ClusterSpec",
+    "Job",
+    "JobSpec",
+    "JobStatus",
+    "ElasticFlowPolicy",
+    "ElasticFlowPlatform",
+    "JobHandle",
+    "ReproError",
+    "ThroughputModel",
+    "Simulator",
+    "SimulationResult",
+    "__version__",
+]

@@ -1,0 +1,35 @@
+"""Baseline schedulers the paper compares against (Section 6.1).
+
+All six baselines — EDF, Gandiva, Tiresias, Themis, Chronus and Pollux —
+plus the Fig 9 ablation variants (EDF + Admission Control and
+EDF + Elastic Scaling) are faithful *policy* reimplementations driving the
+same simulator, executor-overhead model and scaling curves as ElasticFlow.
+"""
+
+from repro.baselines.base import QueueBasedPolicy, floor_power_of_two
+from repro.baselines.edf import EDFPolicy
+from repro.baselines.gandiva import GandivaPolicy
+from repro.baselines.tiresias import TiresiasPolicy
+from repro.baselines.themis import ThemisPolicy
+from repro.baselines.chronus import ChronusPolicy
+from repro.baselines.pollux import PolluxPolicy
+from repro.baselines.variants import (
+    EDFWithAdmissionControl,
+    EDFWithElasticScaling,
+)
+from repro.baselines.registry import POLICY_NAMES, make_policy
+
+__all__ = [
+    "QueueBasedPolicy",
+    "floor_power_of_two",
+    "EDFPolicy",
+    "GandivaPolicy",
+    "TiresiasPolicy",
+    "ThemisPolicy",
+    "ChronusPolicy",
+    "PolluxPolicy",
+    "EDFWithAdmissionControl",
+    "EDFWithElasticScaling",
+    "POLICY_NAMES",
+    "make_policy",
+]

@@ -1,0 +1,53 @@
+"""Shared machinery for the queue-based baseline schedulers."""
+
+from __future__ import annotations
+
+from repro.core.job import Job
+from repro.sim.interface import SchedulerPolicy
+
+__all__ = ["floor_power_of_two", "QueueBasedPolicy"]
+
+
+def floor_power_of_two(value: int) -> int:
+    """Largest power of two not exceeding ``value`` (0 for value < 1)."""
+    if value < 1:
+        return 0
+    return 1 << (value.bit_length() - 1)
+
+
+class QueueBasedPolicy(SchedulerPolicy):
+    """Base for schedulers that rank jobs and pack fixed sizes in order.
+
+    Subclasses supply a priority order and a per-job size; the packer walks
+    the queue, granting each job its size while GPUs remain, optionally
+    letting later (smaller) jobs backfill around a blocked head job.
+    """
+
+    #: Whether jobs that do not fit may be skipped so later jobs can run.
+    backfill: bool = True
+
+    def order(self, active: list[Job], now: float) -> list[Job]:
+        """Scheduling order, highest priority first.  Default: FIFO."""
+        return sorted(active, key=lambda j: (j.spec.submit_time, j.job_id))
+
+    def size_of(self, job: Job, now: float) -> int:
+        """GPUs a job runs on when scheduled.  Default: the trace request,
+        capped at its peak-throughput size (no point scaling past it)."""
+        curve = self.context.curve_for(job)
+        peak = curve.max_useful_gpus(self.context.total_gpus)
+        return min(job.spec.requested_gpus, peak)
+
+    def allocate(self, active: list[Job], now: float) -> dict[str, int]:
+        """Pack jobs in priority order at their fixed sizes."""
+        free = self.context.usable_gpus
+        decisions: dict[str, int] = {}
+        for job in self.order(active, now):
+            size = self.size_of(job, now)
+            if size <= free:
+                decisions[job.job_id] = size
+                free -= size
+            else:
+                decisions[job.job_id] = 0
+                if not self.backfill:
+                    break
+        return decisions

@@ -1,0 +1,43 @@
+"""Earliest-Deadline-First (paper Section 6.1, first baseline).
+
+The canonical deadline policy: jobs run in deadline order, and each job
+"uses as many GPUs as a job can scale out without decreasing the
+throughput".  The paper's Fig 3 shows why this fails for sub-linearly
+scaling jobs — the head job hogs GPUs it uses inefficiently, starving jobs
+whose deadlines then slip.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import QueueBasedPolicy, floor_power_of_two
+from repro.core.job import Job
+
+__all__ = ["EDFPolicy"]
+
+
+class EDFPolicy(QueueBasedPolicy):
+    """Deadline-ordered, maximally scaled-out, no admission control."""
+
+    name = "edf"
+
+    def order(self, active: list[Job], now: float) -> list[Job]:
+        """Earliest deadline first."""
+        return sorted(
+            active,
+            key=lambda j: (j.spec.effective_deadline, j.spec.submit_time, j.job_id),
+        )
+
+    def allocate(self, active: list[Job], now: float) -> dict[str, int]:
+        """Give each job, in deadline order, its peak-throughput share."""
+        free = self.context.usable_gpus
+        decisions: dict[str, int] = {}
+        for job in self.order(active, now):
+            if free == 0:
+                decisions[job.job_id] = 0
+                continue
+            curve = self.context.curve_for(job)
+            peak = curve.max_useful_gpus(self.context.total_gpus)
+            size = min(peak, floor_power_of_two(free))
+            decisions[job.job_id] = size
+            free -= size
+        return decisions

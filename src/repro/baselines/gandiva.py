@@ -1,0 +1,33 @@
+"""Gandiva (OSDI 2018) — introspective, non-elastic, deadline-unaware.
+
+Gandiva packs jobs at their requested GPU count and continuously refines
+placement through migration (which our buddy-allocating engine performs for
+every policy).  It neither scales jobs nor looks at deadlines, so its
+deadline satisfactory ratio is whatever FIFO packing happens to deliver.
+We keep its signature behaviours that matter at the scheduling level:
+fixed-size allocations, FIFO order with backfilling, and migration-friendly
+packing.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import QueueBasedPolicy
+from repro.core.job import Job
+
+__all__ = ["GandivaPolicy"]
+
+
+class GandivaPolicy(QueueBasedPolicy):
+    """FIFO packing at the trace-requested size, with backfill."""
+
+    name = "gandiva"
+    backfill = True
+
+    def order(self, active: list[Job], now: float) -> list[Job]:
+        """FIFO with running jobs pinned ahead of queued ones."""
+        # FIFO, but keep already-running jobs ahead of queued ones so
+        # backfilled jobs are not preempted by an unrunnable head job.
+        return sorted(
+            active,
+            key=lambda j: (j.n_gpus == 0, j.spec.submit_time, j.job_id),
+        )

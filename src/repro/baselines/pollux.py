@@ -1,0 +1,92 @@
+"""Pollux (OSDI 2021) — elastic, goodput-maximising, deadline-unaware.
+
+Pollux co-optimises system throughput and statistical efficiency and
+reallocates the cluster to maximise aggregate *speedup fairness* — in its
+published formulation, the product (geometric mean) of per-job speedups.
+We reproduce the scheduling layer: a greedy water-filling on marginal
+``log(speedup)`` per added GPU, which spreads GPUs across jobs first (the
+first GPU of an idle job has unbounded marginal log-gain) and then grows
+the jobs that scale best.  Statistical-efficiency co-adaptation needs
+per-iteration gradient statistics and is out of scope (recorded in
+DESIGN.md / EXPERIMENTS.md); that simplification is conservative for
+Pollux in our comparison because it only affects *which* elastic job grows,
+not deadline awareness, which Pollux lacks either way.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+
+from repro.core.job import Job
+from repro.sim.interface import SchedulerPolicy
+
+__all__ = ["PolluxPolicy"]
+
+
+class PolluxPolicy(SchedulerPolicy):
+    """Greedy maximisation of summed log-speedups (geometric-mean goodput)."""
+
+    name = "pollux"
+
+    def allocate(self, active: list[Job], now: float) -> dict[str, int]:
+        """Water-fill GPUs by marginal log-speedup gain."""
+        total = self.context.total_gpus
+        decisions = {job.job_id: 0 for job in active}
+        curves = {job.job_id: self.context.curve_for(job) for job in active}
+        free = self.context.usable_gpus
+        counter = itertools.count()
+        heap: list[tuple[float, float, int, str]] = []
+
+        def marginal_gain(job: Job) -> tuple[float, float] | None:
+            """(negated gain per GPU, tie-break) for the job's next upgrade."""
+            curve = curves[job.job_id]
+            current = decisions[job.job_id]
+            upgrade = None
+            for size in curve.allowed_sizes(total):
+                if size > current:
+                    upgrade = size
+                    break
+            if upgrade is None or upgrade - current > free:
+                return None
+            if curve.effective_throughput(upgrade) <= curve.effective_throughput(
+                current
+            ):
+                return None
+            if current == 0:
+                # First GPU: infinite log-gain; shorter jobs first evens out
+                # completion (Pollux's fairness levelling).
+                remaining = job.remaining_iterations / curve.throughput(1)
+                return (-math.inf, remaining)
+            gain = math.log(curve.effective_throughput(upgrade)) - math.log(
+                curve.effective_throughput(current)
+            )
+            return (-(gain / (upgrade - current)), 0.0)
+
+        def push(job: Job) -> None:
+            entry = marginal_gain(job)
+            if entry is not None:
+                heapq.heappush(heap, (entry[0], entry[1], next(counter), job.job_id))
+
+        jobs_by_id = {job.job_id: job for job in active}
+        for job in active:
+            push(job)
+        while heap and free > 0:
+            neg_gain, tiebreak, _, job_id = heapq.heappop(heap)
+            job = jobs_by_id[job_id]
+            entry = marginal_gain(job)
+            if entry is None:
+                continue
+            if (entry[0], entry[1]) != (neg_gain, tiebreak):
+                push(job)  # stale: free pool shrank since it was queued
+                continue
+            curve = curves[job_id]
+            current = decisions[job_id]
+            upgrade = next(
+                s for s in curve.allowed_sizes(total) if s > current
+            )
+            free -= upgrade - current
+            decisions[job_id] = upgrade
+            push(job)
+        return decisions

@@ -1,0 +1,49 @@
+"""Factory for every scheduler policy in the repository."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.baselines.chronus import ChronusPolicy
+from repro.baselines.edf import EDFPolicy
+from repro.baselines.gandiva import GandivaPolicy
+from repro.baselines.pollux import PolluxPolicy
+from repro.baselines.themis import ThemisPolicy
+from repro.baselines.tiresias import TiresiasPolicy
+from repro.baselines.variants import EDFWithAdmissionControl, EDFWithElasticScaling
+from repro.core.scheduler import ElasticFlowPolicy
+from repro.errors import ConfigurationError
+from repro.sim.interface import SchedulerPolicy
+
+__all__ = ["POLICY_NAMES", "make_policy"]
+
+_FACTORIES: dict[str, Callable[..., SchedulerPolicy]] = {
+    "elasticflow": ElasticFlowPolicy,
+    "edf": EDFPolicy,
+    "gandiva": GandivaPolicy,
+    "tiresias": TiresiasPolicy,
+    "themis": ThemisPolicy,
+    "chronus": ChronusPolicy,
+    "pollux": PolluxPolicy,
+    "edf+ac": EDFWithAdmissionControl,
+    "edf+es": EDFWithElasticScaling,
+}
+
+#: All registered policy names, in the paper's presentation order.
+POLICY_NAMES: tuple[str, ...] = tuple(_FACTORIES)
+
+
+def make_policy(name: str, **kwargs) -> SchedulerPolicy:
+    """Instantiate a policy by name.
+
+    Raises:
+        ConfigurationError: For an unknown policy name.
+    """
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        known = ", ".join(POLICY_NAMES)
+        raise ConfigurationError(
+            f"unknown policy {name!r}; known policies: {known}"
+        ) from None
+    return factory(**kwargs)

@@ -1,0 +1,47 @@
+"""Themis (NSDI 2020) — finish-time fairness.
+
+Themis allocates GPUs so that every job's *finish-time fairness*
+``rho = T_shared / T_ideal`` stays balanced: ``T_shared`` is the projected
+total turnaround in the shared cluster, ``T_ideal`` the turnaround the job
+would see running alone at its requested size.  At every scheduling event
+the jobs with the worst (largest) rho are served first, each at its
+requested size.  Deadlines play no role.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import QueueBasedPolicy
+from repro.core.job import Job
+
+__all__ = ["ThemisPolicy"]
+
+
+class ThemisPolicy(QueueBasedPolicy):
+    """Worst-finish-time-fairness-first packing at requested sizes."""
+
+    name = "themis"
+
+    def finish_time_fairness(self, job: Job, now: float) -> float:
+        """rho = projected shared turnaround over ideal exclusive turnaround."""
+        curve = self.context.curve_for(job)
+        size = self.size_of(job, now)
+        exclusive_rate = curve.effective_throughput(size)
+        ideal = job.spec.max_iterations / exclusive_rate
+        current_rate = (
+            curve.effective_throughput(job.n_gpus) if job.n_gpus else 0.0
+        )
+        if current_rate > 0:
+            projected_remaining = job.remaining_iterations / current_rate
+        else:
+            # Queued: optimistic restart at the requested size.
+            projected_remaining = job.remaining_iterations / exclusive_rate
+        elapsed = now - job.spec.submit_time
+        shared = elapsed + projected_remaining
+        return shared / ideal
+
+    def order(self, active: list[Job], now: float) -> list[Job]:
+        """Worst finish-time fairness (largest rho) first."""
+        return sorted(
+            active,
+            key=lambda j: (-self.finish_time_fairness(j, now), j.spec.submit_time, j.job_id),
+        )

@@ -1,0 +1,50 @@
+"""Tiresias (NSDI 2019) — discretised two-dimensional LAS.
+
+Tiresias priorities a job by its *attained service* (GPUs x time).  Jobs are
+kept in a small number of logical queues separated by service thresholds;
+within a queue scheduling is FIFO, across queues lower attained service
+wins.  Jobs are not elastic (they run at the trace-requested size) and
+deadlines are invisible to the policy.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import QueueBasedPolicy
+from repro.core.job import Job
+from repro.errors import ConfigurationError
+
+__all__ = ["TiresiasPolicy"]
+
+
+class TiresiasPolicy(QueueBasedPolicy):
+    """Discretised 2D-LAS with preemption at queue boundaries.
+
+    Args:
+        queue_thresholds_gpu_hours: Attained-service boundaries between the
+            priority queues, in GPU-hours.  The defaults give the classic
+            two-queue Tiresias-L configuration.
+    """
+
+    name = "tiresias"
+
+    def __init__(self, queue_thresholds_gpu_hours: tuple[float, ...] = (1.0,)) -> None:
+        super().__init__()
+        if any(t <= 0 for t in queue_thresholds_gpu_hours):
+            raise ConfigurationError("queue thresholds must be positive")
+        if list(queue_thresholds_gpu_hours) != sorted(queue_thresholds_gpu_hours):
+            raise ConfigurationError("queue thresholds must be increasing")
+        self.thresholds_s = [t * 3600.0 for t in queue_thresholds_gpu_hours]
+
+    def queue_index(self, job: Job) -> int:
+        """Which priority queue a job currently occupies."""
+        for index, threshold in enumerate(self.thresholds_s):
+            if job.gpu_seconds < threshold:
+                return index
+        return len(self.thresholds_s)
+
+    def order(self, active: list[Job], now: float) -> list[Job]:
+        """Lower attained-service queue first; FIFO within a queue."""
+        return sorted(
+            active,
+            key=lambda j: (self.queue_index(j), j.spec.submit_time, j.job_id),
+        )

@@ -1,0 +1,50 @@
+"""Ablation variants for the sources-of-improvement study (paper Fig 9).
+
+ElasticFlow = EDF ordering + admission control + elastic scaling.  The two
+variants here each add exactly one of those ingredients on top of plain EDF
+so the contribution of each can be measured:
+
+- **EDF + Admission Control** drops jobs whose minimum satisfactory share
+  does not fit, but still *executes* with EDF's greedy scale-out, so
+  admitted jobs can be starved by an inefficient head-of-line job.
+- **EDF + Elastic Scaling** executes exactly like ElasticFlow (minimum
+  shares by deadline, leftovers by marginal return) but admits everything,
+  so hopeless jobs consume GPUs that feasible jobs needed.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.edf import EDFPolicy
+from repro.core.job import Job
+from repro.core.scheduler import ElasticFlowPolicy
+
+__all__ = ["EDFWithAdmissionControl", "EDFWithElasticScaling"]
+
+
+class EDFWithAdmissionControl(EDFPolicy):
+    """EDF execution guarded by ElasticFlow's admission control."""
+
+    name = "edf+ac"
+
+    def __init__(self, *, max_horizon: int = 2048) -> None:
+        super().__init__()
+        self._gate = ElasticFlowPolicy(max_horizon=max_horizon)
+
+    def bind(self, context) -> None:
+        """Bind both the EDF executor and the admission gate."""
+        super().bind(context)
+        self._gate.bind(context)
+
+    def admit(self, job: Job, active: list[Job], now: float) -> bool:
+        """Delegate the admission decision to ElasticFlow's Algorithm 1."""
+        return self._gate.admit(job, active, now)
+
+
+class EDFWithElasticScaling(ElasticFlowPolicy):
+    """ElasticFlow's execution engine with admission control disabled."""
+
+    name = "edf+es"
+
+    def __init__(self, **kwargs) -> None:
+        kwargs["admission_enabled"] = False
+        super().__init__(**kwargs)

@@ -1,0 +1,335 @@
+"""Command-line interface for the ElasticFlow reproduction.
+
+Subcommands::
+
+    repro list-models                       # Table 1 pool
+    repro scaling-curve resnet50 256        # Fig 2a-style curve
+    repro simulate --policy elasticflow ... # one workload, one scheduler
+    repro compare --policies a,b,c ...      # one workload, many schedulers
+    repro experiment fig6a                  # regenerate a paper artifact
+    repro make-trace --out trace.json ...   # synthesise a workload trace
+
+Every command is deterministic given ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.baselines.registry import POLICY_NAMES
+from repro.errors import ReproError
+from repro.experiments.report import format_series, format_table
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The `repro` command-line parser (see module docstring)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ElasticFlow (ASPLOS 2023) reproduction toolkit",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("list-models", help="show the Table 1 model pool")
+
+    curve = commands.add_parser("scaling-curve", help="print a scaling curve")
+    curve.add_argument("model")
+    curve.add_argument("batch", type=int)
+    curve.add_argument("--max-gpus", type=int, default=64)
+
+    simulate = commands.add_parser("simulate", help="run one scheduler on a workload")
+    simulate.add_argument("--policy", default="elasticflow", choices=POLICY_NAMES)
+    _workload_arguments(simulate)
+    simulate.add_argument("--json", action="store_true", help="emit JSON")
+
+    compare = commands.add_parser("compare", help="run several schedulers")
+    compare.add_argument(
+        "--policies",
+        default="elasticflow,edf,gandiva,tiresias,themis,chronus",
+        help="comma-separated policy names",
+    )
+    _workload_arguments(compare)
+
+    experiment = commands.add_parser(
+        "experiment", help="regenerate one paper table/figure"
+    )
+    experiment.add_argument(
+        "artifact",
+        choices=[
+            "table1", "fig2a", "fig2b", "fig3", "fig4", "fig6a", "fig6b",
+            "fig8a", "fig9", "fig12a", "fig12b",
+        ],
+    )
+    experiment.add_argument("--seed", type=int, default=0)
+
+    stats = commands.add_parser("trace-stats", help="summarise a trace file")
+    stats.add_argument("path", help=".json or .csv trace file")
+
+    trace = commands.add_parser("make-trace", help="synthesise a workload trace")
+    trace.add_argument("--out", required=True, help=".json or .csv path")
+    trace.add_argument("--cluster-gpus", type=int, default=128)
+    trace.add_argument("--jobs", type=int, default=200)
+    trace.add_argument("--load", type=float, default=1.0)
+    trace.add_argument("--seed", type=int, default=0)
+
+    return parser
+
+
+def _workload_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--gpus", type=int, default=64)
+    parser.add_argument("--jobs", type=int, default=60)
+    parser.add_argument("--load", type=float, default=1.3)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--slot-seconds", type=float, default=600.0)
+    parser.add_argument(
+        "--no-overheads", action="store_true", help="disable scaling overheads"
+    )
+
+
+def _cmd_list_models() -> int:
+    from repro.experiments.table1 import table1_models
+
+    rows = [
+        (r.task, r.dataset, r.model, ",".join(map(str, r.batch_sizes)))
+        for r in table1_models()
+    ]
+    print(format_table(["Task", "Dataset", "Model", "Batch sizes"], rows))
+    return 0
+
+
+def _cmd_scaling_curve(args: argparse.Namespace) -> int:
+    from repro.profiles import ThroughputModel
+
+    curve = ThroughputModel().curve(args.model, args.batch)
+    sizes = curve.allowed_sizes(args.max_gpus)
+    print(
+        format_series(
+            "speedup", sizes, [curve.speedup(n) for n in sizes], x_label="gpus"
+        )
+    )
+    print(
+        format_series(
+            "iters/s", sizes, [curve.throughput(n) for n in sizes], x_label="gpus"
+        )
+    )
+    print(f"peak-throughput size: {curve.max_useful_gpus(args.max_gpus)} GPUs")
+    return 0
+
+
+def _config_from(args: argparse.Namespace):
+    from repro.experiments.harness import ExperimentConfig
+
+    return ExperimentConfig(
+        seed=args.seed,
+        slot_seconds=args.slot_seconds,
+        overheads_enabled=not args.no_overheads,
+    )
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.experiments.harness import run_policies, testbed_workload
+
+    config = _config_from(args)
+    cluster, specs = testbed_workload(
+        config, cluster_gpus=args.gpus, n_jobs=args.jobs, target_load=args.load
+    )
+    result = run_policies([args.policy], cluster, specs, config)[args.policy]
+    if args.json:
+        print(json.dumps(result.summary(), indent=2))
+        return 0
+    rows = [(key, value) for key, value in result.summary().items()]
+    print(format_table(["Metric", "Value"], rows, title=f"policy: {args.policy}"))
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.experiments.harness import run_policies, testbed_workload
+
+    names = [name.strip() for name in args.policies.split(",") if name.strip()]
+    config = _config_from(args)
+    cluster, specs = testbed_workload(
+        config, cluster_gpus=args.gpus, n_jobs=args.jobs, target_load=args.load
+    )
+    results = run_policies(names, cluster, specs, config)
+    rows = [
+        (
+            name,
+            result.deadline_satisfactory_ratio,
+            result.deadlines_met,
+            result.dropped_count,
+        )
+        for name, result in sorted(
+            results.items(), key=lambda kv: -kv[1].deadline_satisfactory_ratio
+        )
+    ]
+    print(
+        format_table(
+            ["Policy", "DSR", "Met", "Dropped"],
+            rows,
+            title=f"{len(specs)} jobs on {cluster.total_gpus} GPUs",
+        )
+    )
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    import repro.experiments as experiments
+    from repro.experiments.harness import ExperimentConfig
+
+    config = ExperimentConfig(seed=args.seed)
+    artifact = args.artifact
+    if artifact == "table1":
+        return _cmd_list_models()
+    if artifact in ("fig2a", "fig2b"):
+        series = (
+            experiments.fig2a_scaling_curves()
+            if artifact == "fig2a"
+            else experiments.fig2b_placement_throughput()
+        )
+        for line in series:
+            print(format_series(line.model, line.xs, line.speedups, x_label="x"))
+        return 0
+    if artifact == "fig3":
+        outcome = experiments.fig3_edf_example()
+        print(f"EDF: A at {outcome['edf'].finish_a}, B at {outcome['edf'].finish_b} "
+              f"-> {outcome['edf'].deadlines_met}/2 deadlines")
+        print(f"one worker each -> {outcome['one_worker_each'].deadlines_met}/2 deadlines")
+        print(f"ElasticFlow admits both: {outcome['elasticflow_admits_both']}")
+        return 0
+    if artifact == "fig4":
+        result = experiments.fig4_admission_example()
+        print(f"minimum satisfactory share plan: {result.plan}")
+        print(f"GPU time alone/contended: {result.gpu_time_alone}/{result.gpu_time_contended}")
+        return 0
+    if artifact in ("fig6a", "fig6b", "fig8a"):
+        if artifact == "fig8a":
+            run = experiments.fig8a_with_pollux(config=config)
+        else:
+            scale = "small" if artifact == "fig6a" else "large"
+            run = experiments.fig6_deadline_satisfaction(scale=scale, config=config)
+        print(
+            format_table(
+                ["Policy", "DSR", "Met", "Dropped"], run.rows(), title=run.label
+            )
+        )
+        return 0
+    if artifact == "fig9":
+        rows = experiments.fig9_sources_of_improvement(config=config)
+        names = list(rows[0].ratios)
+        print(
+            format_table(
+                ["GPUs"] + names,
+                [[r.cluster_gpus] + [r.ratios[n] for n in names] for r in rows],
+            )
+        )
+        return 0
+    if artifact == "fig12a":
+        rows = experiments.fig12a_profiling_overheads()
+        print(
+            format_table(
+                ["Model", "Overhead (min)"],
+                [(r.model, r.overhead_minutes) for r in rows],
+            )
+        )
+        return 0
+    if artifact == "fig12b":
+        rows = experiments.fig12b_scaling_overheads()
+        labels = sorted(rows[0].seconds_by_case)
+        print(
+            format_table(
+                ["Model"] + labels,
+                [[r.model] + [r.seconds_by_case[l] for l in labels] for r in rows],
+            )
+        )
+        return 0
+    raise ReproError(f"unhandled artifact {artifact!r}")  # pragma: no cover
+
+
+def _cmd_trace_stats(args: argparse.Namespace) -> int:
+    from repro.traces import analyze_trace, read_trace_csv, trace_from_json
+
+    if args.path.endswith(".csv"):
+        trace = read_trace_csv(args.path)
+    else:
+        with open(args.path) as handle:
+            trace = trace_from_json(handle.read())
+    stats = analyze_trace(trace)
+    rows = [
+        ("jobs", stats.n_jobs),
+        ("cluster GPUs", stats.cluster_gpus),
+        ("span (h)", stats.span_hours),
+        ("offered work (GPU-h)", stats.total_gpu_hours),
+        ("mean load", stats.mean_load),
+        ("peak load", stats.peak_load),
+        ("duration p50 (h)", stats.duration_p50_h),
+        ("duration p90 (h)", stats.duration_p90_h),
+        ("duration max (h)", stats.duration_max_h),
+        ("1-GPU job share", stats.single_gpu_fraction),
+    ]
+    print(format_table(["Statistic", "Value"], rows, title=stats.name))
+    print()
+    print(
+        format_table(
+            ["GPUs", "Share"],
+            [(size, share) for size, share in stats.size_histogram.items()],
+            title="Requested-size distribution",
+        )
+    )
+    return 0
+
+
+def _cmd_make_trace(args: argparse.Namespace) -> int:
+    from repro.traces import (
+        ClusterTraceConfig,
+        generate_trace,
+        trace_to_json,
+        write_trace_csv,
+    )
+
+    config = ClusterTraceConfig(
+        name=f"cli-{args.cluster_gpus}g",
+        cluster_gpus=args.cluster_gpus,
+        n_jobs=args.jobs,
+        target_load=args.load,
+    )
+    trace = generate_trace(config, seed=args.seed)
+    if args.out.endswith(".csv"):
+        write_trace_csv(trace, args.out)
+    else:
+        with open(args.out, "w") as handle:
+            handle.write(trace_to_json(trace))
+    print(
+        f"wrote {len(trace)} jobs (load {trace.load_factor():.2f}) to {args.out}"
+    )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "list-models":
+            return _cmd_list_models()
+        if args.command == "scaling-curve":
+            return _cmd_scaling_curve(args)
+        if args.command == "simulate":
+            return _cmd_simulate(args)
+        if args.command == "compare":
+            return _cmd_compare(args)
+        if args.command == "experiment":
+            return _cmd_experiment(args)
+        if args.command == "trace-stats":
+            return _cmd_trace_stats(args)
+        if args.command == "make-trace":
+            return _cmd_make_trace(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

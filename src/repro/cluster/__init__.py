@@ -1,0 +1,32 @@
+"""Cluster substrate: GPU topology, buddy allocation, and job placement.
+
+ElasticFlow organises the cluster's GPUs as a multi-layer hierarchical tree
+(paper Fig 5) and places jobs with best-fit buddy allocation so that every
+power-of-two job is topologically compact.  Combined with migration-based
+defragmentation this guarantees a job can always be placed whenever enough
+GPUs are idle anywhere in the cluster, which is what lets the scheduler
+reason about a single scaling curve per job (Section 4.3).
+"""
+
+from repro.cluster.topology import (
+    ClusterSpec,
+    TopologyLevel,
+    TopologyNode,
+    build_topology,
+)
+from repro.cluster.buddy import Block, BuddyAllocator
+from repro.cluster.placement import JobPlacement, PlacementManager
+from repro.cluster.visualize import occupancy_legend, render_occupancy
+
+__all__ = [
+    "ClusterSpec",
+    "TopologyLevel",
+    "TopologyNode",
+    "build_topology",
+    "Block",
+    "BuddyAllocator",
+    "JobPlacement",
+    "PlacementManager",
+    "render_occupancy",
+    "occupancy_legend",
+]

@@ -1,0 +1,310 @@
+"""Buddy allocator over the cluster's GPU index space.
+
+Classic binary buddy allocation: every block has a power-of-two size and is
+aligned to its size, so a block of ``2^k`` GPUs is always an index-contiguous
+subtree of the topology (maximally compact).  Free buddies coalesce on
+release.  Allocation is best-fit by construction: a request is served by
+splitting the *smallest* free block that fits, which is the paper's Best-Fit
+heuristic specialised to power-of-two subtrees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import AllocationError, ConfigurationError
+
+__all__ = ["Block", "BuddyAllocator"]
+
+
+def _is_power_of_two(value: int) -> bool:
+    return value >= 1 and value & (value - 1) == 0
+
+
+@dataclass(frozen=True, order=True)
+class Block:
+    """A contiguous, size-aligned range of GPU indices."""
+
+    offset: int
+    size: int
+
+    def __post_init__(self) -> None:
+        if not _is_power_of_two(self.size):
+            raise ConfigurationError(f"block size must be a power of two: {self.size}")
+        if self.offset < 0 or self.offset % self.size:
+            raise ConfigurationError(
+                f"block offset {self.offset} not aligned to size {self.size}"
+            )
+
+    @property
+    def gpu_indices(self) -> list[int]:
+        return list(range(self.offset, self.offset + self.size))
+
+    @property
+    def buddy_offset(self) -> int:
+        return self.offset ^ self.size
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return f"[{self.offset}, {self.offset + self.size})"
+
+
+class BuddyAllocator:
+    """Binary buddy allocator over ``capacity`` GPU slots.
+
+    Args:
+        capacity: Total number of GPUs; must be a power of two.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if not _is_power_of_two(capacity):
+            raise ConfigurationError(
+                f"capacity must be a power of two, got {capacity}"
+            )
+        self.capacity = capacity
+        self._free: dict[int, set[int]] = {}  # size -> set of free offsets
+        self._allocated: set[Block] = set()
+        self._free.setdefault(capacity, set()).add(0)
+
+    # ----------------------------------------------------------- inspection
+    @property
+    def free_gpus(self) -> int:
+        """Total number of unallocated GPUs."""
+        return sum(size * len(offsets) for size, offsets in self._free.items())
+
+    @property
+    def allocated_gpus(self) -> int:
+        return self.capacity - self.free_gpus
+
+    @property
+    def allocated_blocks(self) -> list[Block]:
+        return sorted(self._allocated)
+
+    def largest_free_block(self) -> int:
+        """Size of the biggest allocatable block (0 when full)."""
+        sizes = [size for size, offsets in self._free.items() if offsets]
+        return max(sizes, default=0)
+
+    def can_allocate(self, size: int) -> bool:
+        """Whether a block of ``size`` can be carved out *without* migration."""
+        if not _is_power_of_two(size):
+            return False
+        return any(s >= size and offsets for s, offsets in self._free.items())
+
+    # ------------------------------------------------------------- mutation
+    def allocate(self, size: int) -> Block:
+        """Carve out a block of exactly ``size`` GPUs (best-fit).
+
+        Raises:
+            AllocationError: When no free block is large enough (the caller
+                may defragment via :meth:`repack_plan` and retry).
+        """
+        if not _is_power_of_two(size):
+            raise ConfigurationError(f"size must be a power of two, got {size}")
+        if size > self.capacity:
+            raise AllocationError(
+                f"requested {size} GPUs from a {self.capacity}-GPU cluster"
+            )
+        candidates = sorted(
+            s for s, offsets in self._free.items() if s >= size and offsets
+        )
+        if not candidates:
+            raise AllocationError(
+                f"no free block of size {size} "
+                f"(free={self.free_gpus}, largest={self.largest_free_block()})"
+            )
+        current = candidates[0]
+        offset = min(self._free[current])
+        self._free[current].remove(offset)
+        while current > size:
+            current //= 2
+            self._free.setdefault(current, set()).add(offset + current)
+        block = Block(offset=offset, size=size)
+        self._allocated.add(block)
+        return block
+
+    def free(self, block: Block) -> None:
+        """Return a block and coalesce with its buddy chain.
+
+        Raises:
+            AllocationError: If the block is not currently allocated.
+        """
+        if block not in self._allocated:
+            raise AllocationError(f"block {block} is not allocated")
+        self._allocated.remove(block)
+        offset, size = block.offset, block.size
+        while size < self.capacity:
+            buddy = offset ^ size
+            peers = self._free.get(size, set())
+            if buddy not in peers:
+                break
+            peers.remove(buddy)
+            offset = min(offset, buddy)
+            size *= 2
+        self._free.setdefault(size, set()).add(offset)
+
+    def reserve_exact(self, offset: int, size: int) -> Block:
+        """Carve out one *specific* aligned block (e.g. a failed node).
+
+        The target range must currently be free; callers evict overlapping
+        allocations first.
+
+        Raises:
+            AllocationError: If any part of the range is allocated, or the
+                target is not a valid aligned block.
+        """
+        target = Block(offset=offset, size=size)  # validates alignment
+        for block in self._allocated:
+            if block.offset < offset + size and offset < block.offset + block.size:
+                raise AllocationError(
+                    f"cannot reserve {target}: overlaps allocated {block}"
+                )
+        # Find the free block containing the range and split it down.
+        container: tuple[int, int] | None = None
+        for free_size, offsets in self._free.items():
+            if free_size < size:
+                continue
+            for free_offset in offsets:
+                if free_offset <= offset < free_offset + free_size:
+                    container = (free_offset, free_size)
+                    break
+            if container:
+                break
+        if container is None:  # pragma: no cover - guarded by overlap check
+            raise AllocationError(f"no free block contains {target}")
+        free_offset, free_size = container
+        self._free[free_size].remove(free_offset)
+        while free_size > size:
+            free_size //= 2
+            if offset < free_offset + free_size:
+                # Target is in the left half; release the right half.
+                self._free.setdefault(free_size, set()).add(free_offset + free_size)
+            else:
+                # Target is in the right half; release the left half.
+                self._free.setdefault(free_size, set()).add(free_offset)
+                free_offset += free_size
+        self._allocated.add(target)
+        return target
+
+    def shrink(self, block: Block, new_size: int) -> Block:
+        """Shrink an allocated block in place, keeping its aligned prefix.
+
+        Used for elastic scale-down: the job keeps its first ``new_size``
+        GPUs, so no data moves.  The freed suffix is returned to the free
+        lists as the standard buddy decomposition.
+
+        Raises:
+            AllocationError: If the block is not allocated or ``new_size``
+                is not a smaller power of two.
+        """
+        if block not in self._allocated:
+            raise AllocationError(f"block {block} is not allocated")
+        if not _is_power_of_two(new_size) or new_size >= block.size:
+            raise AllocationError(
+                f"cannot shrink {block} to {new_size}: need a smaller power of two"
+            )
+        self._allocated.remove(block)
+        kept = Block(offset=block.offset, size=new_size)
+        self._allocated.add(kept)
+        size = new_size
+        while size < block.size:
+            self._free.setdefault(size, set()).add(block.offset + size)
+            size *= 2
+        return kept
+
+    # -------------------------------------------------------------- defrag
+    def repack_plan(
+        self, *, pinned: frozenset[Block] | None = None
+    ) -> dict[Block, Block]:
+        """Compute a fragmentation-free re-layout of all allocations.
+
+        Movable blocks are packed first-fit in descending size order onto
+        aligned addresses, skipping ``pinned`` blocks (failed nodes, which
+        cannot move).  With no pins this degenerates to prefix packing, so
+        all free space ends up in one aligned tail and any request within
+        the free GPU count succeeds afterwards.  Returns a mapping
+        ``old block -> new block`` with unmoved blocks omitted.
+
+        Raises:
+            AllocationError: If the movable blocks cannot be packed around
+                the pinned ones (only possible when pins fragment the space).
+        """
+        pins = pinned or frozenset()
+        occupied: list[Block] = sorted(pins)
+        plan: dict[Block, Block] = {}
+        movable = sorted(
+            self._allocated - pins, key=lambda b: (-b.size, b.offset)
+        )
+        for block in movable:
+            address = self._first_fit(block.size, occupied)
+            if address is None:
+                raise AllocationError(
+                    f"cannot repack {block} around pinned blocks {sorted(pins)}"
+                )
+            target = Block(offset=address, size=block.size)
+            if target != block:
+                plan[block] = target
+            occupied.append(target)
+            occupied.sort()
+        return plan
+
+    def _first_fit(self, size: int, occupied: list[Block]) -> int | None:
+        """Lowest aligned address for a ``size`` block avoiding ``occupied``."""
+        for address in range(0, self.capacity, size):
+            end = address + size
+            if end > self.capacity:
+                break
+            if all(
+                end <= block.offset or block.offset + block.size <= address
+                for block in occupied
+            ):
+                return address
+        return None
+
+    def apply_repack(self, plan: dict[Block, Block]) -> None:
+        """Apply a plan produced by :meth:`repack_plan`."""
+        for old, new in plan.items():
+            if old not in self._allocated:
+                raise AllocationError(f"stale repack plan: {old} not allocated")
+            if old.size != new.size:
+                raise AllocationError(f"repack cannot resize {old} -> {new}")
+        survivors = self._allocated - set(plan)
+        moved = set(plan.values())
+        overlap_check = sorted(
+            [(b.offset, b.size) for b in survivors | moved]
+        )
+        cursor = 0
+        for offset, size in overlap_check:
+            if offset < cursor:
+                raise AllocationError("repack plan produces overlapping blocks")
+            cursor = offset + size
+        self._allocated = survivors | moved
+        self._rebuild_free_lists()
+
+    def _rebuild_free_lists(self) -> None:
+        """Recompute free lists from the allocated set (after repack)."""
+        self._free = {}
+        taken = sorted(self._allocated)
+        cursor = 0
+        gaps: list[tuple[int, int]] = []
+        for block in taken:
+            if block.offset > cursor:
+                gaps.append((cursor, block.offset - cursor))
+            cursor = block.offset + block.size
+        if cursor < self.capacity:
+            gaps.append((cursor, self.capacity - cursor))
+        for start, length in gaps:
+            self._add_gap(start, length)
+
+    def _add_gap(self, start: int, length: int) -> None:
+        """Split an arbitrary gap into maximal aligned power-of-two blocks."""
+        while length > 0:
+            size = start & -start if start else length
+            if not size:
+                size = length
+            while size > length:
+                size //= 2
+            largest = 1 << (length.bit_length() - 1)
+            size = min(size, largest)
+            self._free.setdefault(size, set()).add(start)
+            start += size
+            length -= size

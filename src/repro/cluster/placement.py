@@ -1,0 +1,250 @@
+"""Topology-aware job placement (paper Section 4.3).
+
+The :class:`PlacementManager` combines the topology with the buddy allocator
+and adds migration-based defragmentation: when a job's block cannot be carved
+out but enough GPUs are idle cluster-wide, running jobs are repacked (the
+paper's CoDDL-style migration) so the request always succeeds.  Callers are
+told which jobs migrated so the simulator can charge them the migration
+overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.buddy import Block, BuddyAllocator
+from repro.cluster.topology import ClusterSpec
+from repro.errors import AllocationError, PlacementError
+
+__all__ = ["JobPlacement", "PlacementManager"]
+
+
+@dataclass(frozen=True)
+class JobPlacement:
+    """Where one job runs.
+
+    Attributes:
+        job_id: Owning job.
+        block: The GPU index block assigned by the buddy allocator.
+        nodes_spanned: Number of servers the block touches (drives the
+            placement-dependent scaling curve).
+    """
+
+    job_id: str
+    block: Block
+    nodes_spanned: int
+
+    @property
+    def n_gpus(self) -> int:
+        return self.block.size
+
+    @property
+    def gpu_indices(self) -> list[int]:
+        return self.block.gpu_indices
+
+
+class PlacementManager:
+    """Tracks which GPUs every running job occupies.
+
+    Args:
+        spec: Cluster shape; ``spec.total_gpus`` must be a power of two.
+    """
+
+    def __init__(self, spec: ClusterSpec) -> None:
+        self.spec = spec
+        self._allocator = BuddyAllocator(spec.total_gpus)
+        self._blocks: dict[str, Block] = {}
+        self._failed_nodes: dict[int, Block] = {}
+
+    # ----------------------------------------------------------- inspection
+    @property
+    def total_gpus(self) -> int:
+        return self.spec.total_gpus
+
+    @property
+    def free_gpus(self) -> int:
+        return self._allocator.free_gpus
+
+    @property
+    def placed_jobs(self) -> list[str]:
+        return sorted(self._blocks)
+
+    def placement_of(self, job_id: str) -> JobPlacement:
+        """Current placement of a job.
+
+        Raises:
+            PlacementError: If the job is not placed.
+        """
+        block = self._blocks.get(job_id)
+        if block is None:
+            raise PlacementError(f"job {job_id!r} is not placed")
+        return self._to_placement(job_id, block)
+
+    def is_placed(self, job_id: str) -> bool:
+        return job_id in self._blocks
+
+    # ------------------------------------------------------------- mutation
+    def place(self, job_id: str, n_gpus: int) -> tuple[JobPlacement, list[str]]:
+        """Place a new job on ``n_gpus`` GPUs.
+
+        Returns the placement plus the ids of jobs that had to migrate to
+        defragment the cluster (possibly empty).
+
+        Raises:
+            PlacementError: If the job is already placed, or the cluster
+                genuinely lacks ``n_gpus`` idle GPUs.
+        """
+        if job_id in self._blocks:
+            raise PlacementError(f"job {job_id!r} is already placed")
+        if n_gpus > self._allocator.free_gpus:
+            raise PlacementError(
+                f"cannot place {job_id!r}: wants {n_gpus} GPUs, "
+                f"{self._allocator.free_gpus} idle"
+            )
+        migrated = self._ensure_block_available(n_gpus)
+        try:
+            block = self._allocator.allocate(n_gpus)
+        except AllocationError as exc:  # pragma: no cover - invariant guard
+            raise PlacementError(
+                f"buddy invariant violated placing {job_id!r}: {exc}"
+            ) from exc
+        self._blocks[job_id] = block
+        return self._to_placement(job_id, block), migrated
+
+    def release(self, job_id: str) -> None:
+        """Free a job's GPUs.
+
+        Raises:
+            PlacementError: If the job is not placed.
+        """
+        block = self._blocks.pop(job_id, None)
+        if block is None:
+            raise PlacementError(f"job {job_id!r} is not placed")
+        self._allocator.free(block)
+
+    def resize(self, job_id: str, n_gpus: int) -> tuple[JobPlacement, list[str]]:
+        """Change a placed job's GPU count (elastic scaling).
+
+        The job keeps its block when the new size nests inside the old one;
+        otherwise its old block is released and a fresh one is carved out
+        (counting as a migration of the resized job itself is the caller's
+        concern — the returned list only names *other* jobs moved by
+        defragmentation).
+        """
+        old = self._blocks.get(job_id)
+        if old is None:
+            raise PlacementError(f"job {job_id!r} is not placed")
+        if n_gpus == old.size:
+            return self._to_placement(job_id, old), []
+        if n_gpus < old.size:
+            # Shrink in place: keep the aligned prefix, free the remainder.
+            new_block = self._allocator.shrink(old, n_gpus)
+            self._blocks[job_id] = new_block
+            return self._to_placement(job_id, new_block), []
+        growth = n_gpus - old.size
+        if growth > self._allocator.free_gpus:
+            raise PlacementError(
+                f"cannot grow {job_id!r} to {n_gpus} GPUs: "
+                f"only {self._allocator.free_gpus} idle"
+            )
+        self._allocator.free(old)
+        del self._blocks[job_id]
+        try:
+            migrated = self._ensure_block_available(n_gpus)
+            block = self._allocator.allocate(n_gpus)
+        except PlacementError:
+            # Growth impossible (e.g. failed nodes fragment the space):
+            # restore the job's original block — or, if a repack already
+            # claimed that exact range, any block of the original size —
+            # and report the failure.
+            try:
+                restored = self._allocator.reserve_exact(old.offset, old.size)
+            except AllocationError:
+                restored = self._allocator.allocate(old.size)
+            self._blocks[job_id] = restored
+            raise
+        self._blocks[job_id] = block
+        return self._to_placement(job_id, block), migrated
+
+    # ---------------------------------------------------------- node faults
+    @property
+    def failed_nodes(self) -> list[int]:
+        return sorted(self._failed_nodes)
+
+    @property
+    def usable_gpus(self) -> int:
+        """GPUs not lost to failed nodes."""
+        return self.total_gpus - len(self._failed_nodes) * self.spec.gpus_per_node
+
+    def fail_node(self, node_index: int) -> list[str]:
+        """Take a server offline, evicting every job that touched it.
+
+        Evicted jobs lose their placement entirely (the scheduler re-places
+        survivors at its next decision).  Returns the evicted job ids.
+
+        Raises:
+            PlacementError: If the node index is invalid or already failed.
+        """
+        if not 0 <= node_index < self.spec.n_nodes:
+            raise PlacementError(f"node {node_index} out of range")
+        if node_index in self._failed_nodes:
+            raise PlacementError(f"node {node_index} is already failed")
+        size = self.spec.gpus_per_node
+        offset = node_index * size
+        evicted = [
+            job_id
+            for job_id, block in self._blocks.items()
+            if block.offset < offset + size and offset < block.offset + block.size
+        ]
+        for job_id in evicted:
+            self.release(job_id)
+        self._failed_nodes[node_index] = self._allocator.reserve_exact(offset, size)
+        return sorted(evicted)
+
+    def repair_node(self, node_index: int) -> None:
+        """Bring a failed server back online.
+
+        Raises:
+            PlacementError: If the node is not currently failed.
+        """
+        block = self._failed_nodes.pop(node_index, None)
+        if block is None:
+            raise PlacementError(f"node {node_index} is not failed")
+        self._allocator.free(block)
+
+    # -------------------------------------------------------------- helpers
+    def _ensure_block_available(self, n_gpus: int) -> list[str]:
+        """Defragment by migration until a block of ``n_gpus`` exists.
+
+        With healthy nodes the buddy guarantee makes this always succeed; a
+        failed node pins its block in place, and in rare layouts the
+        remaining space cannot host a large block even after migration — in
+        that case a :class:`PlacementError` surfaces and the caller treats
+        the job as unplaceable for now.
+        """
+        if self._allocator.can_allocate(n_gpus):
+            return []
+        try:
+            plan = self._allocator.repack_plan(
+                pinned=frozenset(self._failed_nodes.values())
+            )
+            self._allocator.apply_repack(plan)
+        except AllocationError as exc:
+            raise PlacementError(
+                f"defragmentation cannot produce a {n_gpus}-GPU block: {exc}"
+            ) from exc
+        old_to_new = {old: new for old, new in plan.items()}
+        migrated: list[str] = []
+        for job, block in list(self._blocks.items()):
+            if block in old_to_new:
+                self._blocks[job] = old_to_new[block]
+                migrated.append(job)
+        if not self._allocator.can_allocate(n_gpus):
+            raise PlacementError(
+                f"defragmentation failed to produce a {n_gpus}-GPU block"
+            )
+        return sorted(migrated)
+
+    def _to_placement(self, job_id: str, block: Block) -> JobPlacement:
+        nodes = self.spec.nodes_spanned(block.gpu_indices)
+        return JobPlacement(job_id=job_id, block=block, nodes_spanned=nodes)

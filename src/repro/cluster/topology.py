@@ -1,0 +1,199 @@
+"""Hierarchical GPU topology (paper Fig 5).
+
+GPUs are the leaves of a multi-layer tree; each internal node represents a
+shared interconnect (PCIe/NVLink group inside a server, the server itself,
+the top-of-rack switch, the cluster spine).  GPU indices are assigned in
+tree order, so an index-contiguous, size-aligned block of GPUs — exactly
+what the buddy allocator hands out — is always a subtree, i.e. maximally
+compact.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+__all__ = ["TopologyLevel", "ClusterSpec", "TopologyNode", "build_topology"]
+
+
+class TopologyLevel(enum.IntEnum):
+    """Layers of the hierarchy, ordered leaf to root."""
+
+    GPU = 0
+    PCIE_GROUP = 1
+    NODE = 2
+    RACK = 3
+    CLUSTER = 4
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """Shape of a GPU cluster.
+
+    All group sizes must be powers of two so the buddy allocator's aligned
+    blocks coincide with subtrees.
+
+    Attributes:
+        n_nodes: Number of servers.
+        gpus_per_node: GPUs per server.
+        gpus_per_pcie_group: GPUs sharing one intra-server switch complex.
+            Defaults to ``gpus_per_node`` (NVLink-connected DGX-style nodes).
+        nodes_per_rack: Servers under one top-of-rack switch.
+    """
+
+    n_nodes: int = 16
+    gpus_per_node: int = 8
+    gpus_per_pcie_group: int | None = None
+    nodes_per_rack: int = 16
+
+    def __post_init__(self) -> None:
+        if self.gpus_per_pcie_group is None:
+            object.__setattr__(self, "gpus_per_pcie_group", self.gpus_per_node)
+        for label, value in (
+            ("n_nodes", self.n_nodes),
+            ("gpus_per_node", self.gpus_per_node),
+            ("gpus_per_pcie_group", self.gpus_per_pcie_group),
+            ("nodes_per_rack", self.nodes_per_rack),
+        ):
+            if value < 1 or value & (value - 1):
+                raise ConfigurationError(
+                    f"{label} must be a positive power of two, got {value}"
+                )
+        if self.gpus_per_pcie_group > self.gpus_per_node:
+            raise ConfigurationError(
+                "gpus_per_pcie_group cannot exceed gpus_per_node"
+            )
+
+    @property
+    def total_gpus(self) -> int:
+        return self.n_nodes * self.gpus_per_node
+
+    @property
+    def n_racks(self) -> int:
+        return -(-self.n_nodes // self.nodes_per_rack)
+
+    def node_of(self, gpu_index: int) -> int:
+        """Server index hosting a GPU."""
+        self._check_gpu(gpu_index)
+        return gpu_index // self.gpus_per_node
+
+    def nodes_spanned(self, gpu_indices: list[int]) -> int:
+        """How many distinct servers a GPU set touches."""
+        if not gpu_indices:
+            raise ConfigurationError("gpu_indices must not be empty")
+        return len({self.node_of(g) for g in gpu_indices})
+
+    def _check_gpu(self, gpu_index: int) -> None:
+        if not 0 <= gpu_index < self.total_gpus:
+            raise ConfigurationError(
+                f"gpu index {gpu_index} out of range [0, {self.total_gpus})"
+            )
+
+
+@dataclass
+class TopologyNode:
+    """One vertex of the topology tree.
+
+    Attributes:
+        level: Hierarchy layer of this vertex.
+        first_gpu: Index of the leftmost GPU underneath.
+        n_gpus: Number of GPUs underneath.
+        children: Sub-vertices, in GPU-index order.
+    """
+
+    level: TopologyLevel
+    first_gpu: int
+    n_gpus: int
+    children: list["TopologyNode"] = field(default_factory=list)
+
+    @property
+    def gpu_range(self) -> range:
+        return range(self.first_gpu, self.first_gpu + self.n_gpus)
+
+    def contains(self, gpu_index: int) -> bool:
+        return gpu_index in self.gpu_range
+
+    def iter_level(self, level: TopologyLevel) -> list["TopologyNode"]:
+        """All descendants (or self) at a given layer, left to right."""
+        if self.level == level:
+            return [self]
+        found: list[TopologyNode] = []
+        for child in self.children:
+            found.extend(child.iter_level(level))
+        return found
+
+    def smallest_subtree_containing(self, gpu_indices: list[int]) -> "TopologyNode":
+        """Deepest vertex whose leaves cover every index in ``gpu_indices``."""
+        if not gpu_indices:
+            raise ConfigurationError("gpu_indices must not be empty")
+        for gpu in gpu_indices:
+            if not self.contains(gpu):
+                raise ConfigurationError(
+                    f"gpu {gpu} is outside subtree {self.gpu_range}"
+                )
+        for child in self.children:
+            if all(child.contains(g) for g in gpu_indices):
+                return child.smallest_subtree_containing(gpu_indices)
+        return self
+
+
+def build_topology(spec: ClusterSpec) -> TopologyNode:
+    """Construct the full tree for a cluster specification."""
+    nodes: list[TopologyNode] = []
+    # A PCIe layer spanning the whole server is redundant (NVLink-connected
+    # DGX-style nodes) and is elided from the tree.
+    group_size = spec.gpus_per_pcie_group
+    has_pcie_layer = group_size < spec.gpus_per_node
+    for node_index in range(spec.n_nodes):
+        base = node_index * spec.gpus_per_node
+        children: list[TopologyNode] = []
+        if has_pcie_layer:
+            for group_start in range(base, base + spec.gpus_per_node, group_size):
+                leaves = [
+                    TopologyNode(TopologyLevel.GPU, first_gpu=g, n_gpus=1)
+                    for g in range(group_start, group_start + group_size)
+                ]
+                children.append(
+                    TopologyNode(
+                        TopologyLevel.PCIE_GROUP,
+                        first_gpu=group_start,
+                        n_gpus=group_size,
+                        children=leaves,
+                    )
+                )
+        else:
+            children = [
+                TopologyNode(TopologyLevel.GPU, first_gpu=g, n_gpus=1)
+                for g in range(base, base + spec.gpus_per_node)
+            ]
+        nodes.append(
+            TopologyNode(
+                TopologyLevel.NODE,
+                first_gpu=base,
+                n_gpus=spec.gpus_per_node,
+                children=children,
+            )
+        )
+
+    racks: list[TopologyNode] = []
+    for rack_index in range(spec.n_racks):
+        members = nodes[
+            rack_index * spec.nodes_per_rack : (rack_index + 1) * spec.nodes_per_rack
+        ]
+        racks.append(
+            TopologyNode(
+                TopologyLevel.RACK,
+                first_gpu=members[0].first_gpu,
+                n_gpus=sum(m.n_gpus for m in members),
+                children=members,
+            )
+        )
+
+    return TopologyNode(
+        TopologyLevel.CLUSTER,
+        first_gpu=0,
+        n_gpus=spec.total_gpus,
+        children=racks,
+    )

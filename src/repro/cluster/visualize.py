@@ -1,0 +1,58 @@
+"""ASCII rendering of cluster occupancy.
+
+A placement bug is much easier to see than to deduce; this module renders
+the buddy-allocated GPU space one server per line, with one letter per
+job, ``.`` for idle GPUs, and ``X`` for failed nodes.  Used by the
+examples and handy in a debugger:
+
+    node  0 | a a a a a a a a
+    node  1 | b b b b . . . .
+    node  2 | X X X X X X X X
+"""
+
+from __future__ import annotations
+
+import string
+
+from repro.cluster.placement import PlacementManager
+
+__all__ = ["render_occupancy", "occupancy_legend"]
+
+_SYMBOLS = string.ascii_lowercase + string.ascii_uppercase + string.digits
+
+
+def _symbol_map(manager: PlacementManager) -> dict[str, str]:
+    jobs = manager.placed_jobs
+    return {
+        job_id: _SYMBOLS[index % len(_SYMBOLS)] for index, job_id in enumerate(jobs)
+    }
+
+
+def render_occupancy(manager: PlacementManager) -> str:
+    """One line per server; a letter per occupied GPU, ``.`` idle, ``X`` failed."""
+    spec = manager.spec
+    cells = ["."] * spec.total_gpus
+    for job_id, symbol in _symbol_map(manager).items():
+        for gpu in manager.placement_of(job_id).gpu_indices:
+            cells[gpu] = symbol
+    for node in manager.failed_nodes:
+        base = node * spec.gpus_per_node
+        for gpu in range(base, base + spec.gpus_per_node):
+            cells[gpu] = "X"
+    lines = []
+    for node in range(spec.n_nodes):
+        base = node * spec.gpus_per_node
+        row = " ".join(cells[base : base + spec.gpus_per_node])
+        lines.append(f"node {node:2d} | {row}")
+    return "\n".join(lines)
+
+
+def occupancy_legend(manager: PlacementManager) -> str:
+    """Which letter stands for which job (plus idle/failed markers)."""
+    entries = [
+        f"{symbol} = {job_id}" for job_id, symbol in _symbol_map(manager).items()
+    ]
+    entries.append(". = idle")
+    if manager.failed_nodes:
+        entries.append("X = failed node")
+    return "\n".join(entries)

@@ -1,0 +1,51 @@
+"""ElasticFlow's core contribution: deadline-driven elastic scheduling.
+
+The modules here implement Sections 3 and 4 of the paper:
+
+- :mod:`repro.core.job` — the serverless job interface (model,
+  hyper-parameters, termination condition, deadline) and runtime job state.
+- :mod:`repro.core.slots` — the discretised planning horizon.
+- :mod:`repro.core.plan` — per-slot GPU allocation plans and the shared
+  occupancy ledger.
+- :mod:`repro.core.admission` — Algorithm 1: Minimum Satisfactory Share via
+  progressive filling, and the admission-control decision.
+- :mod:`repro.core.allocation` — Algorithm 2: greedy marginal-return
+  allocation of leftover GPUs.
+- :mod:`repro.core.scheduler` — the ElasticFlow policy tying it together.
+"""
+
+from repro.core.job import Job, JobSpec, JobStatus
+from repro.core.slots import SlotGrid
+from repro.core.plan import Ledger
+from repro.core.admission import (
+    AdmissionController,
+    AdmissionResult,
+    progressive_filling,
+)
+from repro.core.allocation import allocate_leftover
+from repro.core.operator import (
+    AdmitAllPolicy,
+    CompositePolicy,
+    OperatorPolicy,
+    PricingPolicy,
+    UserQuotaPolicy,
+)
+from repro.core.scheduler import ElasticFlowPolicy
+
+__all__ = [
+    "Job",
+    "JobSpec",
+    "JobStatus",
+    "SlotGrid",
+    "Ledger",
+    "AdmissionController",
+    "AdmissionResult",
+    "progressive_filling",
+    "allocate_leftover",
+    "OperatorPolicy",
+    "AdmitAllPolicy",
+    "UserQuotaPolicy",
+    "PricingPolicy",
+    "CompositePolicy",
+    "ElasticFlowPolicy",
+]

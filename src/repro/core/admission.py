@@ -1,0 +1,320 @@
+"""Admission control via Minimum Satisfactory Share (paper Section 4.1).
+
+The *Minimum Satisfactory Share* of a job is the least resource plan that
+still meets its deadline, given the shares already promised to jobs with
+earlier deadlines.  Algorithm 1 of the paper computes it by progressive
+filling: sort jobs by deadline, then for each job raise a GPU-count cap
+``j`` until the iterations achievable before the deadline — using at most
+``j`` GPUs per slot and never more than the slot's leftover capacity —
+reach the job's remaining work.  A new job is admitted only if every
+admitted job (including the newcomer) can still be satisfied.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.job import Job
+from repro.core.plan import Ledger
+from repro.core.slots import SlotGrid
+from repro.errors import ConfigurationError
+from repro.profiles.throughput import ScalingCurve
+
+__all__ = [
+    "PlanningJob",
+    "planning_job",
+    "progressive_filling",
+    "AdmissionResult",
+    "AdmissionController",
+]
+
+_EPS = 1e-9
+
+
+@dataclass
+class PlanningJob:
+    """Everything the planning algorithms need to know about one job.
+
+    Attributes:
+        job_id: The job's identifier.
+        remaining_iterations: Work left, possibly inflated by a safety margin.
+        deadline: Absolute deadline (``inf`` for best-effort jobs).
+        weights: Usable seconds per slot before the deadline.
+        throughput_table: ``T[x]`` — iterations/sec when handed ``x`` GPUs.
+        size_table: ``S[x]`` — GPUs actually used when handed ``x``.
+        sizes: Candidate GPU-count caps in increasing order.
+        best_effort: Whether the job is exempt from admission control.
+        degraded: Set by the planner when the job's deadline can no longer
+            be met (e.g. it was admitted earlier and fell behind).  Degraded
+            jobs lose their reservation and are served from leftovers like
+            best-effort jobs — the paper's soft-deadline behaviour
+            (Section 4.4): admitted feasible jobs keep their guarantee,
+            everything else finishes as early as possible.
+    """
+
+    job_id: str
+    remaining_iterations: float
+    deadline: float
+    weights: np.ndarray
+    throughput_table: np.ndarray
+    size_table: np.ndarray
+    sizes: list[int]
+    best_effort: bool = False
+    degraded: bool = False
+    min_share_plan: np.ndarray | None = field(default=None, repr=False)
+
+    def progress_of(self, plan: np.ndarray) -> float:
+        """Iterations achieved by a plan before this job's deadline."""
+        return float(np.sum(self.throughput_table[plan] * self.weights))
+
+    def gpu_seconds_of(self, plan: np.ndarray) -> float:
+        """GPU-time a plan consumes within this job's usable window."""
+        return float(np.sum(plan * self.weights))
+
+    def next_size_after(self, current: int) -> int | None:
+        """Smallest allowed size strictly above ``current`` (None at the top)."""
+        for size in self.sizes:
+            if size > current:
+                return size
+        return None
+
+
+def planning_job(
+    job: Job,
+    curve: ScalingCurve,
+    grid: SlotGrid,
+    capacity: int,
+    *,
+    safety_margin: float = 0.0,
+    deadline_padding_s: float = 0.0,
+) -> PlanningJob:
+    """Build the planning view of a runtime job.
+
+    Args:
+        job: Runtime job state (its remaining iterations are what is planned).
+        curve: The job's scaling curve under compact placement.
+        grid: Current planning grid.
+        capacity: Cluster GPU count (table width).
+        safety_margin: Fraction by which to inflate remaining work so that
+            scaling overheads cannot silently break the deadline guarantee.
+        deadline_padding_s: Seconds subtracted from the deadline during
+            planning — a time-shaped allowance for the per-event
+            checkpoint/restore stalls the executor charges.  The true
+            deadline still decides whether the job ultimately met it.
+    """
+    if safety_margin < 0:
+        raise ConfigurationError(f"safety_margin must be >= 0, got {safety_margin}")
+    if deadline_padding_s < 0:
+        raise ConfigurationError(
+            f"deadline_padding_s must be >= 0, got {deadline_padding_s}"
+        )
+    sizes = curve.allowed_sizes(capacity)
+    throughput_table = curve.table(capacity)
+    size_table = np.zeros(capacity + 1, dtype=np.int64)
+    best, best_thr = 0, 0.0
+    allowed = set(sizes)
+    for x in range(1, capacity + 1):
+        if x in allowed and curve.throughput(x) > best_thr:
+            best, best_thr = x, curve.throughput(x)
+        size_table[x] = best
+    deadline = job.spec.effective_deadline
+    planning_deadline = deadline
+    if not math.isinf(deadline) and deadline_padding_s:
+        # Scale-events (and hence stalls) accrue over a job's lifetime, so
+        # the allowance is proportional to the time left, capped at the
+        # configured maximum — short jobs are not over-penalised.
+        padding = min(deadline_padding_s, 0.1 * max(0.0, deadline - grid.origin))
+        planning_deadline = deadline - padding
+    return PlanningJob(
+        job_id=job.job_id,
+        remaining_iterations=job.remaining_iterations * (1.0 + safety_margin),
+        deadline=planning_deadline,
+        weights=grid.weights_until(planning_deadline),
+        throughput_table=throughput_table,
+        size_table=size_table,
+        sizes=sizes,
+        best_effort=job.spec.best_effort,
+    )
+
+
+def progressive_filling(
+    info: PlanningJob,
+    available: np.ndarray,
+    *,
+    start_slot: int = 0,
+    head: np.ndarray | None = None,
+) -> np.ndarray | None:
+    """Compute the minimum satisfactory share of one job (Algorithm 1 inner loop).
+
+    Raises the per-slot GPU cap through ``info.sizes`` until the achievable
+    progress before the deadline covers the remaining work; within a cap the
+    job takes ``min(cap, leftover capacity)`` GPUs in every usable slot,
+    rounded down to a size it can actually run at.  The returned plan is
+    trimmed after the completion slot so later slots stay free for others.
+
+    Args:
+        info: Planning view of the job.
+        available: Leftover GPUs per slot *excluding* this job's own plan.
+        start_slot: First slot the fill may touch (Algorithm 2 re-fills
+            tails with ``start_slot=1``).
+        head: Fixed allocations for slots before ``start_slot``; their
+            progress counts toward the requirement.
+
+    Returns:
+        A full-horizon plan, or ``None`` when no cap satisfies the deadline.
+    """
+    horizon = len(available)
+    plan = np.zeros(horizon, dtype=np.int64)
+    base_progress = 0.0
+    if head is not None:
+        plan[:start_slot] = head[:start_slot]
+        base_progress = float(
+            np.sum(
+                info.throughput_table[plan[:start_slot]] * info.weights[:start_slot]
+            )
+        )
+    required = info.remaining_iterations - base_progress
+    if required <= _EPS:
+        return plan
+
+    tail_available = np.maximum(available[start_slot:], 0)
+    tail_weights = info.weights[start_slot:]
+    for cap in info.sizes:
+        x = info.size_table[np.minimum(cap, tail_available)]
+        progress = np.cumsum(info.throughput_table[x] * tail_weights)
+        if progress[-1] >= required - _EPS:
+            done = int(np.searchsorted(progress, required - _EPS))
+            plan[start_slot : start_slot + done + 1] = x[: done + 1]
+            # Shave the completion slot to the smallest size that still
+            # finishes the residual work: the uniform cap over-provisions
+            # the final slot, and the spare GPUs may be exactly what a
+            # later-deadline job needs.
+            earlier = float(progress[done - 1]) if done > 0 else 0.0
+            residual = required - earlier
+            final_weight = float(tail_weights[done])
+            if final_weight > 0:
+                for size in info.sizes:
+                    if size > int(x[done]):
+                        break
+                    if info.throughput_table[size] * final_weight >= residual - _EPS:
+                        plan[start_slot + done] = size
+                        break
+            return plan
+    return None
+
+
+@dataclass
+class AdmissionResult:
+    """Outcome of running Algorithm 1 over a job set.
+
+    Attributes:
+        admitted: Whether the candidate (if any) can be admitted.
+        plans: Minimum satisfactory share per job id (only when feasible).
+        ledger: Occupancy ledger pre-loaded with those plans.
+        infeasible_job: The first job whose deadline could not be met.
+        degraded: Jobs whose deadlines are unmeetable; they hold zero
+            reservation and run from leftovers (Section 4.4 soft handling).
+    """
+
+    admitted: bool
+    plans: dict[str, np.ndarray]
+    ledger: Ledger
+    infeasible_job: str | None = None
+    degraded: set[str] = field(default_factory=set)
+
+
+class AdmissionController:
+    """Algorithm 1: deadline-ordered progressive filling over all jobs.
+
+    Args:
+        capacity: Number of GPUs in the cluster.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ConfigurationError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+
+    def plan_shares(
+        self,
+        infos: list[PlanningJob],
+        grid: SlotGrid,
+        *,
+        stop_on_failure: bool = True,
+    ) -> AdmissionResult:
+        """Fill minimum satisfactory shares for every SLO job, deadline order.
+
+        Best-effort jobs receive an all-zero share (they are served from
+        leftovers by Algorithm 2).  With ``stop_on_failure=False`` an
+        infeasible job is *degraded* instead of aborting the fill: it loses
+        its reservation and joins the best-effort leftover queue, so a job
+        that was admitted earlier but fell behind (e.g. accumulated scaling
+        overheads) cannot poison the guarantees of everyone else.
+        """
+        ledger = Ledger(self.capacity, grid.horizon)
+        plans: dict[str, np.ndarray] = {}
+        infeasible: str | None = None
+        degraded: set[str] = set()
+        ordered = sorted(infos, key=lambda i: (i.deadline, i.job_id))
+        for info in ordered:
+            info.degraded = False
+            if info.best_effort:
+                plan = np.zeros(grid.horizon, dtype=np.int64)
+            else:
+                plan = progressive_filling(info, ledger.available())
+                if plan is None:
+                    if stop_on_failure:
+                        return AdmissionResult(
+                            admitted=False,
+                            plans={},
+                            ledger=ledger,
+                            infeasible_job=info.job_id,
+                        )
+                    infeasible = infeasible or info.job_id
+                    info.degraded = True
+                    degraded.add(info.job_id)
+                    plan = np.zeros(grid.horizon, dtype=np.int64)
+            info.min_share_plan = plan
+            plans[info.job_id] = plan
+            ledger.set_plan(info.job_id, plan)
+        return AdmissionResult(
+            admitted=infeasible is None,
+            plans=plans,
+            ledger=ledger,
+            infeasible_job=infeasible,
+            degraded=degraded,
+        )
+
+    def try_admit(
+        self,
+        candidate: PlanningJob,
+        admitted: list[PlanningJob],
+        grid: SlotGrid,
+    ) -> AdmissionResult:
+        """Decide whether adding ``candidate`` keeps every deadline feasible.
+
+        Jobs that are *already* infeasible (degraded — e.g. their deadlines
+        lie in the past) do not veto the newcomer: their guarantee is lost
+        either way, so only newly-broken deadlines count against admission.
+        """
+        if candidate.best_effort:
+            # Best-effort jobs are always accepted (Section 4.4).
+            result = self.plan_shares(
+                admitted + [candidate], grid, stop_on_failure=False
+            )
+            result.admitted = True
+            return result
+        baseline_degraded = self.plan_shares(
+            admitted, grid, stop_on_failure=False
+        ).degraded
+        result = self.plan_shares(
+            admitted + [candidate], grid, stop_on_failure=False
+        )
+        newly_broken = result.degraded - baseline_degraded - {candidate.job_id}
+        result.admitted = (
+            candidate.job_id not in result.degraded and not newly_broken
+        )
+        return result

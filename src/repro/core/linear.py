@@ -1,0 +1,84 @@
+"""Theorem 1: exact feasibility for linear scaling curves (Section 4.1).
+
+For jobs whose throughput scales linearly with GPUs, the paper proves a
+clean feasibility criterion: sort jobs by deadline and check that the
+cumulative GPU-time demanded never exceeds what the cluster supplies
+before each deadline,
+
+    for every i:  sum_{j <= i} M_j / k_j  <=  G * D_i.
+
+This module implements the criterion (and the witness schedule used in the
+proof).  It is the ground truth the property tests compare progressive
+filling against in the linear special case.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["LinearJob", "linear_feasible", "linear_schedule_witness"]
+
+
+@dataclass(frozen=True)
+class LinearJob:
+    """A job under linear scaling.
+
+    Attributes:
+        job_id: Identifier.
+        gpu_seconds: Required work ``M_i / k_i`` — iterations over per-GPU
+            throughput, i.e. total GPU-time the job needs.
+        deadline: Relative deadline ``D_i`` in seconds from now.
+    """
+
+    job_id: str
+    gpu_seconds: float
+    deadline: float
+
+    def __post_init__(self) -> None:
+        if self.gpu_seconds <= 0:
+            raise ConfigurationError(
+                f"gpu_seconds must be > 0, got {self.gpu_seconds}"
+            )
+        if self.deadline <= 0:
+            raise ConfigurationError(f"deadline must be > 0, got {self.deadline}")
+
+
+def linear_feasible(jobs: list[LinearJob], capacity: int) -> bool:
+    """Theorem 1's criterion: can all deadlines be met on ``capacity`` GPUs?"""
+    if capacity < 1:
+        raise ConfigurationError(f"capacity must be >= 1, got {capacity}")
+    ordered = sorted(jobs, key=lambda j: (j.deadline, j.job_id))
+    cumulative = 0.0
+    for job in ordered:
+        cumulative += job.gpu_seconds
+        if cumulative > capacity * job.deadline + 1e-9:
+            return False
+    return True
+
+
+def linear_schedule_witness(
+    jobs: list[LinearJob], capacity: int
+) -> dict[str, list[tuple[float, float, float]]] | None:
+    """A concrete schedule proving feasibility, or ``None`` if infeasible.
+
+    The witness processes jobs in deadline order, running each at full
+    remaining capacity as early as possible (under linear scaling, how the
+    GPU-time is spread over time is immaterial, so EDF-with-everything is a
+    valid witness).  Returns per job a list of ``(start, end, gpus)``
+    intervals; the fractional GPU rates are legitimate for the *linear*
+    model where splitting a GPU across time slices loses nothing.
+    """
+    if not linear_feasible(jobs, capacity):
+        return None
+    ordered = sorted(jobs, key=lambda j: (j.deadline, j.job_id))
+    schedule: dict[str, list[tuple[float, float, float]]] = {}
+    frontier = 0.0  # everything before this instant is fully packed
+    for job in ordered:
+        start = frontier
+        seconds = job.gpu_seconds / capacity
+        end = start + seconds
+        schedule[job.job_id] = [(start, end, float(capacity))]
+        frontier = end
+    return schedule

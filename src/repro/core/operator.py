@@ -1,0 +1,170 @@
+"""Operator admission policies: quotas and pricing (paper Section 4.4).
+
+Admission control guarantees feasibility, but a malicious or careless user
+could still flood the cluster with tight-deadline jobs and crowd everyone
+else out.  The paper suggests the cloud operator "can apply an extra policy
+or charge the user before line 9 of Algorithm 1"; this module is that hook.
+An :class:`OperatorPolicy` is consulted *after* a job proves feasible and
+*before* it is finally admitted; quota and pricing policies are provided,
+and policies compose with :class:`CompositePolicy`.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from dataclasses import dataclass, field
+
+from repro.core.job import Job
+from repro.errors import ConfigurationError
+from repro.profiles.throughput import ScalingCurve
+
+__all__ = [
+    "OperatorPolicy",
+    "AdmitAllPolicy",
+    "UserQuotaPolicy",
+    "PricingPolicy",
+    "CompositePolicy",
+]
+
+
+class OperatorPolicy(abc.ABC):
+    """Extra operator-side admission gate, applied after feasibility."""
+
+    @abc.abstractmethod
+    def approve(self, job: Job, now: float) -> bool:
+        """Whether the operator lets this (feasible) job in."""
+
+    def on_admitted(self, job: Job, now: float) -> None:
+        """Bookkeeping hook invoked when the job is finally admitted."""
+
+
+class AdmitAllPolicy(OperatorPolicy):
+    """The paper's default: trust users, admit every feasible job."""
+
+    def approve(self, job: Job, now: float) -> bool:
+        return True
+
+
+class UserQuotaPolicy(OperatorPolicy):
+    """Cap the number of jobs each user may have admitted per window.
+
+    Args:
+        max_jobs: Admissions allowed per user per window.
+        window_s: Sliding-window length (default one day, the paper's
+            example: "set a maximum number of jobs that can be submitted by
+            each user per day").
+    """
+
+    def __init__(self, max_jobs: int, *, window_s: float = 86400.0) -> None:
+        if max_jobs < 1:
+            raise ConfigurationError(f"max_jobs must be >= 1, got {max_jobs}")
+        if window_s <= 0:
+            raise ConfigurationError(f"window_s must be > 0, got {window_s}")
+        self.max_jobs = max_jobs
+        self.window_s = window_s
+        self._admissions: dict[str, list[float]] = {}
+
+    def admitted_in_window(self, user: str, now: float) -> int:
+        times = self._admissions.get(user, [])
+        cutoff = now - self.window_s
+        live = [t for t in times if t > cutoff]
+        self._admissions[user] = live
+        return len(live)
+
+    def approve(self, job: Job, now: float) -> bool:
+        """Whether the user still has quota left in the window."""
+        return self.admitted_in_window(job.spec.user, now) < self.max_jobs
+
+    def on_admitted(self, job: Job, now: float) -> None:
+        """Record the admission against the user's quota."""
+        self._admissions.setdefault(job.spec.user, []).append(now)
+
+
+@dataclass
+class PricingPolicy(OperatorPolicy):
+    """Charge users for admitted jobs; reject when the budget runs dry.
+
+    The price follows the paper's sketch — "the cost depends on the job
+    size and the deadline": the job's single-GPU work in GPU-hours times a
+    base rate, multiplied by an urgency factor that grows as the deadline
+    tightens relative to that work.
+
+    Attributes:
+        budgets: Remaining credit per user.
+        rate_per_gpu_hour: Base price of one GPU-hour of work.
+        urgency_exponent: How steeply tight deadlines cost extra.
+        curves: Scaling-curve lookup used to size jobs (model, batch) ->
+            curve; populate via :meth:`register_curve`.
+    """
+
+    budgets: dict[str, float]
+    rate_per_gpu_hour: float = 1.0
+    urgency_exponent: float = 0.5
+    curves: dict[tuple[str, int], ScalingCurve] = field(default_factory=dict)
+    spent: dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.rate_per_gpu_hour <= 0:
+            raise ConfigurationError("rate_per_gpu_hour must be > 0")
+        if self.urgency_exponent < 0:
+            raise ConfigurationError("urgency_exponent must be >= 0")
+        for user, budget in self.budgets.items():
+            if budget < 0:
+                raise ConfigurationError(f"budget for {user!r} is negative")
+
+    def _single_gpu_hours(self, job: Job) -> float:
+        key = (job.spec.model_name, job.spec.global_batch_size)
+        curve = self.curves.get(key)
+        if curve is None:
+            raise ConfigurationError(
+                f"no scaling curve registered for {key}; call register_curve"
+            )
+        return job.spec.max_iterations / curve.throughput(1) / 3600.0
+
+    def register_curve(self, curve: ScalingCurve) -> None:
+        """Make a (model, batch) configuration priceable."""
+        self.curves[(curve.model.name, curve.global_batch)] = curve
+
+    def price_of(self, job: Job) -> float:
+        """Quote for one job: work x rate x urgency."""
+        work_hours = self._single_gpu_hours(job)
+        if job.spec.best_effort:
+            urgency = 1.0
+        else:
+            slack = job.spec.relative_deadline / 3600.0
+            # Tighter deadline than the single-GPU runtime costs extra.
+            urgency = max(1.0, work_hours / max(slack, 1e-9)) ** self.urgency_exponent
+        return work_hours * self.rate_per_gpu_hour * urgency
+
+    def balance(self, user: str) -> float:
+        """Remaining credit of one user."""
+        return self.budgets.get(user, 0.0) - self.spent.get(user, 0.0)
+
+    def approve(self, job: Job, now: float) -> bool:
+        """Whether the quoted price fits the user's remaining budget."""
+        price = self.price_of(job)
+        return math.isfinite(price) and price <= self.balance(job.spec.user)
+
+    def on_admitted(self, job: Job, now: float) -> None:
+        """Charge the user for the admitted job."""
+        user = job.spec.user
+        self.spent[user] = self.spent.get(user, 0.0) + self.price_of(job)
+
+
+class CompositePolicy(OperatorPolicy):
+    """All sub-policies must approve; admission notifies every one."""
+
+    def __init__(self, policies: list[OperatorPolicy]) -> None:
+        if not policies:
+            raise ConfigurationError("CompositePolicy needs at least one policy")
+        self.policies = list(policies)
+
+    def approve(self, job: Job, now: float) -> bool:
+        """Approve only when every sub-policy approves."""
+        return all(policy.approve(job, now) for policy in self.policies)
+
+    def on_admitted(self, job: Job, now: float) -> None:
+        """Notify every sub-policy of the admission."""
+        for policy in self.policies:
+            policy.on_admitted(job, now)

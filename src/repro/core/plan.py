@@ -1,0 +1,113 @@
+"""Per-slot allocation plans and the shared GPU occupancy ledger.
+
+A *plan* is simply a numpy integer vector: ``plan[t]`` GPUs in slot ``t`` of
+the current :class:`~repro.core.slots.SlotGrid`.  The :class:`Ledger` tracks
+the column sums across all planned jobs so admission control and allocation
+can ask "how many GPUs are still unclaimed in slot t?" in O(1) vector ops.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError, SchedulingError
+
+__all__ = ["Ledger", "zero_plan"]
+
+
+def zero_plan(horizon: int) -> np.ndarray:
+    """An empty allocation plan of ``horizon`` slots."""
+    if horizon < 1:
+        raise ConfigurationError(f"horizon must be >= 1, got {horizon}")
+    return np.zeros(horizon, dtype=np.int64)
+
+
+class Ledger:
+    """GPU occupancy bookkeeping across all planned jobs.
+
+    Args:
+        capacity: Total GPUs in the cluster.
+        horizon: Number of slots in the planning window.
+    """
+
+    def __init__(self, capacity: int, horizon: int) -> None:
+        if capacity < 1:
+            raise ConfigurationError(f"capacity must be >= 1, got {capacity}")
+        if horizon < 1:
+            raise ConfigurationError(f"horizon must be >= 1, got {horizon}")
+        self.capacity = capacity
+        self.horizon = horizon
+        self.version = 0  # bumped on every mutation; used for staleness checks
+        self._used = np.zeros(horizon, dtype=np.int64)
+        self._plans: dict[str, np.ndarray] = {}
+
+    # ----------------------------------------------------------- inspection
+    @property
+    def used(self) -> np.ndarray:
+        """GPUs claimed per slot (read-only view)."""
+        view = self._used.view()
+        view.flags.writeable = False
+        return view
+
+    def available(self) -> np.ndarray:
+        """GPUs still unclaimed per slot."""
+        return self.capacity - self._used
+
+    def plan_of(self, job_id: str) -> np.ndarray:
+        """The registered plan of a job (copy)."""
+        try:
+            return self._plans[job_id].copy()
+        except KeyError:
+            raise SchedulingError(f"no plan registered for job {job_id!r}") from None
+
+    def has_plan(self, job_id: str) -> bool:
+        return job_id in self._plans
+
+    @property
+    def job_ids(self) -> list[str]:
+        return sorted(self._plans)
+
+    # ------------------------------------------------------------- mutation
+    def set_plan(self, job_id: str, plan: np.ndarray) -> None:
+        """Register or replace a job's plan, enforcing capacity."""
+        plan = self._validated(plan)
+        previous = self._plans.get(job_id)
+        trial = self._used + plan
+        if previous is not None:
+            trial -= previous
+        if np.any(trial > self.capacity):
+            slot = int(np.argmax(trial > self.capacity))
+            raise SchedulingError(
+                f"plan for {job_id!r} overflows capacity at slot {slot}: "
+                f"{int(trial[slot])} > {self.capacity}"
+            )
+        self._used = trial
+        self._plans[job_id] = plan.copy()
+        self.version += 1
+
+    def remove_plan(self, job_id: str) -> None:
+        """Drop a job's plan, releasing its claimed GPUs."""
+        plan = self._plans.pop(job_id, None)
+        if plan is None:
+            raise SchedulingError(f"no plan registered for job {job_id!r}")
+        self._used -= plan
+        self.version += 1
+
+    def clear(self) -> None:
+        """Forget every plan."""
+        self._plans.clear()
+        self._used[:] = 0
+        self.version += 1
+
+    # -------------------------------------------------------------- helpers
+    def _validated(self, plan: np.ndarray) -> np.ndarray:
+        plan = np.asarray(plan)
+        if plan.shape != (self.horizon,):
+            raise SchedulingError(
+                f"plan has shape {plan.shape}, expected ({self.horizon},)"
+            )
+        if not np.issubdtype(plan.dtype, np.integer):
+            raise SchedulingError(f"plan dtype must be integer, got {plan.dtype}")
+        if np.any(plan < 0):
+            raise SchedulingError("plan contains negative allocations")
+        return plan.astype(np.int64, copy=False)

@@ -1,0 +1,231 @@
+"""The ElasticFlow scheduler policy (paper Sections 3 and 4).
+
+On every scheduling event the policy rebuilds a slot grid anchored at the
+current time, recomputes the minimum satisfactory share of every admitted
+SLO job (Algorithm 1), and distributes leftover GPUs by marginal return
+(Algorithm 2).  Arriving SLO jobs are admitted only when the combined
+progressive fill stays feasible; best-effort jobs bypass admission and are
+served from leftovers (Section 4.4).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.admission import AdmissionController, PlanningJob, planning_job
+from repro.core.allocation import allocate_leftover
+from repro.core.job import Job
+from repro.core.operator import OperatorPolicy
+from repro.core.slots import SlotGrid
+from repro.errors import ConfigurationError
+from repro.sim.interface import SchedulerPolicy
+
+__all__ = ["ElasticFlowPolicy"]
+
+
+class ElasticFlowPolicy(SchedulerPolicy):
+    """Deadline-driven serverless scheduling with elastic scaling.
+
+    Args:
+        safety_margin: Fraction by which planned work is inflated so that
+            scaling overheads cannot silently break admitted deadlines.
+            Zero reproduces the paper's algorithms exactly.
+        deadline_padding_s: Per-job time allowance subtracted from deadlines
+            during planning — protection shaped like the per-event
+            checkpoint/restore stalls (work inflation alone under-protects
+            short jobs that scale often).
+        max_horizon: Upper bound on planning slots; when deadlines reach
+            further, the slot width is stretched for that planning round.
+        admission_enabled: Turning admission off yields the Fig 9 ablation
+            variant "EDF + Elastic Scaling" via :mod:`repro.baselines`.
+        stability_threshold: Overhead-aware hysteresis — a running job keeps
+            its current allocation when the proposed change would move its
+            throughput by less than this fraction (and its minimum share
+            stays covered).  Zero disables it, reproducing the paper's
+            algorithms exactly; small positive values trade a little
+            Algorithm 2 optimality for far fewer checkpoint/restore stalls.
+        planning_throughput: Optional alternative throughput model used for
+            *planning only* (execution still follows the cluster's real
+            curves).  Supplying a pessimistic model reproduces the naive
+            always-worst-placement approach Section 4.3 argues against.
+        failure_reserve_gpus: GPUs withheld from planning so that a node
+            failure does not instantly break admitted guarantees — the
+            Section 4.4 "node failures" extension.
+        operator_policy: Extra operator-side gate (quota/pricing) applied
+            after feasibility, "before line 9 of Algorithm 1" as the paper
+            puts it (Section 4.4, malicious users).
+    """
+
+    name = "elasticflow"
+
+    def __init__(
+        self,
+        *,
+        safety_margin: float = 0.0,
+        deadline_padding_s: float = 0.0,
+        max_horizon: int = 2048,
+        admission_enabled: bool = True,
+        stability_threshold: float = 0.0,
+        planning_throughput=None,
+        failure_reserve_gpus: int = 0,
+        operator_policy: OperatorPolicy | None = None,
+    ) -> None:
+        super().__init__()
+        if safety_margin < 0:
+            raise ConfigurationError(
+                f"safety_margin must be >= 0, got {safety_margin}"
+            )
+        if deadline_padding_s < 0:
+            raise ConfigurationError(
+                f"deadline_padding_s must be >= 0, got {deadline_padding_s}"
+            )
+        if max_horizon < 1:
+            raise ConfigurationError(f"max_horizon must be >= 1, got {max_horizon}")
+        if stability_threshold < 0:
+            raise ConfigurationError(
+                f"stability_threshold must be >= 0, got {stability_threshold}"
+            )
+        self.safety_margin = safety_margin
+        self.deadline_padding_s = deadline_padding_s
+        self.max_horizon = max_horizon
+        self.admission_enabled = admission_enabled
+        if failure_reserve_gpus < 0:
+            raise ConfigurationError(
+                f"failure_reserve_gpus must be >= 0, got {failure_reserve_gpus}"
+            )
+        self.stability_threshold = stability_threshold
+        self.planning_throughput = planning_throughput
+        self.failure_reserve_gpus = failure_reserve_gpus
+        self.operator_policy = operator_policy
+
+    # ------------------------------------------------------------ interface
+    def _planning_capacity(self) -> int:
+        """GPUs planning may promise.
+
+        The failure reserve is insurance: in a healthy cluster planning
+        stops ``failure_reserve_gpus`` short of the total, so an outage of
+        up to that many GPUs leaves every promise intact; during an outage
+        the reserve is *spent* (planning uses whatever is actually usable,
+        not less).
+        """
+        insured = self.context.total_gpus - self.failure_reserve_gpus
+        return min(self.context.usable_gpus, insured)
+
+    def admit(self, job: Job, active: list[Job], now: float) -> bool:
+        """Algorithm 1 plus the operator gate (Section 4.4).
+
+        A job is admitted when (i) every deadline stays feasible after the
+        progressive fill and (ii) the operator policy, if any, approves —
+        the paper's "extra policy or charge ... before line 9".
+        """
+        if not self.admission_enabled or job.spec.best_effort:
+            return self._operator_gate(job, now)
+        if self._planning_capacity() < 1:
+            return False  # total outage: nothing can be guaranteed
+        grid = self._grid(now, active + [job])
+        controller = AdmissionController(self._planning_capacity())
+        candidate = self._info(job, grid)
+        admitted = [self._info(j, grid) for j in active if not j.spec.best_effort]
+        result = controller.try_admit(candidate, admitted, grid)
+        if not result.admitted:
+            return False
+        return self._operator_gate(job, now)
+
+    def _operator_gate(self, job: Job, now: float) -> bool:
+        if self.operator_policy is None:
+            return True
+        if not self.operator_policy.approve(job, now):
+            return False
+        self.operator_policy.on_admitted(job, now)
+        return True
+
+    def allocate(self, active: list[Job], now: float) -> dict[str, int]:
+        """Algorithms 1 + 2: minimum shares, then marginal-return leftovers."""
+        if not active:
+            return {}
+        if self._planning_capacity() < 1:
+            return {job.job_id: 0 for job in active}
+        grid = self._grid(now, active)
+        controller = AdmissionController(self._planning_capacity())
+        infos = [self._info(job, grid) for job in active]
+        result = controller.plan_shares(infos, grid, stop_on_failure=False)
+        decisions = allocate_leftover(infos, result.ledger, grid.slot_seconds)
+        if self.stability_threshold > 0:
+            decisions = self._stabilize(decisions, infos, active)
+        return decisions
+
+    def _stabilize(
+        self,
+        decisions: dict[str, int],
+        infos: list[PlanningJob],
+        active: list[Job],
+    ) -> dict[str, int]:
+        """Keep current allocations when the proposed change barely helps.
+
+        A job may stay at its current size when (i) that size still covers
+        its minimum satisfactory share in the next slot, (ii) the proposed
+        size changes its throughput by less than ``stability_threshold``,
+        and (iii) cluster capacity still holds.  This suppresses the
+        checkpoint/restore churn of re-solving Algorithm 2 at every event.
+        """
+        by_id = {info.job_id: info for info in infos}
+        total = sum(decisions.values())
+        capacity = self._planning_capacity()
+        for job in active:
+            target = decisions.get(job.job_id, 0)
+            current = job.n_gpus
+            if current == target or current == 0:
+                continue
+            info = by_id[job.job_id]
+            minimum = 0
+            if info.min_share_plan is not None and not info.degraded:
+                minimum = int(info.min_share_plan[0])
+            if current < minimum:
+                continue  # must move: the deadline depends on it
+            thr_current = float(info.throughput_table[current])
+            thr_target = float(info.throughput_table[target])
+            if thr_current <= 0:
+                continue
+            if abs(thr_target - thr_current) / thr_current >= self.stability_threshold:
+                continue
+            delta = current - target
+            if total + delta <= capacity:
+                decisions[job.job_id] = current
+                total += delta
+        return decisions
+
+    # -------------------------------------------------------------- helpers
+    def _grid(self, now: float, jobs: list[Job]) -> SlotGrid:
+        """Planning grid covering every finite deadline from ``now``.
+
+        When deadlines stretch past ``max_horizon`` slots the slot width is
+        widened for this round instead of failing (coarser planning, same
+        guarantees).
+        """
+        slot = self.context.slot_seconds
+        deadlines = [j.spec.effective_deadline for j in jobs]
+        finite = [d for d in deadlines if not math.isinf(d)]
+        if finite:
+            span = max(finite) - now
+            if span > slot * self.max_horizon:
+                slot = span / self.max_horizon
+        return SlotGrid.for_jobs(
+            now, deadlines, slot, max_horizon=self.max_horizon
+        )
+
+    def _planning_curve(self, job: Job):
+        if self.planning_throughput is not None:
+            return self.planning_throughput.curve(
+                job.spec.model_name, job.spec.global_batch_size
+            )
+        return self.context.curve_for(job)
+
+    def _info(self, job: Job, grid: SlotGrid) -> PlanningJob:
+        return planning_job(
+            job,
+            self._planning_curve(job),
+            grid,
+            self.context.total_gpus,
+            safety_margin=self.safety_margin,
+            deadline_padding_s=self.deadline_padding_s,
+        )

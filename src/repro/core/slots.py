@@ -1,0 +1,99 @@
+"""Discretised planning horizon for admission control and allocation.
+
+The planning algorithms reason about the future in fixed-width time slots
+anchored at "now".  A deadline rarely falls exactly on a slot boundary, so
+each job sees a *weight* per slot: how many seconds of that slot are usable
+before its deadline.  This keeps the feasibility arithmetic exact instead of
+conservatively rounding deadlines down to whole slots.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["SlotGrid"]
+
+
+@dataclass(frozen=True)
+class SlotGrid:
+    """A horizon of ``horizon`` slots of ``slot_seconds`` starting at ``origin``.
+
+    Attributes:
+        origin: Absolute time of the start of slot 0 (simulation seconds).
+        slot_seconds: Width of each slot.
+        horizon: Number of slots in the planning window.
+    """
+
+    origin: float
+    slot_seconds: float
+    horizon: int
+
+    def __post_init__(self) -> None:
+        if self.slot_seconds <= 0:
+            raise ConfigurationError(
+                f"slot_seconds must be > 0, got {self.slot_seconds}"
+            )
+        if self.horizon < 1:
+            raise ConfigurationError(f"horizon must be >= 1, got {self.horizon}")
+
+    @property
+    def end(self) -> float:
+        """Absolute time of the end of the last slot."""
+        return self.origin + self.horizon * self.slot_seconds
+
+    def slot_start(self, index: int) -> float:
+        """Absolute start time of slot ``index``."""
+        return self.origin + index * self.slot_seconds
+
+    def slot_of(self, time: float) -> int:
+        """Index of the slot containing ``time`` (clamped to the horizon)."""
+        if time < self.origin:
+            raise ConfigurationError(
+                f"time {time} precedes the grid origin {self.origin}"
+            )
+        index = int((time - self.origin) // self.slot_seconds)
+        return min(index, self.horizon - 1)
+
+    def weights_until(self, deadline: float) -> np.ndarray:
+        """Usable seconds per slot for a job due at ``deadline``.
+
+        Slots wholly before the deadline weigh ``slot_seconds``; the slot
+        containing the deadline weighs the fraction before it; later slots
+        weigh zero.  An infinite deadline yields full weights everywhere.
+        """
+        if math.isinf(deadline):
+            return np.full(self.horizon, self.slot_seconds, dtype=np.float64)
+        starts = self.origin + np.arange(self.horizon) * self.slot_seconds
+        return np.clip(deadline - starts, 0.0, self.slot_seconds)
+
+    @staticmethod
+    def for_jobs(
+        now: float,
+        deadlines: list[float],
+        slot_seconds: float,
+        *,
+        min_horizon: int = 1,
+        max_horizon: int = 4096,
+    ) -> "SlotGrid":
+        """Build a grid anchored at ``now`` covering every finite deadline.
+
+        Best-effort (infinite) deadlines do not extend the horizon; the
+        allocator only ever plans their next slot anyway.
+        """
+        finite = [d for d in deadlines if not math.isinf(d)]
+        horizon = min_horizon
+        if finite:
+            span = max(finite) - now
+            needed = max(1, math.ceil(span / slot_seconds))
+            horizon = max(min_horizon, needed)
+        if horizon > max_horizon:
+            raise ConfigurationError(
+                f"planning horizon {horizon} exceeds the cap of {max_horizon} "
+                f"slots; increase slot_seconds"
+            )
+        return SlotGrid(origin=now, slot_seconds=slot_seconds, horizon=horizon)

@@ -1,0 +1,52 @@
+"""Exception hierarchy for the ElasticFlow reproduction.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while
+still being able to distinguish configuration mistakes from runtime
+scheduling conditions.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "UnknownModelError",
+    "PlacementError",
+    "AllocationError",
+    "SchedulingError",
+    "SimulationError",
+    "TraceError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """An object was constructed with invalid or inconsistent parameters."""
+
+
+class UnknownModelError(ConfigurationError, KeyError):
+    """A DNN model name is not present in the model zoo."""
+
+
+class PlacementError(ReproError):
+    """The placement layer could not satisfy a request it should satisfy."""
+
+
+class AllocationError(ReproError):
+    """The buddy allocator was asked for an impossible block."""
+
+
+class SchedulingError(ReproError):
+    """A scheduler reached an internally inconsistent state."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event engine detected an invalid event sequence."""
+
+
+class TraceError(ReproError, ValueError):
+    """A workload trace is malformed or violates its schema."""

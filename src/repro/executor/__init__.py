@@ -1,0 +1,50 @@
+"""The elastic training executor (paper Section 5).
+
+The paper's prototype spends 3,200+ lines on elastic training: launching
+PyTorch DDP worker sets, adjusting per-worker batch sizes to preserve the
+global batch, checkpointing parameters on every scaling decision, and
+restarting jobs on their new worker sets without tearing down CUDA
+contexts or NCCL groups.  This package models that machinery explicitly:
+
+- :mod:`repro.executor.reconfigure` — local-batch computation: how a
+  global batch is sharded over a worker set, including gradient
+  accumulation when a shard exceeds GPU memory;
+- :mod:`repro.executor.checkpoint` — a versioned checkpoint store;
+- :mod:`repro.executor.worker` — the per-worker lifecycle state machine;
+- :mod:`repro.executor.coordinator` — the control plane that executes one
+  stop-free scaling operation end to end and returns a phase-by-phase
+  transcript whose total duration is what the simulator charges as the
+  scaling overhead (Fig 12b).
+
+The closed-form :class:`repro.sim.executor.ElasticExecutor` is the fast
+path the simulator uses; the test suite checks it against the transcript
+totals produced here.
+"""
+
+from repro.executor.reconfigure import (
+    ReconfigurationPlan,
+    accumulation_steps,
+    plan_reconfiguration,
+    shard_batch,
+)
+from repro.executor.checkpoint import Checkpoint, CheckpointStore
+from repro.executor.worker import Worker, WorkerState
+from repro.executor.coordinator import (
+    JobCoordinator,
+    ScalingPhase,
+    ScalingTranscript,
+)
+
+__all__ = [
+    "ReconfigurationPlan",
+    "accumulation_steps",
+    "plan_reconfiguration",
+    "shard_batch",
+    "Checkpoint",
+    "CheckpointStore",
+    "Worker",
+    "WorkerState",
+    "JobCoordinator",
+    "ScalingPhase",
+    "ScalingTranscript",
+]

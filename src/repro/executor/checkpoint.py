@@ -1,0 +1,106 @@
+"""Versioned checkpoint store for elastic scaling (paper Section 5).
+
+"If a running job is suspended, ElasticFlow checkpoints the parameters
+until it is restarted."  The store keeps one lineage of checkpoints per
+job; scaling always restores the *latest* version, and stale versions are
+pruned so a long-running job does not accumulate unbounded state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError, SchedulingError
+
+__all__ = ["Checkpoint", "CheckpointStore"]
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """One serialised training state.
+
+    Attributes:
+        job_id: Owning job.
+        version: Monotonically increasing per job.
+        nbytes: Serialised size (weights plus optimizer state).
+        iterations_done: Training progress captured by this checkpoint.
+        saved_at: Simulation time of the save.
+    """
+
+    job_id: str
+    version: int
+    nbytes: float
+    iterations_done: float
+    saved_at: float
+
+    def __post_init__(self) -> None:
+        if self.version < 1:
+            raise ConfigurationError(f"version must be >= 1, got {self.version}")
+        if self.nbytes <= 0:
+            raise ConfigurationError(f"nbytes must be > 0, got {self.nbytes}")
+        if self.iterations_done < 0:
+            raise ConfigurationError(
+                f"iterations_done must be >= 0, got {self.iterations_done}"
+            )
+
+
+class CheckpointStore:
+    """Per-job checkpoint lineages with bounded retention.
+
+    Args:
+        keep_versions: How many checkpoints to retain per job.
+    """
+
+    def __init__(self, *, keep_versions: int = 2) -> None:
+        if keep_versions < 1:
+            raise ConfigurationError(
+                f"keep_versions must be >= 1, got {keep_versions}"
+            )
+        self.keep_versions = keep_versions
+        self._store: dict[str, list[Checkpoint]] = {}
+
+    def save(
+        self, job_id: str, nbytes: float, iterations_done: float, now: float
+    ) -> Checkpoint:
+        """Persist a new checkpoint and prune old versions."""
+        lineage = self._store.setdefault(job_id, [])
+        if lineage and iterations_done < lineage[-1].iterations_done:
+            raise SchedulingError(
+                f"job {job_id!r}: checkpoint would lose progress "
+                f"({iterations_done} < {lineage[-1].iterations_done})"
+            )
+        checkpoint = Checkpoint(
+            job_id=job_id,
+            version=lineage[-1].version + 1 if lineage else 1,
+            nbytes=nbytes,
+            iterations_done=iterations_done,
+            saved_at=now,
+        )
+        lineage.append(checkpoint)
+        del lineage[: -self.keep_versions]
+        return checkpoint
+
+    def latest(self, job_id: str) -> Checkpoint:
+        """The checkpoint a restore would load.
+
+        Raises:
+            SchedulingError: If the job has never checkpointed.
+        """
+        lineage = self._store.get(job_id)
+        if not lineage:
+            raise SchedulingError(f"job {job_id!r} has no checkpoint")
+        return lineage[-1]
+
+    def has_checkpoint(self, job_id: str) -> bool:
+        return bool(self._store.get(job_id))
+
+    def versions_of(self, job_id: str) -> list[int]:
+        return [c.version for c in self._store.get(job_id, [])]
+
+    def forget(self, job_id: str) -> None:
+        """Drop a completed job's lineage (storage reclamation)."""
+        self._store.pop(job_id, None)
+
+    @property
+    def total_bytes(self) -> float:
+        return sum(c.nbytes for lineage in self._store.values() for c in lineage)

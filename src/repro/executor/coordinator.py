@@ -1,0 +1,303 @@
+"""The per-job control plane for stop-free elastic scaling (Section 5).
+
+When the scheduler changes a job's worker set, the coordinator runs the
+prototype's scaling protocol:
+
+1. **drain** — running workers finish their current iteration and pause;
+2. **checkpoint** — rank 0 serialises parameters and optimizer state;
+3. **reconfigure** — departing workers stop, joining workers initialise
+   (CUDA contexts and NCCL groups of surviving workers are kept alive),
+   and the global batch is re-sharded over the new set;
+4. **restore** — the new worker set loads the checkpoint;
+5. **resume** — training continues from the checkpointed iteration.
+
+Every operation returns a :class:`ScalingTranscript` with per-phase timing;
+its total is the stall the simulator charges (Fig 12b).  The closed-form
+:class:`repro.sim.executor.ElasticExecutor` approximates these totals; a
+test pins the two within tolerance.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError, SchedulingError
+from repro.executor.checkpoint import CheckpointStore
+from repro.executor.reconfigure import ReconfigurationPlan, plan_reconfiguration
+from repro.executor.worker import Worker, WorkerState
+from repro.profiles.modelzoo import ModelProfile
+
+__all__ = ["ScalingPhase", "PhaseRecord", "ScalingTranscript", "JobCoordinator"]
+
+
+class ScalingPhase(enum.Enum):
+    """Phases of one scaling operation, in protocol order."""
+
+    DRAIN = "drain"
+    CHECKPOINT = "checkpoint"
+    RECONFIGURE = "reconfigure"
+    RESTORE = "restore"
+    RESUME = "resume"
+
+
+@dataclass(frozen=True)
+class PhaseRecord:
+    """Timing of one protocol phase."""
+
+    phase: ScalingPhase
+    start: float
+    end: float
+
+    @property
+    def seconds(self) -> float:
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class ScalingTranscript:
+    """The full record of one scaling/suspend/launch operation."""
+
+    job_id: str
+    old_workers: int
+    new_workers: int
+    phases: tuple[PhaseRecord, ...]
+    plan: ReconfigurationPlan | None
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(record.seconds for record in self.phases)
+
+    @property
+    def finished_at(self) -> float:
+        return max((record.end for record in self.phases), default=0.0)
+
+    def seconds_in(self, phase: ScalingPhase) -> float:
+        return sum(r.seconds for r in self.phases if r.phase is phase)
+
+
+class JobCoordinator:
+    """Drives one job's worker set through scaling operations.
+
+    Args:
+        job_id: The job this coordinator owns.
+        model: Model profile (checkpoint size, serialisation speed).
+        global_batch: The job's immutable global batch size.
+        store: Checkpoint store shared across jobs (a fresh one by default).
+        framework_base_s: Fixed reconfigure cost (DDP wrapper and
+            dataloader rebuild; NCCL groups stay alive).
+        per_worker_init_s: Cost per *newly joining* worker.
+        serialization_mb_per_s: Checkpoint/restore serialisation speed.
+    """
+
+    def __init__(
+        self,
+        job_id: str,
+        model: ModelProfile,
+        global_batch: int,
+        *,
+        store: CheckpointStore | None = None,
+        framework_base_s: float = 8.0,
+        per_worker_init_s: float = 0.4,
+        serialization_mb_per_s: float = 250.0,
+    ) -> None:
+        if not job_id:
+            raise ConfigurationError("job_id must be non-empty")
+        if global_batch < 1:
+            raise ConfigurationError(f"global_batch must be >= 1, got {global_batch}")
+        if framework_base_s < 0 or per_worker_init_s < 0:
+            raise ConfigurationError("timing constants must be >= 0")
+        if serialization_mb_per_s <= 0:
+            raise ConfigurationError("serialization_mb_per_s must be > 0")
+        self.job_id = job_id
+        self.model = model
+        self.global_batch = global_batch
+        self.store = store or CheckpointStore()
+        self.framework_base_s = framework_base_s
+        self.per_worker_init_s = per_worker_init_s
+        self.serialization_mb_per_s = serialization_mb_per_s
+        self.workers: dict[int, Worker] = {}  # gpu index -> worker
+        self.iterations_done = 0.0
+
+    # ----------------------------------------------------------- inspection
+    @property
+    def n_workers(self) -> int:
+        return len(self.workers)
+
+    @property
+    def gpu_indices(self) -> list[int]:
+        return sorted(self.workers)
+
+    @property
+    def is_running(self) -> bool:
+        return bool(self.workers) and all(
+            w.state is WorkerState.TRAINING for w in self.workers.values()
+        )
+
+    def _serialization_seconds(self) -> float:
+        return self.model.checkpoint_bytes / (self.serialization_mb_per_s * 1e6)
+
+    # ------------------------------------------------------------ protocol
+    def launch(self, gpu_indices: list[int], now: float) -> ScalingTranscript:
+        """Cold-start the job on a worker set (restores if a checkpoint exists)."""
+        if self.workers:
+            raise SchedulingError(
+                f"job {self.job_id!r} is already running; use scale()"
+            )
+        self._check_indices(gpu_indices)
+        clock = now
+        phases: list[PhaseRecord] = []
+        plan = plan_reconfiguration(self.model, self.global_batch, len(gpu_indices))
+        clock = self._reconfigure(gpu_indices, plan, clock, phases)
+        if self.store.has_checkpoint(self.job_id):
+            clock = self._restore(clock, phases)
+        clock = self._resume(clock, phases)
+        return ScalingTranscript(
+            job_id=self.job_id,
+            old_workers=0,
+            new_workers=len(gpu_indices),
+            phases=tuple(phases),
+            plan=plan,
+        )
+
+    def scale(
+        self,
+        gpu_indices: list[int],
+        now: float,
+        *,
+        iterations_done: float,
+        iteration_seconds: float,
+    ) -> ScalingTranscript:
+        """Move the running job to a new worker set without losing progress."""
+        if not self.workers:
+            raise SchedulingError(f"job {self.job_id!r} is not running; use launch()")
+        self._check_indices(gpu_indices)
+        if iteration_seconds < 0:
+            raise ConfigurationError("iteration_seconds must be >= 0")
+        old_count = self.n_workers
+        clock = now
+        phases: list[PhaseRecord] = []
+        clock = self._drain(clock, iteration_seconds, phases)
+        clock = self._checkpoint(clock, iterations_done, phases)
+        plan = plan_reconfiguration(self.model, self.global_batch, len(gpu_indices))
+        clock = self._reconfigure(gpu_indices, plan, clock, phases)
+        clock = self._restore(clock, phases)
+        clock = self._resume(clock, phases)
+        return ScalingTranscript(
+            job_id=self.job_id,
+            old_workers=old_count,
+            new_workers=len(gpu_indices),
+            phases=tuple(phases),
+            plan=plan,
+        )
+
+    def suspend(
+        self, now: float, *, iterations_done: float, iteration_seconds: float
+    ) -> ScalingTranscript:
+        """Checkpoint and release every worker (job waits for capacity)."""
+        if not self.workers:
+            raise SchedulingError(f"job {self.job_id!r} is not running")
+        old_count = self.n_workers
+        clock = now
+        phases: list[PhaseRecord] = []
+        clock = self._drain(clock, iteration_seconds, phases)
+        clock = self._checkpoint(clock, iterations_done, phases)
+        for worker in self.workers.values():
+            worker.transition(WorkerState.STOPPED)
+        self.workers.clear()
+        return ScalingTranscript(
+            job_id=self.job_id,
+            old_workers=old_count,
+            new_workers=0,
+            phases=tuple(phases),
+            plan=None,
+        )
+
+    def finish(self) -> None:
+        """Tear down after completion and reclaim checkpoint storage."""
+        for worker in self.workers.values():
+            if worker.state is WorkerState.TRAINING:
+                worker.transition(WorkerState.PAUSED)
+            worker.transition(WorkerState.STOPPED)
+        self.workers.clear()
+        self.store.forget(self.job_id)
+
+    # ------------------------------------------------------------- phases
+    def _drain(
+        self, clock: float, iteration_seconds: float, phases: list[PhaseRecord]
+    ) -> float:
+        end = clock + iteration_seconds
+        for worker in self.workers.values():
+            worker.transition(WorkerState.PAUSED)
+        phases.append(PhaseRecord(ScalingPhase.DRAIN, clock, end))
+        return end
+
+    def _checkpoint(
+        self, clock: float, iterations_done: float, phases: list[PhaseRecord]
+    ) -> float:
+        rank0 = self.workers[min(self.workers)]
+        rank0.transition(WorkerState.CHECKPOINTING)
+        end = clock + self._serialization_seconds()
+        self.store.save(
+            self.job_id,
+            nbytes=self.model.checkpoint_bytes,
+            iterations_done=iterations_done,
+            now=end,
+        )
+        self.iterations_done = iterations_done
+        rank0.transition(WorkerState.PAUSED)
+        phases.append(PhaseRecord(ScalingPhase.CHECKPOINT, clock, end))
+        return end
+
+    def _reconfigure(
+        self,
+        gpu_indices: list[int],
+        plan: ReconfigurationPlan,
+        clock: float,
+        phases: list[PhaseRecord],
+    ) -> float:
+        target = set(gpu_indices)
+        current = set(self.workers)
+        for gpu in sorted(current - target):
+            self.workers.pop(gpu).transition(WorkerState.STOPPED)
+        joining = sorted(target - current)
+        for gpu in joining:
+            worker = Worker(worker_id=f"{self.job_id}/w{gpu}", gpu_index=gpu)
+            worker.transition(WorkerState.INITIALIZING)
+            worker.transition(WorkerState.READY)
+            self.workers[gpu] = worker
+        for shard, gpu in zip(plan.local_batches, sorted(target)):
+            self.workers[gpu].local_batch = shard
+        end = clock + self.framework_base_s + self.per_worker_init_s * len(joining)
+        phases.append(PhaseRecord(ScalingPhase.RECONFIGURE, clock, end))
+        return end
+
+    def _restore(self, clock: float, phases: list[PhaseRecord]) -> float:
+        checkpoint = self.store.latest(self.job_id)
+        self.iterations_done = checkpoint.iterations_done
+        end = clock + self._serialization_seconds()
+        phases.append(PhaseRecord(ScalingPhase.RESTORE, clock, end))
+        return end
+
+    def _resume(self, clock: float, phases: list[PhaseRecord]) -> float:
+        for worker in self.workers.values():
+            if worker.state is WorkerState.READY:
+                worker.transition(WorkerState.TRAINING)
+            elif worker.state is WorkerState.PAUSED:
+                worker.transition(WorkerState.TRAINING)
+        phases.append(PhaseRecord(ScalingPhase.RESUME, clock, clock))
+        return clock
+
+    # ------------------------------------------------------------- helpers
+    def _check_indices(self, gpu_indices: list[int]) -> None:
+        if not gpu_indices:
+            raise ConfigurationError("gpu_indices must not be empty")
+        if len(set(gpu_indices)) != len(gpu_indices):
+            raise ConfigurationError(f"duplicate GPU indices: {gpu_indices}")
+        if any(gpu < 0 for gpu in gpu_indices):
+            raise ConfigurationError(f"negative GPU index in {gpu_indices}")
+        if len(gpu_indices) > self.global_batch:
+            raise ConfigurationError(
+                f"{len(gpu_indices)} workers cannot share a global batch of "
+                f"{self.global_batch}"
+            )

@@ -1,0 +1,108 @@
+"""Local batch-size reconfiguration (paper Sections 3.1 and 5).
+
+The serverless interface fixes the *global* batch size; the platform owns
+the system-side decision of how that batch is split across however many
+workers the scheduler granted.  "The local batch size on each worker is
+adjusted to maintain the same global batch size" (Section 5).  Two details
+matter:
+
+- the global batch rarely divides evenly, so shards differ by at most one
+  sample (the slowest — largest — shard gates the iteration time);
+- a shard larger than what GPU memory holds falls back to gradient
+  accumulation, keeping any job runnable on any worker count down to one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.profiles.modelzoo import ModelProfile
+
+__all__ = [
+    "shard_batch",
+    "accumulation_steps",
+    "ReconfigurationPlan",
+    "plan_reconfiguration",
+]
+
+
+def shard_batch(global_batch: int, n_workers: int) -> list[int]:
+    """Split a global batch across workers as evenly as possible.
+
+    The first ``global_batch % n_workers`` workers take one extra sample.
+
+    Raises:
+        ConfigurationError: If there are more workers than samples (a
+            worker with an empty batch would contribute zero gradient and
+            silently change the effective global batch).
+    """
+    if global_batch < 1:
+        raise ConfigurationError(f"global_batch must be >= 1, got {global_batch}")
+    if n_workers < 1:
+        raise ConfigurationError(f"n_workers must be >= 1, got {n_workers}")
+    if n_workers > global_batch:
+        raise ConfigurationError(
+            f"{n_workers} workers cannot share a batch of {global_batch}"
+        )
+    base, remainder = divmod(global_batch, n_workers)
+    return [base + 1] * remainder + [base] * (n_workers - remainder)
+
+
+def accumulation_steps(local_batch: int, max_local_batch: int) -> int:
+    """Micro-batches needed to fit ``local_batch`` into GPU memory."""
+    if local_batch < 1:
+        raise ConfigurationError(f"local_batch must be >= 1, got {local_batch}")
+    if max_local_batch < 1:
+        raise ConfigurationError(
+            f"max_local_batch must be >= 1, got {max_local_batch}"
+        )
+    return -(-local_batch // max_local_batch)
+
+
+@dataclass(frozen=True)
+class ReconfigurationPlan:
+    """The system-side configuration for one worker count.
+
+    Attributes:
+        n_workers: Target worker count.
+        local_batches: Per-worker batch sizes (sums to the global batch).
+        accumulation: Per-worker gradient-accumulation micro-batch counts.
+        max_local_batch: The largest shard (gates the iteration time).
+    """
+
+    n_workers: int
+    local_batches: tuple[int, ...]
+    accumulation: tuple[int, ...]
+
+    @property
+    def global_batch(self) -> int:
+        return sum(self.local_batches)
+
+    @property
+    def max_local_batch(self) -> int:
+        return max(self.local_batches)
+
+    @property
+    def uses_accumulation(self) -> bool:
+        return any(steps > 1 for steps in self.accumulation)
+
+
+def plan_reconfiguration(
+    model: ModelProfile, global_batch: int, n_workers: int
+) -> ReconfigurationPlan:
+    """Compute the per-worker configuration for a scaling decision.
+
+    Raises:
+        ConfigurationError: If the geometry is impossible (more workers
+            than samples).
+    """
+    shards = shard_batch(global_batch, n_workers)
+    accumulation = tuple(
+        accumulation_steps(shard, model.max_local_batch) for shard in shards
+    )
+    return ReconfigurationPlan(
+        n_workers=n_workers,
+        local_batches=tuple(shards),
+        accumulation=accumulation,
+    )

@@ -1,0 +1,92 @@
+"""Per-worker lifecycle state machine.
+
+Each GPU worker of a running job moves through a small, strict lifecycle.
+Scaling keeps CUDA contexts and NCCL process groups alive (Section 5), so a
+worker that survives a scaling event goes PAUSED -> TRAINING without a cold
+start; only newly added workers pay initialisation.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError, SchedulingError
+
+__all__ = ["WorkerState", "Worker"]
+
+
+class WorkerState(enum.Enum):
+    """Lifecycle states of one training worker process."""
+
+    CREATED = "created"
+    INITIALIZING = "initializing"  # CUDA context + NCCL group setup
+    READY = "ready"  # initialised, no training loop yet
+    TRAINING = "training"
+    PAUSED = "paused"  # drained at an iteration boundary
+    CHECKPOINTING = "checkpointing"
+    STOPPED = "stopped"  # terminal
+
+
+#: Legal transitions of the worker lifecycle.
+_TRANSITIONS: dict[WorkerState, frozenset[WorkerState]] = {
+    WorkerState.CREATED: frozenset({WorkerState.INITIALIZING}),
+    WorkerState.INITIALIZING: frozenset({WorkerState.READY, WorkerState.STOPPED}),
+    WorkerState.READY: frozenset({WorkerState.TRAINING, WorkerState.STOPPED}),
+    WorkerState.TRAINING: frozenset({WorkerState.PAUSED, WorkerState.STOPPED}),
+    WorkerState.PAUSED: frozenset(
+        {WorkerState.TRAINING, WorkerState.CHECKPOINTING, WorkerState.STOPPED}
+    ),
+    WorkerState.CHECKPOINTING: frozenset({WorkerState.PAUSED, WorkerState.STOPPED}),
+    WorkerState.STOPPED: frozenset(),
+}
+
+
+@dataclass
+class Worker:
+    """One training process bound to one GPU.
+
+    Attributes:
+        worker_id: Identifier, unique within the job.
+        gpu_index: Cluster GPU the process owns.
+        local_batch: Samples this worker contributes per iteration.
+        state: Current lifecycle state.
+    """
+
+    worker_id: str
+    gpu_index: int
+    local_batch: int = 0
+    state: WorkerState = WorkerState.CREATED
+    history: list[WorkerState] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.worker_id:
+            raise ConfigurationError("worker_id must be non-empty")
+        if self.gpu_index < 0:
+            raise ConfigurationError(f"gpu_index must be >= 0, got {self.gpu_index}")
+        self.history.append(self.state)
+
+    def transition(self, target: WorkerState) -> None:
+        """Move to ``target``; illegal moves raise.
+
+        Raises:
+            SchedulingError: If the transition is not in the lifecycle.
+        """
+        if target not in _TRANSITIONS[self.state]:
+            raise SchedulingError(
+                f"worker {self.worker_id}: illegal transition "
+                f"{self.state.value} -> {target.value}"
+            )
+        self.state = target
+        self.history.append(target)
+
+    @property
+    def is_terminal(self) -> bool:
+        return self.state is WorkerState.STOPPED
+
+    @property
+    def is_participating(self) -> bool:
+        """Whether the worker currently holds a share of the global batch."""
+        return self.state in (WorkerState.TRAINING, WorkerState.PAUSED) and (
+            self.local_batch > 0
+        )

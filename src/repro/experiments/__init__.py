@@ -1,0 +1,58 @@
+"""Experiment drivers — one per table and figure of the paper's evaluation.
+
+Each module reproduces one artifact of Section 6 (or one of the design
+figures in Sections 3-4) and returns plain data structures the benchmark
+harness prints as the rows/series the paper reports.  Absolute numbers come
+from our analytic substrate, so the *shapes* — who wins, by what rough
+factor, where crossovers sit — are what EXPERIMENTS.md tracks against the
+paper.
+"""
+
+from repro.experiments.harness import ExperimentConfig, run_policies, testbed_workload
+from repro.experiments.report import format_series, format_table
+from repro.experiments.table1 import table1_models
+from repro.experiments.fig2_characteristics import (
+    fig2a_scaling_curves,
+    fig2b_placement_throughput,
+)
+from repro.experiments.fig3_edf import fig3_edf_example
+from repro.experiments.fig4_admission import fig4_admission_example
+from repro.experiments.fig6_endtoend import fig6_deadline_satisfaction
+from repro.experiments.fig7_timeline import fig7_timelines
+from repro.experiments.fig8_simulation import fig8a_with_pollux, fig8b_trace_sweep
+from repro.experiments.fig9_ablation import fig9_sources_of_improvement
+from repro.experiments.fig10_efficiency import fig10_cluster_efficiency
+from repro.experiments.fig11_besteffort import fig11_best_effort_mix
+from repro.experiments.fig12_overheads import (
+    fig12a_profiling_overheads,
+    fig12b_scaling_overheads,
+)
+from repro.experiments.lambda_sweep import lambda_tightness_sweep
+from repro.experiments.oracle import clairvoyant_max_admissions
+from repro.experiments.stats import SeedSweep, sweep_seeds
+
+__all__ = [
+    "ExperimentConfig",
+    "run_policies",
+    "testbed_workload",
+    "format_series",
+    "format_table",
+    "table1_models",
+    "fig2a_scaling_curves",
+    "fig2b_placement_throughput",
+    "fig3_edf_example",
+    "fig4_admission_example",
+    "fig6_deadline_satisfaction",
+    "fig7_timelines",
+    "fig8a_with_pollux",
+    "fig8b_trace_sweep",
+    "fig9_sources_of_improvement",
+    "fig10_cluster_efficiency",
+    "fig11_best_effort_mix",
+    "fig12a_profiling_overheads",
+    "fig12b_scaling_overheads",
+    "lambda_tightness_sweep",
+    "clairvoyant_max_admissions",
+    "SeedSweep",
+    "sweep_seeds",
+]

@@ -1,0 +1,75 @@
+"""Fig 11 — handling a mix of SLO and best-effort jobs.
+
+The best-effort fraction sweeps from 0 % to 50 %.  Reported per point:
+(a) the deadline satisfactory ratio of the SLO jobs, and (b) the average
+JCT of the best-effort jobs normalised to Gandiva's (the paper's
+presentation, because EDF's absolute JCT is off the chart).
+
+Shape targets: ElasticFlow's SLO ratio stays the highest and roughly flat
+across the sweep; at low best-effort shares its best-effort JCT is
+competitive, and at higher shares it deliberately sacrifices best-effort
+JCT to protect SLO deadlines.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.experiments.harness import ExperimentConfig, run_policies, testbed_workload
+
+__all__ = ["Fig11Row", "fig11_best_effort_mix"]
+
+FIG11_POLICIES = ("elasticflow", "edf", "gandiva", "tiresias", "themis", "chronus")
+
+
+@dataclass
+class Fig11Row:
+    """Results at one best-effort percentage."""
+
+    best_effort_fraction: float
+    slo_satisfactory_ratio: dict[str, float]
+    best_effort_jct_normalized: dict[str, float]
+
+
+def fig11_best_effort_mix(
+    *,
+    config: ExperimentConfig | None = None,
+    fractions: tuple[float, ...] = (0.0, 0.1, 0.3, 0.5),
+    cluster_gpus: int = 64,
+    n_jobs: int = 80,
+    policies: tuple[str, ...] = FIG11_POLICIES,
+    normalize_to: str = "gandiva",
+) -> list[Fig11Row]:
+    """Sweep the best-effort share of the workload (Fig 11)."""
+    config = config or ExperimentConfig()
+    rows: list[Fig11Row] = []
+    for fraction in fractions:
+        cluster, specs = testbed_workload(
+            config,
+            cluster_gpus=cluster_gpus,
+            n_jobs=n_jobs,
+            target_load=1.5,
+            best_effort_fraction=fraction,
+        )
+        results = run_policies(list(policies), cluster, specs, config)
+        slo = {
+            name: result.deadline_satisfactory_ratio
+            for name, result in results.items()
+        }
+        reference = results[normalize_to].average_jct(best_effort_only=True)
+        jct: dict[str, float] = {}
+        for name, result in results.items():
+            value = result.average_jct(best_effort_only=True)
+            if math.isnan(value) or math.isnan(reference) or reference == 0:
+                jct[name] = math.nan
+            else:
+                jct[name] = value / reference
+        rows.append(
+            Fig11Row(
+                best_effort_fraction=fraction,
+                slo_satisfactory_ratio=slo,
+                best_effort_jct_normalized=jct,
+            )
+        )
+    return rows

@@ -1,0 +1,93 @@
+"""Fig 12 — system overheads of ElasticFlow.
+
+(a) Pre-run profiling time per DNN model (the profiler measures throughput
+    at doubling GPU counts per batch size and stops past the peak).
+(b) Scaling/migration stall per model for the paper's five transition
+    cases: 1 -> 8 GPUs, 8 -> 1, 4 -> 8, 8 -> 4, and an 8-GPU migration to
+    another machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.profiles.modelzoo import MODEL_ZOO, TABLE1_SETTINGS, get_model
+from repro.profiles.profiler import PreRunProfiler
+from repro.profiles.throughput import ThroughputModel
+from repro.sim.executor import ElasticExecutor
+
+__all__ = [
+    "ProfilingOverheadRow",
+    "ScalingOverheadRow",
+    "SCALING_CASES",
+    "fig12a_profiling_overheads",
+    "fig12b_scaling_overheads",
+]
+
+#: The five Fig 12(b) transition cases, as (old GPUs, new GPUs, label).
+SCALING_CASES: tuple[tuple[int, int, str], ...] = (
+    (1, 8, "1->8"),
+    (8, 1, "8->1"),
+    (4, 8, "4->8"),
+    (8, 4, "8->4"),
+    (8, 8, "migrate-8"),
+)
+
+
+@dataclass(frozen=True)
+class ProfilingOverheadRow:
+    """Pre-run profiling cost of one model (Fig 12a)."""
+
+    model: str
+    batch_sizes: tuple[int, ...]
+    configurations_profiled: int
+    overhead_minutes: float
+
+
+@dataclass(frozen=True)
+class ScalingOverheadRow:
+    """Scaling/migration stalls of one model (Fig 12b)."""
+
+    model: str
+    seconds_by_case: dict[str, float]
+
+
+def fig12a_profiling_overheads(
+    throughput: ThroughputModel | None = None,
+) -> list[ProfilingOverheadRow]:
+    """Profile every Table 1 model and report the wall time spent."""
+    model = throughput or ThroughputModel()
+    profiler = PreRunProfiler(model)
+    batches: dict[str, list[int]] = {}
+    for name, batch in TABLE1_SETTINGS:
+        batches.setdefault(name, []).append(batch)
+    rows = []
+    for name in sorted(MODEL_ZOO):
+        report = profiler.profile(name, sorted(batches[name]))
+        rows.append(
+            ProfilingOverheadRow(
+                model=name,
+                batch_sizes=tuple(sorted(batches[name])),
+                configurations_profiled=len(report.points),
+                overhead_minutes=report.total_overhead_seconds / 60.0,
+            )
+        )
+    return rows
+
+
+def fig12b_scaling_overheads(
+    executor: ElasticExecutor | None = None,
+) -> list[ScalingOverheadRow]:
+    """Scaling/migration stall seconds for the five paper cases."""
+    executor = executor or ElasticExecutor()
+    rows = []
+    for name in sorted(MODEL_ZOO):
+        profile = get_model(name)
+        seconds = {}
+        for old, new, label in SCALING_CASES:
+            if label == "migrate-8":
+                seconds[label] = executor.migration_overhead(profile, 8)
+            else:
+                seconds[label] = executor.scaling_overhead(profile, old, new)
+        rows.append(ScalingOverheadRow(model=name, seconds_by_case=seconds))
+    return rows

@@ -1,0 +1,84 @@
+"""Fig 2 — characteristics of distributed training jobs.
+
+(a) Normalised scaling curves of the six Table 1 models.
+(b) Throughput of an 8-GPU job under four placements (1, 2, 4, 8 servers)
+    for ResNet50 and BERT, normalised to the 8-server placement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.profiles.modelzoo import MODEL_ZOO
+from repro.profiles.throughput import Placement, ThroughputModel
+
+__all__ = ["ScalingSeries", "fig2a_scaling_curves", "fig2b_placement_throughput"]
+
+#: GPU counts plotted on the Fig 2a x-axis.
+FIG2A_SIZES: tuple[int, ...] = (1, 2, 4, 8, 16)
+
+#: Node spans plotted on the Fig 2b x-axis (8 GPUs each).
+FIG2B_SPANS: tuple[int, ...] = (1, 2, 4, 8)
+
+
+@dataclass(frozen=True)
+class ScalingSeries:
+    """One plotted line: a model's normalised throughput over the x-axis."""
+
+    model: str
+    global_batch: int
+    xs: tuple[int, ...]
+    speedups: tuple[float, ...]
+
+
+def fig2a_scaling_curves(
+    throughput: ThroughputModel | None = None,
+    *,
+    global_batch: int = 256,
+) -> list[ScalingSeries]:
+    """Normalised scaling curves for every Table 1 model (Fig 2a)."""
+    model = throughput or ThroughputModel()
+    series = []
+    for name in sorted(MODEL_ZOO):
+        curve = model.curve(name, global_batch)
+        series.append(
+            ScalingSeries(
+                model=name,
+                global_batch=global_batch,
+                xs=FIG2A_SIZES,
+                speedups=tuple(curve.speedup(n) for n in FIG2A_SIZES),
+            )
+        )
+    return series
+
+
+def fig2b_placement_throughput(
+    throughput: ThroughputModel | None = None,
+    *,
+    models: tuple[str, ...] = ("resnet50", "bert"),
+    global_batch: int = 256,
+    n_gpus: int = 8,
+) -> list[ScalingSeries]:
+    """Throughput of an ``n_gpus`` job spread over 1..8 servers (Fig 2b).
+
+    Values are normalised to the most scattered placement, so the paper's
+    headline ("same-server is 2.17x the eight-server placement for
+    ResNet50") reads directly off the first element.
+    """
+    model = throughput or ThroughputModel()
+    series = []
+    for name in models:
+        curve = model.curve(name, global_batch)
+        raw = [
+            curve.throughput(n_gpus, Placement(n_gpus, span)) for span in FIG2B_SPANS
+        ]
+        base = raw[-1]
+        series.append(
+            ScalingSeries(
+                model=name,
+                global_batch=global_batch,
+                xs=FIG2B_SPANS,
+                speedups=tuple(value / base for value in raw),
+            )
+        )
+    return series

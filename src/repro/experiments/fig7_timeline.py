@@ -1,0 +1,60 @@
+"""Fig 7 — scheduler behaviour over time on the testbed run.
+
+(a) GPUs allocated over time for ElasticFlow versus the non-elastic
+    baselines — ElasticFlow soaks up idle GPUs when contention is low.
+(b) Cumulative submitted and admitted job counts for ElasticFlow — under
+    the submission burst some jobs are dropped to protect admitted
+    deadlines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.experiments.fig6_endtoend import fig6_deadline_satisfaction
+from repro.experiments.harness import ExperimentConfig
+
+__all__ = ["Fig7Series", "fig7_timelines"]
+
+
+@dataclass(frozen=True)
+class Fig7Series:
+    """One policy's sampled time series."""
+
+    policy: str
+    hours: tuple[float, ...]
+    gpus_in_use: tuple[float, ...]
+    submitted: tuple[float, ...]
+    admitted: tuple[float, ...]
+
+
+def fig7_timelines(
+    *,
+    config: ExperimentConfig | None = None,
+    policies: tuple[str, ...] = ("elasticflow", "edf", "gandiva", "tiresias"),
+    resolution_s: float = 1800.0,
+    scale: str = "large",
+) -> dict[str, Fig7Series]:
+    """Regenerate the Fig 7 time series from the Fig 6 run."""
+    outcome = fig6_deadline_satisfaction(
+        scale=scale, config=config, record_timeline=True
+    )
+    series: dict[str, Fig7Series] = {}
+    for policy in policies:
+        if policy not in outcome.results:
+            raise ConfigurationError(
+                f"policy {policy!r} was not part of the fig6 {scale} run"
+            )
+        timeline = outcome.results[policy].timeline
+        times, gpus = timeline.series("gpus_in_use", resolution_s=resolution_s)
+        _, submitted = timeline.series("submitted", resolution_s=resolution_s)
+        _, admitted = timeline.series("admitted", resolution_s=resolution_s)
+        series[policy] = Fig7Series(
+            policy=policy,
+            hours=tuple(t / 3600.0 for t in times),
+            gpus_in_use=tuple(gpus),
+            submitted=tuple(submitted),
+            admitted=tuple(admitted),
+        )
+    return series

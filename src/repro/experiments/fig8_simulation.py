@@ -1,0 +1,98 @@
+"""Fig 8 — end-to-end results in simulation.
+
+(a) The 195-job workload including Pollux (the paper could not afford to
+    run Pollux on the testbed and falls back to simulation; for us both are
+    simulations, so this is the Fig 6(b) configuration plus Pollux).
+(b) The ten production-like traces plus the Philly-like trace, compared
+    across six schedulers.  Shape targets: ElasticFlow wins everywhere; the
+    deadline-unaware baselines barely move across traces; EDF beats them on
+    the lightly loaded traces (#9, #10) and collapses on the loaded ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.topology import ClusterSpec
+from repro.errors import ConfigurationError
+from repro.experiments.fig6_endtoend import LARGE_POLICIES, Fig6Result
+from repro.experiments.harness import ExperimentConfig, run_policies
+from repro.traces.philly import philly_config
+from repro.traces.synthetic import PRODUCTION_CLUSTERS, generate_trace
+from repro.traces.workload import build_jobs
+
+__all__ = ["Fig8bRow", "fig8a_with_pollux", "fig8b_trace_sweep"]
+
+
+def fig8a_with_pollux(*, config: ExperimentConfig | None = None) -> Fig6Result:
+    """Fig 8(a): the large testbed workload with Pollux included."""
+    config = config or ExperimentConfig()
+    # Fig 8a replays the 195-job Fig 6(b) workload with Pollux included.
+    from repro.experiments.harness import testbed_workload
+
+    cluster, specs = testbed_workload(
+        config, cluster_gpus=128, n_jobs=195, target_load=2.0
+    )
+    policies = list(LARGE_POLICIES) + ["pollux"]
+    results = run_policies(policies, cluster, specs, config)
+    return Fig6Result(label="fig8a", results=results)
+
+
+@dataclass
+class Fig8bRow:
+    """Per-trace deadline satisfactory ratios."""
+
+    trace: str
+    cluster_gpus: int
+    n_jobs: int
+    ratios: dict[str, float]
+
+
+def fig8b_trace_sweep(
+    *,
+    config: ExperimentConfig | None = None,
+    scale: float = 0.125,
+    policies: tuple[str, ...] = tuple(LARGE_POLICIES),
+    include_philly: bool = True,
+    trace_indices: tuple[int, ...] | None = None,
+) -> list[Fig8bRow]:
+    """Fig 8(b): sweep the ten production traces (optionally scaled down).
+
+    Args:
+        config: Shared experiment knobs.
+        scale: Proportional shrink factor applied to every trace (1.0 runs
+            the full paper-scale traces — hours of CPU; the default keeps
+            the sweep minutes-scale while preserving each trace's load).
+        policies: Schedulers to compare.
+        include_philly: Append the Philly-like public trace.
+        trace_indices: Subset of the ten traces to run (default: all).
+    """
+    config = config or ExperimentConfig()
+    if not 0 < scale <= 1.0:
+        raise ConfigurationError(f"scale must be in (0, 1], got {scale}")
+    configs = list(PRODUCTION_CLUSTERS)
+    if trace_indices is not None:
+        configs = [configs[i] for i in trace_indices]
+    if include_philly:
+        configs.append(philly_config())
+    rows: list[Fig8bRow] = []
+    for index, trace_config in enumerate(configs):
+        scaled = trace_config.scaled(scale) if scale < 1.0 else trace_config
+        trace = generate_trace(scaled, seed=config.seed + index)
+        specs = build_jobs(trace, config.throughput, seed=config.seed + index + 1)
+        cluster = ClusterSpec(
+            n_nodes=max(1, scaled.cluster_gpus // 8), gpus_per_node=8
+        )
+        results = run_policies(list(policies), cluster, specs, config)
+        rows.append(
+            Fig8bRow(
+                trace=trace_config.name,
+                cluster_gpus=scaled.cluster_gpus,
+                n_jobs=len(trace),
+                ratios={
+                    name: result.deadline_satisfactory_ratio
+                    for name, result in results.items()
+                },
+            )
+        )
+    return rows

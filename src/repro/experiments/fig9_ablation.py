@@ -1,0 +1,67 @@
+"""Fig 9 — sources of improvement in ElasticFlow.
+
+The cluster size varies while the workload stays fixed, and four schedulers
+are compared: plain EDF, EDF + Admission Control, EDF + Elastic Scaling,
+and full ElasticFlow.  Shape targets from the paper: both ingredients
+matter (either variant alone trails ElasticFlow); the EDF+ES-to-ElasticFlow
+gap narrows as the cluster grows (admission control matters most when GPUs
+are scarce).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.topology import ClusterSpec
+from repro.errors import ConfigurationError
+from repro.experiments.harness import ExperimentConfig, run_policies, testbed_workload
+
+__all__ = ["Fig9Row", "fig9_sources_of_improvement"]
+
+ABLATION_POLICIES = ("edf", "edf+ac", "edf+es", "elasticflow")
+
+
+@dataclass
+class Fig9Row:
+    """Deadline satisfactory ratios at one cluster size."""
+
+    cluster_gpus: int
+    ratios: dict[str, float]
+
+
+def fig9_sources_of_improvement(
+    *,
+    config: ExperimentConfig | None = None,
+    cluster_sizes: tuple[int, ...] = (32, 64, 128, 256),
+    n_jobs: int = 120,
+    workload_gpus: int = 64,
+    target_load: float = 1.4,
+) -> list[Fig9Row]:
+    """Sweep cluster sizes under a fixed workload (Fig 9).
+
+    The workload is generated once against ``workload_gpus`` so the offered
+    load in absolute GPU-hours is identical at every cluster size.
+    """
+    config = config or ExperimentConfig()
+    if any(size % 8 for size in cluster_sizes):
+        raise ConfigurationError("cluster sizes must be multiples of 8")
+    _, specs = testbed_workload(
+        config,
+        cluster_gpus=workload_gpus,
+        n_jobs=n_jobs,
+        target_load=target_load,
+    )
+    rows: list[Fig9Row] = []
+    for size in cluster_sizes:
+        cluster = ClusterSpec(n_nodes=size // 8, gpus_per_node=8)
+        results = run_policies(list(ABLATION_POLICIES), cluster, specs, config)
+        rows.append(
+            Fig9Row(
+                cluster_gpus=size,
+                ratios={
+                    name: result.deadline_satisfactory_ratio
+                    for name, result in results.items()
+                },
+            )
+        )
+    return rows

@@ -1,0 +1,66 @@
+"""Deadline-tightness sensitivity (an extension beyond the paper's figures).
+
+The paper fixes deadline tightness at lambda ~ U[0.5, 1.5] and never asks
+how the schedulers behave as deadlines tighten or relax uniformly.  This
+sweep pins lambda per run and reports the deadline satisfactory ratio, which
+locates two structural crossovers:
+
+- at lambda < 1 every non-elastic scheduler is capped by construction (a
+  fixed-size job cannot beat its own runtime), while elastic schedulers can
+  still win by scaling out;
+- as lambda grows past the contention point, EDF catches up with
+  ElasticFlow (with slack to spare, ordering hardly matters), which is the
+  same effect Fig 8b shows across lightly loaded traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.harness import ExperimentConfig, run_policies, testbed_workload
+from repro.traces.deadlines import DeadlineAssigner
+
+__all__ = ["LambdaSweepRow", "lambda_tightness_sweep"]
+
+SWEEP_POLICIES = ("elasticflow", "edf", "gandiva", "chronus")
+
+
+@dataclass
+class LambdaSweepRow:
+    """Deadline satisfactory ratios at one fixed tightness."""
+
+    tightness: float
+    ratios: dict[str, float]
+
+
+def lambda_tightness_sweep(
+    *,
+    config: ExperimentConfig | None = None,
+    tightness_values: tuple[float, ...] = (0.6, 0.8, 1.0, 1.5, 2.5),
+    cluster_gpus: int = 64,
+    n_jobs: int = 80,
+    target_load: float = 1.3,
+    policies: tuple[str, ...] = SWEEP_POLICIES,
+) -> list[LambdaSweepRow]:
+    """Replay the same trace with every deadline at ``lambda x duration``."""
+    config = config or ExperimentConfig()
+    rows: list[LambdaSweepRow] = []
+    for tightness in tightness_values:
+        cluster, specs = testbed_workload(
+            config,
+            cluster_gpus=cluster_gpus,
+            n_jobs=n_jobs,
+            target_load=target_load,
+            deadlines=DeadlineAssigner(tightness, tightness),
+        )
+        results = run_policies(list(policies), cluster, specs, config)
+        rows.append(
+            LambdaSweepRow(
+                tightness=tightness,
+                ratios={
+                    name: result.deadline_satisfactory_ratio
+                    for name, result in results.items()
+                },
+            )
+        )
+    return rows

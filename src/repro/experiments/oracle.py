@@ -1,0 +1,95 @@
+"""A clairvoyant admission oracle for small instances.
+
+How good is ElasticFlow's *online* admission control?  The paper never
+quantifies the gap to an offline optimum; on small instances we can.  The
+oracle sees the whole batch of jobs up front and picks the largest subset
+whose minimum satisfactory shares co-exist (Algorithm 1 feasibility over
+the subset) — an upper bound on how many deadlines any admission policy
+built on the same planner could promise.  Comparing ElasticFlow's greedy
+arrival-order decisions against it measures the price of not knowing the
+future.
+
+Exponential in the job count; intended for n <= 14.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+
+from repro.core.admission import AdmissionController, planning_job
+from repro.core.job import Job, JobSpec
+from repro.core.slots import SlotGrid
+from repro.errors import ConfigurationError
+from repro.profiles.throughput import ThroughputModel
+
+__all__ = ["OracleResult", "clairvoyant_max_admissions"]
+
+_MAX_JOBS = 14
+
+
+@dataclass(frozen=True)
+class OracleResult:
+    """The offline optimum for one instance.
+
+    Attributes:
+        max_admissions: Size of the largest feasible subset.
+        best_subset: One witness subset (job ids, sorted).
+        subsets_checked: Search effort.
+    """
+
+    max_admissions: int
+    best_subset: tuple[str, ...]
+    subsets_checked: int
+
+
+def clairvoyant_max_admissions(
+    specs: list[JobSpec],
+    cluster_gpus: int,
+    throughput: ThroughputModel,
+    *,
+    slot_seconds: float = 600.0,
+    now: float = 0.0,
+) -> OracleResult:
+    """Largest subset of jobs whose deadlines are jointly guaranteeable.
+
+    All jobs are considered available from ``now`` (the clairvoyant setting
+    collapses arrival times: the oracle may pre-reserve for late arrivals).
+
+    Raises:
+        ConfigurationError: For empty input or more than 14 jobs (the
+            search is exponential).
+    """
+    if not specs:
+        raise ConfigurationError("specs must not be empty")
+    if len(specs) > _MAX_JOBS:
+        raise ConfigurationError(
+            f"oracle search is exponential; got {len(specs)} jobs (max {_MAX_JOBS})"
+        )
+    slo = [spec for spec in specs if not spec.best_effort]
+    controller = AdmissionController(cluster_gpus)
+    checked = 0
+
+    def feasible(subset: tuple[JobSpec, ...]) -> bool:
+        nonlocal checked
+        checked += 1
+        deadlines = [spec.effective_deadline for spec in subset]
+        grid = SlotGrid.for_jobs(now, deadlines, slot_seconds)
+        infos = []
+        for spec in subset:
+            job = Job(spec=spec)
+            curve = throughput.curve(spec.model_name, spec.global_batch_size)
+            infos.append(planning_job(job, curve, grid, cluster_gpus))
+        return controller.plan_shares(infos, grid).admitted
+
+    # Feasibility is downward-closed (removing a job never hurts), so scan
+    # subset sizes from largest to smallest and stop at the first success.
+    for size in range(len(slo), 0, -1):
+        for subset in combinations(slo, size):
+            if feasible(subset):
+                return OracleResult(
+                    max_admissions=size,
+                    best_subset=tuple(sorted(spec.job_id for spec in subset)),
+                    subsets_checked=checked,
+                )
+    return OracleResult(max_admissions=0, best_subset=(), subsets_checked=checked)

@@ -1,0 +1,68 @@
+"""Plain-text report formatting for experiment outputs.
+
+The benchmark harness prints each experiment's rows in the same shape the
+paper's table/figure reports, so a run of ``pytest benchmarks/`` doubles as
+a regeneration of the evaluation section.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.errors import ConfigurationError
+
+__all__ = ["format_table", "format_series"]
+
+
+def _render(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    title: str | None = None,
+) -> str:
+    """Render rows as an aligned ASCII table."""
+    rendered = [[_render(cell) for cell in row] for row in rows]
+    for row in rendered:
+        if len(row) != len(headers):
+            raise ConfigurationError(
+                f"row has {len(row)} cells but there are {len(headers)} headers"
+            )
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in rendered)) if rendered else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    name: str, xs: Sequence[object], ys: Sequence[object], *, x_label: str = "x"
+) -> str:
+    """Render one figure series as two aligned rows."""
+    if len(xs) != len(ys):
+        raise ConfigurationError(
+            f"series {name!r}: {len(xs)} x-values vs {len(ys)} y-values"
+        )
+    x_cells = [_render(x) for x in xs]
+    y_cells = [_render(y) for y in ys]
+    widths = [max(len(a), len(b)) for a, b in zip(x_cells, y_cells)]
+    label_width = max(len(name), len(x_label))
+    header = x_label.ljust(label_width) + "  " + "  ".join(
+        c.rjust(w) for c, w in zip(x_cells, widths)
+    )
+    values = name.ljust(label_width) + "  " + "  ".join(
+        c.rjust(w) for c, w in zip(y_cells, widths)
+    )
+    return header + "\n" + values

@@ -1,0 +1,75 @@
+"""Multi-seed statistics for the experiment drivers.
+
+Single-trace results carry sampling noise from the synthetic workload; the
+paper averages across ten traces (Fig 8b).  This module provides the
+generic machinery: run any scalar-valued experiment over a list of seeds
+and summarise with mean, standard deviation, and a normal-approximation
+95 % confidence interval.
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import ConfigurationError
+
+__all__ = ["SeedSweep", "sweep_seeds"]
+
+
+@dataclass(frozen=True)
+class SeedSweep:
+    """Summary of one metric across seeds."""
+
+    values: tuple[float, ...]
+
+    @property
+    def n(self) -> int:
+        return len(self.values)
+
+    @property
+    def mean(self) -> float:
+        return statistics.fmean(self.values)
+
+    @property
+    def std(self) -> float:
+        if self.n < 2:
+            return 0.0
+        return statistics.stdev(self.values)
+
+    @property
+    def ci95_halfwidth(self) -> float:
+        """Half-width of the normal-approximation 95 % interval."""
+        if self.n < 2:
+            return 0.0
+        return 1.96 * self.std / math.sqrt(self.n)
+
+    @property
+    def ci95(self) -> tuple[float, float]:
+        half = self.ci95_halfwidth
+        return (self.mean - half, self.mean + half)
+
+    def __str__(self) -> str:
+        return f"{self.mean:.3f} +/- {self.ci95_halfwidth:.3f} (n={self.n})"
+
+
+def sweep_seeds(metric: Callable[[int], float], seeds: list[int]) -> SeedSweep:
+    """Evaluate ``metric(seed)`` for every seed and summarise.
+
+    Raises:
+        ConfigurationError: If no seeds are given or a metric value is not
+            a finite number.
+    """
+    if not seeds:
+        raise ConfigurationError("seeds must not be empty")
+    values = []
+    for seed in seeds:
+        value = float(metric(seed))
+        if not math.isfinite(value):
+            raise ConfigurationError(
+                f"metric returned a non-finite value {value} for seed {seed}"
+            )
+        values.append(value)
+    return SeedSweep(values=tuple(values))

@@ -1,0 +1,39 @@
+"""Table 1 — the DNN model pool used throughout the evaluation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.profiles.modelzoo import MODEL_ZOO, TABLE1_SETTINGS
+
+__all__ = ["Table1Row", "table1_models"]
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One line of the paper's Table 1."""
+
+    task: str
+    dataset: str
+    model: str
+    batch_sizes: tuple[int, ...]
+
+
+def table1_models() -> list[Table1Row]:
+    """The model pool, grouped exactly like the paper's Table 1."""
+    batches: dict[str, list[int]] = {}
+    for name, batch in TABLE1_SETTINGS:
+        batches.setdefault(name, []).append(batch)
+    rows = []
+    for name, profile in MODEL_ZOO.items():
+        rows.append(
+            Table1Row(
+                task=profile.task,
+                dataset=profile.dataset,
+                model=name,
+                batch_sizes=tuple(sorted(batches[name])),
+            )
+        )
+    order = {"cv": 0, "nlp": 1, "speech": 2}
+    rows.sort(key=lambda r: (order.get(r.task, 9), r.model))
+    return rows

@@ -1,0 +1,68 @@
+"""Ring all-reduce communication cost model.
+
+Data-parallel training synchronises gradients once per iteration with an
+all-reduce.  We model the standard ring algorithm: ``2 * (n - 1)`` steps,
+each moving ``gradient_bytes / n``, bottlenecked by the slowest link the
+ring crosses.  For a job whose workers span several nodes, the aggregate
+inter-node bandwidth scales with the number of NICs the job can drive
+(``min(gpus per node used, hcas per node)``), which is what makes placement
+matter (paper Fig 2b).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.profiles.interconnect import InterconnectSpec
+
+__all__ = ["ring_allreduce_seconds"]
+
+
+def ring_allreduce_seconds(
+    gradient_bytes: float,
+    n_gpus: int,
+    nodes_spanned: int,
+    interconnect: InterconnectSpec,
+) -> float:
+    """Time for one gradient all-reduce, in seconds.
+
+    Args:
+        gradient_bytes: Total gradient volume per worker.
+        n_gpus: Number of data-parallel workers.
+        nodes_spanned: How many servers the workers are spread over.
+        interconnect: Link characteristics of the cluster.
+
+    Returns:
+        All-reduce latency in seconds; ``0.0`` for a single worker.
+
+    Raises:
+        ConfigurationError: If the worker/node geometry is impossible.
+    """
+    if n_gpus < 1:
+        raise ConfigurationError(f"n_gpus must be >= 1, got {n_gpus}")
+    if nodes_spanned < 1:
+        raise ConfigurationError(f"nodes_spanned must be >= 1, got {nodes_spanned}")
+    if nodes_spanned > n_gpus:
+        raise ConfigurationError(
+            f"cannot span {nodes_spanned} nodes with only {n_gpus} GPUs"
+        )
+    if gradient_bytes < 0:
+        raise ConfigurationError(f"gradient_bytes must be >= 0, got {gradient_bytes}")
+    if n_gpus == 1:
+        return 0.0
+
+    per_node = -(-n_gpus // nodes_spanned)  # ceil: densest node decides NIC use
+    if nodes_spanned == 1:
+        if per_node > interconnect.gpus_per_node:
+            raise ConfigurationError(
+                f"{n_gpus} GPUs do not fit in one node of "
+                f"{interconnect.gpus_per_node}"
+            )
+        alpha = interconnect.intra_node.alpha_s
+        bandwidth = interconnect.intra_node.beta_bytes_per_s
+    else:
+        alpha = interconnect.inter_node.alpha_s
+        bandwidth = interconnect.inter_node_bandwidth(per_node)
+
+    steps = 2 * (n_gpus - 1)
+    volume = 2.0 * (n_gpus - 1) / n_gpus * gradient_bytes
+    return steps * alpha + volume / bandwidth

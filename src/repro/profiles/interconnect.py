@@ -1,0 +1,98 @@
+"""Interconnect specifications for the throughput model.
+
+The paper's testbed nodes are DGX-A100-like: eight A100 GPUs fully connected
+by third-generation NVLink inside a node, and eight HDR InfiniBand HCAs per
+node for inter-node traffic.  We capture each link class with an alpha--beta
+pair (per-message latency and effective *algorithm* bandwidth for NCCL-style
+ring all-reduce, which is lower than line rate).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+__all__ = ["LinkSpec", "InterconnectSpec"]
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """A single link class modelled as an alpha--beta channel.
+
+    Attributes:
+        alpha_s: Per-communication-step latency in seconds.
+        beta_bytes_per_s: Effective algorithm bandwidth in bytes/second.
+    """
+
+    alpha_s: float
+    beta_bytes_per_s: float
+
+    def __post_init__(self) -> None:
+        if self.alpha_s < 0:
+            raise ConfigurationError(f"alpha_s must be >= 0, got {self.alpha_s}")
+        if self.beta_bytes_per_s <= 0:
+            raise ConfigurationError(
+                f"beta_bytes_per_s must be > 0, got {self.beta_bytes_per_s}"
+            )
+
+    def transfer_seconds(self, nbytes: float) -> float:
+        """Time to move ``nbytes`` over this link, including one latency term."""
+        if nbytes < 0:
+            raise ConfigurationError(f"nbytes must be >= 0, got {nbytes}")
+        return self.alpha_s + nbytes / self.beta_bytes_per_s
+
+
+@dataclass(frozen=True)
+class InterconnectSpec:
+    """Cluster interconnect description used by the communication model.
+
+    The defaults are calibrated so that the two anchor measurements quoted in
+    the paper hold (see :mod:`repro.profiles.throughput` tests): an effective
+    intra-node NVLink all-reduce bandwidth of 200 GB/s and an effective
+    9 GB/s per InfiniBand HCA, with one HCA per GPU (eight per node).
+
+    Attributes:
+        gpus_per_node: Number of GPUs in one server.
+        hcas_per_node: Number of inter-node NICs in one server.  Inter-node
+            ring bandwidth scales with ``min(gpus used per node, hcas)``.
+        intra_node: Link class used when a job fits in one server.
+        inter_node: Link class of a *single* HCA; aggregated bandwidth is
+            derived from the number of usable HCAs.
+    """
+
+    gpus_per_node: int = 8
+    hcas_per_node: int = 8
+    intra_node: LinkSpec = field(
+        default_factory=lambda: LinkSpec(alpha_s=8e-6, beta_bytes_per_s=200e9)
+    )
+    inter_node: LinkSpec = field(
+        default_factory=lambda: LinkSpec(alpha_s=80e-6, beta_bytes_per_s=9e9)
+    )
+
+    def __post_init__(self) -> None:
+        if self.gpus_per_node < 1:
+            raise ConfigurationError(
+                f"gpus_per_node must be >= 1, got {self.gpus_per_node}"
+            )
+        if self.hcas_per_node < 1:
+            raise ConfigurationError(
+                f"hcas_per_node must be >= 1, got {self.hcas_per_node}"
+            )
+
+    def inter_node_bandwidth(self, gpus_per_node_used: int) -> float:
+        """Aggregated inter-node algorithm bandwidth in bytes/second.
+
+        NCCL builds one ring per usable HCA, so a job using ``k`` GPUs per
+        node drives ``min(k, hcas_per_node)`` HCAs in parallel.
+        """
+        if gpus_per_node_used < 1:
+            raise ConfigurationError(
+                f"gpus_per_node_used must be >= 1, got {gpus_per_node_used}"
+            )
+        usable = min(gpus_per_node_used, self.hcas_per_node)
+        return self.inter_node.beta_bytes_per_s * usable
+
+
+# Default interconnect matching the paper's testbed (Section 6.1).
+DGX_A100_INTERCONNECT = InterconnectSpec()

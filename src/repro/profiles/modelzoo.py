@@ -1,0 +1,191 @@
+"""The DNN model zoo used throughout the evaluation (paper Table 1).
+
+Each :class:`ModelProfile` carries just enough information to drive the
+analytic throughput model: gradient volume (what the all-reduce moves every
+iteration), a linear per-sample compute cost, and the largest per-GPU batch
+that fits in 40 GB of A100 memory (larger local batches fall back to
+gradient accumulation).
+
+Compute coefficients are calibrated to plausible A100 speeds; the paper's
+algorithms only depend on the *shape* of the resulting scaling curves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError, UnknownModelError
+
+__all__ = [
+    "ModelProfile",
+    "MODEL_ZOO",
+    "TABLE1_SETTINGS",
+    "get_model",
+    "list_models",
+]
+
+
+@dataclass(frozen=True)
+class ModelProfile:
+    """Static description of one trainable DNN.
+
+    Attributes:
+        name: Canonical model name (zoo key).
+        task: Workload family from Table 1 (``cv``, ``nlp``, or ``speech``).
+        dataset: Dataset named in Table 1 (informational).
+        parameters_m: Number of trainable parameters, in millions.
+        compute_base_ms: Fixed per-iteration cost per GPU (kernel launches,
+            optimizer step, data loading) in milliseconds.
+        compute_per_sample_ms: Marginal cost of one training sample in
+            milliseconds on a single A100.
+        max_local_batch: Largest per-GPU batch that fits in GPU memory.
+        accumulation_overhead_ms: Extra cost per additional gradient
+            accumulation micro-batch, in milliseconds.
+        checkpoint_mb_per_s: Effective checkpoint/restore serialisation
+            bandwidth for this model (drives scaling overheads, Fig 12b).
+    """
+
+    name: str
+    task: str
+    dataset: str
+    parameters_m: float
+    compute_base_ms: float
+    compute_per_sample_ms: float
+    max_local_batch: int
+    accumulation_overhead_ms: float = 1.0
+    checkpoint_mb_per_s: float = 2000.0
+
+    def __post_init__(self) -> None:
+        if self.parameters_m <= 0:
+            raise ConfigurationError(f"parameters_m must be > 0: {self}")
+        if self.compute_base_ms < 0 or self.compute_per_sample_ms <= 0:
+            raise ConfigurationError(f"compute coefficients invalid: {self}")
+        if self.max_local_batch < 1:
+            raise ConfigurationError(f"max_local_batch must be >= 1: {self}")
+
+    @property
+    def gradient_bytes(self) -> float:
+        """Bytes moved by one all-reduce (fp32 gradients)."""
+        return self.parameters_m * 1e6 * 4.0
+
+    @property
+    def checkpoint_bytes(self) -> float:
+        """Bytes serialised by a checkpoint (weights + optimizer moments)."""
+        return 3.0 * self.gradient_bytes
+
+    def compute_seconds(self, local_batch: int) -> float:
+        """Single-GPU forward+backward time for one iteration.
+
+        Local batches above ``max_local_batch`` are executed with gradient
+        accumulation, which adds a small per-micro-batch overhead but keeps
+        any job runnable on a single GPU.
+        """
+        if local_batch < 1:
+            raise ConfigurationError(f"local_batch must be >= 1, got {local_batch}")
+        micro_batches = -(-local_batch // self.max_local_batch)  # ceil division
+        accumulation = (micro_batches - 1) * self.accumulation_overhead_ms
+        millis = (
+            self.compute_base_ms
+            + self.compute_per_sample_ms * local_batch
+            + accumulation
+        )
+        return millis / 1e3
+
+
+def _zoo(*profiles: ModelProfile) -> dict[str, ModelProfile]:
+    return {profile.name: profile for profile in profiles}
+
+
+#: All models from Table 1 of the paper.
+MODEL_ZOO: dict[str, ModelProfile] = _zoo(
+    ModelProfile(
+        name="resnet50",
+        task="cv",
+        dataset="imagenet",
+        parameters_m=25.6,
+        compute_base_ms=4.0,
+        compute_per_sample_ms=0.375,
+        max_local_batch=256,
+    ),
+    ModelProfile(
+        name="vgg16",
+        task="cv",
+        dataset="imagenet",
+        parameters_m=138.4,
+        compute_base_ms=5.0,
+        compute_per_sample_ms=0.90,
+        max_local_batch=128,
+    ),
+    ModelProfile(
+        name="inceptionv3",
+        task="cv",
+        dataset="imagenet",
+        parameters_m=23.8,
+        compute_base_ms=6.0,
+        compute_per_sample_ms=0.55,
+        max_local_batch=192,
+    ),
+    ModelProfile(
+        name="bert",
+        task="nlp",
+        dataset="cola",
+        parameters_m=110.0,
+        compute_base_ms=8.0,
+        compute_per_sample_ms=1.40,
+        max_local_batch=64,
+    ),
+    ModelProfile(
+        name="gpt2",
+        task="nlp",
+        dataset="aclimdb",
+        parameters_m=124.0,
+        compute_base_ms=10.0,
+        compute_per_sample_ms=1.80,
+        max_local_batch=32,
+    ),
+    ModelProfile(
+        name="deepspeech2",
+        task="speech",
+        dataset="librispeech",
+        parameters_m=87.0,
+        compute_base_ms=12.0,
+        compute_per_sample_ms=3.20,
+        max_local_batch=32,
+    ),
+)
+
+#: The (model, global batch size) pool jobs are drawn from (paper Table 1).
+TABLE1_SETTINGS: tuple[tuple[str, int], ...] = (
+    ("resnet50", 64),
+    ("resnet50", 128),
+    ("resnet50", 256),
+    ("vgg16", 64),
+    ("vgg16", 128),
+    ("vgg16", 256),
+    ("inceptionv3", 64),
+    ("inceptionv3", 128),
+    ("bert", 64),
+    ("bert", 128),
+    ("gpt2", 128),
+    ("gpt2", 256),
+    ("deepspeech2", 32),
+    ("deepspeech2", 64),
+)
+
+
+def get_model(name: str) -> ModelProfile:
+    """Look up a model profile by name.
+
+    Raises:
+        UnknownModelError: If ``name`` is not in the zoo.
+    """
+    try:
+        return MODEL_ZOO[name]
+    except KeyError:
+        known = ", ".join(sorted(MODEL_ZOO))
+        raise UnknownModelError(f"unknown model {name!r}; known models: {known}") from None
+
+
+def list_models() -> list[str]:
+    """Names of every model in the zoo, sorted."""
+    return sorted(MODEL_ZOO)

@@ -1,0 +1,160 @@
+"""Online throughput profiling (paper Section 5, "Throughput profiling").
+
+Pre-run profiles can be stale or systematically biased (different data
+pipeline, thermal throttling, a newer driver).  The paper's answer:
+"ElasticFlow profiles its throughput during job execution, and constantly
+adjusts the profiled throughput and the scheduling decisions accordingly."
+
+:class:`OnlineThroughputModel` implements that loop for the planner.  It
+wraps a prior :class:`~repro.profiles.throughput.ThroughputModel` and
+maintains an EWMA multiplicative correction per (model, batch, size) from
+runtime observations; planning curves apply the per-size correction where
+one exists and the configuration's average correction elsewhere (bias is
+typically systematic, so one observed size informs the others).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.profiles.throughput import Placement, ScalingCurve, ThroughputModel
+
+__all__ = ["OnlineThroughputModel", "ScaledThroughputModel"]
+
+
+@dataclass
+class _Correction:
+    """EWMA of observed/predicted throughput for one configuration size."""
+
+    factor: float = 1.0
+    observations: int = 0
+
+    def update(self, ratio: float, alpha: float) -> None:
+        if self.observations == 0:
+            self.factor = ratio
+        else:
+            self.factor += alpha * (ratio - self.factor)
+        self.observations += 1
+
+
+class _CorrectedCurve(ScalingCurve):
+    """A scaling curve with live multiplicative corrections applied."""
+
+    def __init__(self, base: ScalingCurve, corrections: dict[int, _Correction]):
+        super().__init__(
+            base.model,
+            base.global_batch,
+            base.interconnect,
+            power_of_two=base.power_of_two,
+        )
+        self._base = base
+        self._live = corrections  # shared, mutated by the owning model
+
+    def _factor_for(self, size: int) -> float:
+        correction = self._live.get(size)
+        if correction is not None and correction.observations > 0:
+            return correction.factor
+        observed = [c for c in self._live.values() if c.observations > 0]
+        if observed:
+            return sum(c.factor for c in observed) / len(observed)
+        return 1.0
+
+    def throughput(self, n_gpus: int, placement: Placement | None = None) -> float:
+        # Delegate to the (possibly already biased) base curve so that
+        # corrections compose: correction x prior, never raw physics.
+        return self._base.throughput(n_gpus, placement) * self._factor_for(n_gpus)
+
+
+class OnlineThroughputModel:
+    """A planning model that learns corrections from runtime observations.
+
+    Plug it into :class:`~repro.core.scheduler.ElasticFlowPolicy` as
+    ``planning_throughput`` and feed it the engine's ``observation_hook``;
+    execution still follows the ground-truth model, and planning converges
+    toward it.
+
+    Args:
+        prior: The (possibly biased) pre-run profile.
+        alpha: EWMA weight for new observations.
+    """
+
+    def __init__(self, prior: ThroughputModel, *, alpha: float = 0.3) -> None:
+        if not 0 < alpha <= 1:
+            raise ConfigurationError(f"alpha must be in (0, 1], got {alpha}")
+        self.prior = prior
+        self.alpha = alpha
+        self._corrections: dict[tuple[str, int], dict[int, _Correction]] = {}
+        self.observations = 0
+
+    def _corrections_for(self, model_name: str, batch: int) -> dict[int, _Correction]:
+        return self._corrections.setdefault((model_name, batch), {})
+
+    def curve(self, model_name: str, global_batch: int) -> ScalingCurve:
+        """A live-corrected planning curve (never cached — it learns)."""
+        base = self.prior.curve(model_name, global_batch)
+        return _CorrectedCurve(base, self._corrections_for(model_name, global_batch))
+
+    def observe(
+        self,
+        model_name: str,
+        global_batch: int,
+        n_gpus: int,
+        observed_rate: float,
+    ) -> None:
+        """Fold one runtime throughput measurement into the corrections.
+
+        Args:
+            model_name: Job's model.
+            global_batch: Job's global batch size.
+            n_gpus: Worker count the rate was measured at.
+            observed_rate: Measured iterations/second.
+
+        Raises:
+            ConfigurationError: On non-positive inputs.
+        """
+        if n_gpus < 1:
+            raise ConfigurationError(f"n_gpus must be >= 1, got {n_gpus}")
+        if observed_rate <= 0:
+            raise ConfigurationError(
+                f"observed_rate must be > 0, got {observed_rate}"
+            )
+        base = self.prior.curve(model_name, global_batch)
+        size = base.best_size(n_gpus)
+        predicted = base.throughput(size)
+        corrections = self._corrections_for(model_name, global_batch)
+        corrections.setdefault(size, _Correction()).update(
+            observed_rate / predicted, self.alpha
+        )
+        self.observations += 1
+
+    def correction_factor(self, model_name: str, global_batch: int, size: int) -> float:
+        """Current correction at one size (1.0 before any observation)."""
+        correction = self._corrections_for(model_name, global_batch).get(size)
+        if correction is None or correction.observations == 0:
+            return 1.0
+        return correction.factor
+
+
+class ScaledThroughputModel:
+    """A uniformly biased profile — for studying stale/optimistic priors.
+
+    ``factor > 1`` overestimates throughput (the dangerous direction: the
+    planner promises deadlines the hardware cannot keep).
+    """
+
+    def __init__(self, base: ThroughputModel, factor: float) -> None:
+        if factor <= 0:
+            raise ConfigurationError(f"factor must be > 0, got {factor}")
+        self.base = base
+        self.factor = factor
+        self._bias: dict[tuple[str, int], dict[int, _Correction]] = {}
+
+    def curve(self, model_name: str, global_batch: int) -> ScalingCurve:
+        key = (model_name, global_batch)
+        if key not in self._bias:
+            fixed = _Correction()
+            fixed.update(self.factor, alpha=1.0)
+            # One shared pseudo-observation biases every size uniformly.
+            self._bias[key] = {0: fixed}
+        return _CorrectedCurve(self.base.curve(model_name, global_batch), self._bias[key])

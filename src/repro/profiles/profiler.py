@@ -1,0 +1,118 @@
+"""Pre-run throughput profiling simulation (paper Section 5 and Fig 12a).
+
+Before scheduling a previously unseen model, ElasticFlow profiles its
+throughput at every candidate GPU count and batch size.  Profiling runs a
+handful of warm-up and measurement iterations per configuration and stops
+growing the GPU count as soon as throughput no longer improves.  This module
+reproduces that procedure against the analytic throughput model so that the
+profiling *overhead* (the metric Fig 12a reports) can be measured.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.profiles.throughput import ThroughputModel
+
+__all__ = ["ProfilePoint", "ProfilingReport", "PreRunProfiler"]
+
+
+@dataclass(frozen=True)
+class ProfilePoint:
+    """One measured configuration during pre-run profiling."""
+
+    n_gpus: int
+    global_batch: int
+    iterations_per_second: float
+    seconds_spent: float
+
+
+@dataclass
+class ProfilingReport:
+    """Outcome of profiling one model over a set of batch sizes."""
+
+    model_name: str
+    points: list[ProfilePoint] = field(default_factory=list)
+
+    @property
+    def total_overhead_seconds(self) -> float:
+        """Total wall time spent profiling (the Fig 12a metric)."""
+        return sum(point.seconds_spent for point in self.points)
+
+    def best_size(self, global_batch: int) -> int:
+        """Most efficient GPU count discovered for one batch size."""
+        candidates = [p for p in self.points if p.global_batch == global_batch]
+        if not candidates:
+            raise ConfigurationError(
+                f"batch size {global_batch} was not profiled for {self.model_name}"
+            )
+        return max(candidates, key=lambda p: p.iterations_per_second).n_gpus
+
+
+class PreRunProfiler:
+    """Simulates ElasticFlow's pre-run profiling pass for a new model.
+
+    Args:
+        throughput_model: Source of ground-truth iteration times.
+        warmup_iterations: Iterations discarded before measuring.
+        measure_iterations: Iterations timed per configuration.
+        setup_seconds: Fixed per-configuration cost (process launch, CUDA
+            context creation, NCCL group setup).
+        max_gpus: Upper bound on the profiled GPU count.
+    """
+
+    def __init__(
+        self,
+        throughput_model: ThroughputModel,
+        *,
+        warmup_iterations: int = 5,
+        measure_iterations: int = 20,
+        setup_seconds: float = 15.0,
+        max_gpus: int = 128,
+    ) -> None:
+        if warmup_iterations < 0 or measure_iterations < 1:
+            raise ConfigurationError(
+                "warmup_iterations must be >= 0 and measure_iterations >= 1"
+            )
+        if setup_seconds < 0:
+            raise ConfigurationError(f"setup_seconds must be >= 0, got {setup_seconds}")
+        if max_gpus < 1:
+            raise ConfigurationError(f"max_gpus must be >= 1, got {max_gpus}")
+        self._model = throughput_model
+        self._warmup = warmup_iterations
+        self._measure = measure_iterations
+        self._setup = setup_seconds
+        self._max_gpus = max_gpus
+
+    def profile(self, model_name: str, global_batches: list[int]) -> ProfilingReport:
+        """Profile one model at each global batch size.
+
+        For each batch size the profiler doubles the GPU count starting from
+        one and stops as soon as adding GPUs fails to improve throughput
+        (the early-exit rule described in Section 6.6).
+        """
+        if not global_batches:
+            raise ConfigurationError("global_batches must not be empty")
+        report = ProfilingReport(model_name=model_name)
+        for batch in global_batches:
+            curve = self._model.curve(model_name, batch)
+            previous_thr = 0.0
+            n_gpus = 1
+            while n_gpus <= self._max_gpus:
+                thr = curve.throughput(n_gpus)
+                iterations = self._warmup + self._measure
+                seconds = self._setup + iterations * curve.iteration_seconds(n_gpus)
+                report.points.append(
+                    ProfilePoint(
+                        n_gpus=n_gpus,
+                        global_batch=batch,
+                        iterations_per_second=thr,
+                        seconds_spent=seconds,
+                    )
+                )
+                if thr <= previous_thr:
+                    break
+                previous_thr = thr
+                n_gpus *= 2
+        return report

@@ -1,0 +1,215 @@
+"""Placement-aware throughput model and scaling curves.
+
+A :class:`ScalingCurve` is the object the scheduler algorithms actually
+consume: for one (model, global batch size) pair it maps a GPU count to an
+iterations/second throughput, assuming the *compact* placement that buddy
+allocation guarantees (paper Section 4.3).  Curves exhibit the concave,
+diminishing-returns shape the paper's design is built around (Fig 2a).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.profiles.comm import ring_allreduce_seconds
+from repro.profiles.interconnect import DGX_A100_INTERCONNECT, InterconnectSpec
+from repro.profiles.modelzoo import ModelProfile, get_model
+
+__all__ = [
+    "Placement",
+    "compact_placement",
+    "ScalingCurve",
+    "ThroughputModel",
+]
+
+
+@dataclass(frozen=True)
+class Placement:
+    """Geometry of a worker set: how many GPUs over how many nodes."""
+
+    n_gpus: int
+    nodes_spanned: int
+
+    def __post_init__(self) -> None:
+        if self.n_gpus < 1:
+            raise ConfigurationError(f"n_gpus must be >= 1, got {self.n_gpus}")
+        if not 1 <= self.nodes_spanned <= self.n_gpus:
+            raise ConfigurationError(
+                f"nodes_spanned must be in [1, {self.n_gpus}], "
+                f"got {self.nodes_spanned}"
+            )
+
+
+def compact_placement(n_gpus: int, gpus_per_node: int) -> Placement:
+    """The densest possible placement: fill whole nodes first.
+
+    This is the placement buddy allocation always achieves for power-of-two
+    block sizes, which is why the scheduler can plan against a single scaling
+    curve per job.
+    """
+    if gpus_per_node < 1:
+        raise ConfigurationError(f"gpus_per_node must be >= 1, got {gpus_per_node}")
+    nodes = max(1, -(-n_gpus // gpus_per_node))
+    return Placement(n_gpus=n_gpus, nodes_spanned=nodes)
+
+
+class ScalingCurve:
+    """Throughput of one job configuration as a function of GPU count.
+
+    The curve is evaluated lazily and cached; ``throughput(n)`` is the raw
+    model output while ``effective_throughput(n)`` is what a rational job
+    achieves when *given* ``n`` GPUs (it may leave some idle and run at the
+    best feasible size ``<= n``), which makes the effective curve monotone
+    non-decreasing — the property the planning algorithms rely on.
+    """
+
+    def __init__(
+        self,
+        model: ModelProfile,
+        global_batch: int,
+        interconnect: InterconnectSpec,
+        *,
+        power_of_two: bool = True,
+    ) -> None:
+        if global_batch < 1:
+            raise ConfigurationError(f"global_batch must be >= 1, got {global_batch}")
+        self.model = model
+        self.global_batch = global_batch
+        self.interconnect = interconnect
+        self.power_of_two = power_of_two
+        self._raw: dict[int, float] = {}
+
+    # ------------------------------------------------------------------ raw
+    def iteration_seconds(self, n_gpus: int, placement: Placement | None = None) -> float:
+        """Wall time of one training iteration on ``n_gpus`` workers."""
+        if placement is None:
+            placement = compact_placement(n_gpus, self.interconnect.gpus_per_node)
+        elif placement.n_gpus != n_gpus:
+            raise ConfigurationError(
+                f"placement is for {placement.n_gpus} GPUs, asked about {n_gpus}"
+            )
+        local_batch = max(1, -(-self.global_batch // n_gpus))
+        compute = self.model.compute_seconds(local_batch)
+        comm = ring_allreduce_seconds(
+            self.model.gradient_bytes,
+            n_gpus,
+            placement.nodes_spanned,
+            self.interconnect,
+        )
+        return compute + comm
+
+    def throughput(self, n_gpus: int, placement: Placement | None = None) -> float:
+        """Raw throughput in iterations/second at exactly ``n_gpus`` workers."""
+        if placement is not None:
+            return 1.0 / self.iteration_seconds(n_gpus, placement)
+        if n_gpus not in self._raw:
+            self._raw[n_gpus] = 1.0 / self.iteration_seconds(n_gpus)
+        return self._raw[n_gpus]
+
+    def samples_per_second(self, n_gpus: int, placement: Placement | None = None) -> float:
+        """Raw throughput in training samples/second."""
+        return self.global_batch * self.throughput(n_gpus, placement)
+
+    def speedup(self, n_gpus: int) -> float:
+        """Raw throughput relative to a single GPU (compact placement)."""
+        return self.throughput(n_gpus) / self.throughput(1)
+
+    def efficiency(self, n_gpus: int) -> float:
+        """Fraction of linear scaling achieved at ``n_gpus``."""
+        return self.speedup(n_gpus) / n_gpus
+
+    # ------------------------------------------------------------ effective
+    def allowed_sizes(self, max_gpus: int) -> list[int]:
+        """Worker counts a job may run at, up to ``max_gpus``."""
+        if max_gpus < 1:
+            raise ConfigurationError(f"max_gpus must be >= 1, got {max_gpus}")
+        if self.power_of_two:
+            sizes = []
+            size = 1
+            while size <= max_gpus:
+                sizes.append(size)
+                size *= 2
+            return sizes
+        return list(range(1, max_gpus + 1))
+
+    def best_size(self, available_gpus: int) -> int:
+        """The worker count a job actually uses when given ``available_gpus``.
+
+        Returns 0 when no GPU is available.
+        """
+        if available_gpus <= 0:
+            return 0
+        best, best_thr = 1, self.throughput(1)
+        for size in self.allowed_sizes(available_gpus):
+            thr = self.throughput(size)
+            if thr > best_thr:
+                best, best_thr = size, thr
+        return best
+
+    def effective_throughput(self, available_gpus: int) -> float:
+        """Iterations/second when given ``available_gpus`` (monotone)."""
+        size = self.best_size(available_gpus)
+        return self.throughput(size) if size else 0.0
+
+    def max_useful_gpus(self, cap: int = 1 << 16) -> int:
+        """Smallest worker count achieving peak throughput (paper's EDF cap).
+
+        Scanning stops as soon as growing the job stops helping, mirroring
+        the pre-run profiler's early exit (Section 6.6).
+        """
+        best, best_thr = 1, self.throughput(1)
+        for size in self.allowed_sizes(cap):
+            if size == 1:
+                continue
+            thr = self.throughput(size)
+            if thr > best_thr:
+                best, best_thr = size, thr
+            elif size > 2 * best:
+                break
+        return best
+
+    def table(self, max_gpus: int) -> np.ndarray:
+        """Effective throughput lookup table ``T[0..max_gpus]``.
+
+        ``T[x]`` is the iterations/second the job achieves when handed ``x``
+        GPUs; ``T[0] == 0``.  The table is monotone non-decreasing, which the
+        progressive-filling planner relies on.
+        """
+        values = np.zeros(max_gpus + 1, dtype=np.float64)
+        best = 0.0
+        allowed = set(self.allowed_sizes(max_gpus))
+        for x in range(1, max_gpus + 1):
+            if x in allowed:
+                best = max(best, self.throughput(x))
+            values[x] = best
+        return values
+
+
+class ThroughputModel:
+    """Factory for scaling curves over one cluster interconnect."""
+
+    def __init__(
+        self,
+        interconnect: InterconnectSpec = DGX_A100_INTERCONNECT,
+        *,
+        power_of_two: bool = True,
+    ) -> None:
+        self.interconnect = interconnect
+        self.power_of_two = power_of_two
+        self._curve_cached = lru_cache(maxsize=None)(self._build_curve)
+
+    def _build_curve(self, model_name: str, global_batch: int) -> ScalingCurve:
+        return ScalingCurve(
+            get_model(model_name),
+            global_batch,
+            self.interconnect,
+            power_of_two=self.power_of_two,
+        )
+
+    def curve(self, model_name: str, global_batch: int) -> ScalingCurve:
+        """Scaling curve for one (model, global batch) configuration."""
+        return self._curve_cached(model_name, global_batch)

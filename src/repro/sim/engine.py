@@ -1,0 +1,452 @@
+"""The discrete-event simulation engine.
+
+The engine owns all runtime state: job progress, placement, scaling
+overheads, and the event queue.  Policies are consulted at every scheduling
+event — job arrival, job completion, and a periodic re-plan tick of one
+planning slot — and return only a GPU count per active job; the engine
+translates those counts into buddy-allocated placements, charges executor
+overheads to every job whose worker set changed, and advances training
+progress exactly between events.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+
+from repro.cluster.placement import PlacementManager
+from repro.cluster.topology import ClusterSpec
+from repro.core.job import Job, JobSpec, JobStatus
+from repro.errors import PlacementError, SchedulingError, SimulationError
+from repro.profiles.throughput import Placement, ThroughputModel
+from repro.sim.events import Event, EventKind
+from repro.sim.executor import ElasticExecutor
+from repro.sim.failures import FailureSchedule
+from repro.sim.interface import PolicyContext, SchedulerPolicy
+from repro.sim.metrics import JobOutcome, SimulationResult
+from repro.sim.recorder import Timeline, TimelineSample
+
+__all__ = ["Simulator"]
+
+_COMPLETION_EPS = 1e-3  # iterations of slack when declaring completion
+
+
+class Simulator:
+    """Replays a workload against one scheduler policy.
+
+    Args:
+        cluster: Cluster shape (nodes x GPUs per node).
+        policy: The scheduler under test; bound to this cluster.
+        specs: Jobs to submit, any order; arrivals fire at their
+            ``submit_time``.
+        throughput: Throughput model shared by the policy and the engine
+            (the paper's profiled curves).  A default model is built when
+            omitted.
+        slot_seconds: Planning-slot width and periodic re-plan interval.
+        executor: Overhead model for elastic scaling; defaults to the
+            calibrated PyTorch checkpoint/restore model.
+        record_timeline: Keep per-event cluster samples (Figs 7 and 10).
+        max_events: Safety valve against pathological policies.
+        failures: Optional node-outage schedule to replay (Section 4.4's
+            "node failures" extension).  A failing node evicts its jobs;
+            the policy sees the reduced ``usable_gpus`` until repair.
+        observation_hook: Optional callback ``(job, n_gpus, rate)`` invoked
+            whenever a running job's progress is advanced — the Section 5
+            during-execution throughput-profiling feed (see
+            :class:`repro.profiles.online.OnlineThroughputModel`).
+    """
+
+    def __init__(
+        self,
+        cluster: ClusterSpec,
+        policy: SchedulerPolicy,
+        specs: list[JobSpec],
+        *,
+        throughput: ThroughputModel | None = None,
+        slot_seconds: float = 300.0,
+        executor: ElasticExecutor | None = None,
+        record_timeline: bool = True,
+        max_events: int = 2_000_000,
+        failures: FailureSchedule | None = None,
+        observation_hook=None,
+    ) -> None:
+        if max_events < 1:
+            raise SimulationError(f"max_events must be >= 1, got {max_events}")
+        ids = [spec.job_id for spec in specs]
+        if len(ids) != len(set(ids)):
+            raise SimulationError("job ids must be unique")
+        self.cluster = cluster
+        self.policy = policy
+        self.throughput = throughput or ThroughputModel()
+        self.slot_seconds = slot_seconds
+        self.executor = executor or ElasticExecutor()
+        self.max_events = max_events
+        self.failures = failures or FailureSchedule.none()
+        self.observation_hook = observation_hook
+        self.context = PolicyContext(
+            cluster=cluster, throughput=self.throughput, slot_seconds=slot_seconds
+        )
+        policy.bind(self.context)
+
+        self.jobs: dict[str, Job] = {}
+        self._specs = sorted(specs, key=lambda s: (s.submit_time, s.job_id))
+        self._spec_by_id = {spec.job_id: spec for spec in self._specs}
+        self._placement = PlacementManager(cluster)
+        self._heap: list[Event] = []
+        self._seq = itertools.count()
+        self._alloc_version = 0
+        self._now = 0.0
+        self._last_advance = 0.0
+        self._events_processed = 0
+        self._submitted = 0
+        self._admitted = 0
+        self.timeline = Timeline() if record_timeline else None
+        for spec in self._specs:
+            self._push(Event(spec.submit_time, EventKind.ARRIVAL, next(self._seq), spec.job_id))
+        for window in self.failures.windows:
+            if window.node_index >= cluster.n_nodes:
+                raise SimulationError(
+                    f"failure schedule names node {window.node_index} on a "
+                    f"{cluster.n_nodes}-node cluster"
+                )
+            self._push(
+                Event(window.start, EventKind.NODE_FAILURE, next(self._seq),
+                      str(window.node_index))
+            )
+            self._push(
+                Event(window.end, EventKind.NODE_REPAIR, next(self._seq),
+                      str(window.node_index))
+            )
+
+    # ----------------------------------------------------------------- API
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    def submit(self, spec: JobSpec) -> None:
+        """Register a job while the simulation is (partially) running.
+
+        Supports the interactive serverless front end: jobs may be
+        submitted between :meth:`run_until` calls as long as their
+        ``submit_time`` has not already passed.
+
+        Raises:
+            SimulationError: On a duplicate id or a submission in the past.
+        """
+        if spec.job_id in self._spec_by_id:
+            raise SimulationError(f"job id {spec.job_id!r} already submitted")
+        if spec.submit_time < self._now:
+            raise SimulationError(
+                f"cannot submit {spec.job_id!r} at {spec.submit_time} "
+                f"(simulation time is already {self._now})"
+            )
+        self._spec_by_id[spec.job_id] = spec
+        self._specs.append(spec)
+        self._push(
+            Event(spec.submit_time, EventKind.ARRIVAL, next(self._seq), spec.job_id)
+        )
+
+    def run(self) -> SimulationResult:
+        """Process every event and return the collected metrics."""
+        self._drain(until=None)
+        self._check_no_starvation()
+        return self.result()
+
+    def run_until(self, time: float) -> None:
+        """Process events up to (and including) ``time``, then stop there.
+
+        Active jobs keep their allocations; the caller may submit more jobs
+        and continue with further ``run_until``/``run`` calls.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot run to {time}: simulation time is already {self._now}"
+            )
+        self._drain(until=time)
+        self._advance_to(time)
+
+    def result(self) -> SimulationResult:
+        """Metrics for everything processed so far."""
+        return SimulationResult(
+            policy_name=self.policy.name,
+            outcomes=[JobOutcome.from_job(job) for job in self.jobs.values()],
+            timeline=self.timeline,
+            total_gpus=self.cluster.total_gpus,
+            events_processed=self._events_processed,
+        )
+
+    def _drain(self, *, until: float | None) -> None:
+        while self._heap:
+            if until is not None and self._heap[0].time > until:
+                break
+            event = heapq.heappop(self._heap)
+            self._events_processed += 1
+            if self._events_processed > self.max_events:
+                raise SimulationError(
+                    f"exceeded {self.max_events} events; the policy is likely "
+                    f"starving a job"
+                )
+            self._advance_to(event.time)
+            if event.kind is EventKind.ARRIVAL:
+                self._handle_arrival(event)
+            elif event.kind is EventKind.COMPLETION:
+                self._handle_completion(event)
+            elif event.kind is EventKind.NODE_FAILURE:
+                self._handle_node_failure(event)
+            elif event.kind is EventKind.NODE_REPAIR:
+                self._handle_node_repair(event)
+            else:
+                self._handle_replan(event)
+
+    # -------------------------------------------------------------- events
+    def _push(self, event: Event) -> None:
+        heapq.heappush(self._heap, event)
+
+    def _handle_arrival(self, event: Event) -> None:
+        spec = self._spec_by_id[event.job_id]
+        job = Job(spec=spec)
+        self.jobs[spec.job_id] = job
+        self._submitted += 1
+        keep = self.policy.admit(job, self._active_jobs(), self._now)
+        if keep:
+            job.mark_admitted(self._now)
+            self._admitted += 1
+            self._reallocate()
+        else:
+            job.mark_dropped(self._now)
+            self._record_sample()
+
+    def _handle_completion(self, event: Event) -> None:
+        if event.version != self._alloc_version:
+            return  # allocation changed since this completion was projected
+        job = self.jobs.get(event.job_id)
+        if job is None or not job.is_active:
+            return
+        if job.remaining_iterations > _COMPLETION_EPS:
+            raise SimulationError(
+                f"completion event fired early for {job.job_id}: "
+                f"{job.remaining_iterations} iterations remain"
+            )
+        job.iterations_done = float(job.spec.max_iterations)
+        if self._placement.is_placed(job.job_id):
+            self._placement.release(job.job_id)
+        job.mark_completed(self._now)
+        self._reallocate()
+
+    def _handle_node_failure(self, event: Event) -> None:
+        node_index = int(event.job_id)
+        evicted = self._placement.fail_node(node_index)
+        for job_id in evicted:
+            job = self.jobs.get(job_id)
+            if job is None or not job.is_active:
+                continue
+            # Unplanned failure: progress since the last checkpoint is lost
+            # (planned scaling events checkpoint first; crashes do not).
+            job.iterations_done = min(
+                job.iterations_done, job.checkpointed_iterations
+            )
+            job.n_gpus = 0
+            job.status = JobStatus.ADMITTED
+            job.scale_events += 1
+        self.context.usable_gpus -= self.cluster.gpus_per_node
+        self._reallocate()
+
+    def _handle_node_repair(self, event: Event) -> None:
+        node_index = int(event.job_id)
+        self._placement.repair_node(node_index)
+        self.context.usable_gpus += self.cluster.gpus_per_node
+        if self._active_jobs():
+            self._reallocate()
+
+    def _handle_replan(self, event: Event) -> None:
+        if event.version != self._alloc_version:
+            return  # superseded by a more recent reallocation
+        if self._active_jobs():
+            self._reallocate()
+
+    # ------------------------------------------------------------ progress
+    def _advance_to(self, time: float) -> None:
+        if time < self._now - 1e-9:
+            raise SimulationError(
+                f"time went backwards: {time} < {self._now}"
+            )
+        window = time - self._last_advance
+        if window > 0:
+            for job in self.jobs.values():
+                if job.status is JobStatus.RUNNING and job.n_gpus > 0:
+                    rate = self._throughput_of(job)
+                    job.advance(window, rate, time)
+                    if self.observation_hook is not None:
+                        self.observation_hook(job, job.n_gpus, rate)
+        self._now = max(self._now, time)
+        self._last_advance = max(self._last_advance, time)
+
+    def _throughput_of(self, job: Job) -> float:
+        """Iterations/sec of a running job under its actual placement."""
+        curve = self.context.curve_for(job)
+        size = curve.best_size(job.n_gpus)
+        if size == 0:
+            return 0.0
+        placement = self._placement.placement_of(job.job_id)
+        indices = placement.gpu_indices[:size]
+        span = self.cluster.nodes_spanned(indices)
+        return curve.throughput(size, Placement(size, span))
+
+    def _speedup_of(self, job: Job) -> float:
+        """Speedup over one GPU — the job's Eq. 8 contribution."""
+        curve = self.context.curve_for(job)
+        one = curve.throughput(1)
+        return self._throughput_of(job) / one if one > 0 else 0.0
+
+    # ---------------------------------------------------------- allocation
+    def _active_jobs(self) -> list[Job]:
+        return [
+            job
+            for job in self.jobs.values()
+            if job.is_active
+        ]
+
+    def _reallocate(self) -> None:
+        now = self._now
+        active = self._active_jobs()
+        if not active:
+            self._record_sample()
+            return
+        decisions = self.policy.allocate(active, now)
+        self._validate_decisions(decisions, active)
+        self._alloc_version += 1
+        version = self._alloc_version
+
+        active_by_id = {job.job_id: job for job in active}
+        changed: set[str] = set()
+
+        def charge(job: Job, old: int, new: int) -> None:
+            model = self.throughput.curve(
+                job.spec.model_name, job.spec.global_batch_size
+            ).model
+            overhead = self.executor.scaling_overhead(model, old, new)
+            if overhead > 0:
+                job.stall_until = max(job.stall_until, now) + overhead
+            job.scale_events += 1
+            # Every planned scaling event checkpoints before the move
+            # (Section 5), so a later crash loses at most the progress
+            # made since this instant.
+            job.checkpointed_iterations = job.iterations_done
+
+        # Releases and shrinks first so capacity is free for the growers.
+        ordered = sorted(
+            active, key=lambda j: decisions.get(j.job_id, 0) - j.n_gpus
+        )
+        for job in ordered:
+            target = decisions.get(job.job_id, 0)
+            current = job.n_gpus
+            if target == current:
+                continue
+            migrated: list[str] = []
+            try:
+                if target == 0:
+                    self._placement.release(job.job_id)
+                    job.status = JobStatus.ADMITTED
+                elif current == 0:
+                    _, migrated = self._placement.place(job.job_id, target)
+                    job.status = JobStatus.RUNNING
+                else:
+                    _, migrated = self._placement.resize(job.job_id, target)
+            except PlacementError:
+                # Failed nodes can fragment the space so badly that even
+                # migration cannot carve the block; the job keeps (or stays
+                # at) its current allocation until the next event.
+                continue
+            charge(job, current, target)
+            job.n_gpus = target
+            changed.add(job.job_id)
+            for victim_id in migrated:
+                victim = active_by_id.get(victim_id)
+                if victim is not None and victim_id not in changed:
+                    model = self.throughput.curve(
+                        victim.spec.model_name, victim.spec.global_batch_size
+                    ).model
+                    overhead = self.executor.migration_overhead(
+                        model, victim.n_gpus
+                    )
+                    if overhead > 0:
+                        victim.stall_until = max(victim.stall_until, now) + overhead
+                    victim.scale_events += 1
+                    changed.add(victim_id)
+
+        # Project completions under the new allocation.
+        for job in active:
+            if job.n_gpus <= 0:
+                continue
+            throughput = self._throughput_of(job)
+            if throughput <= 0:
+                continue
+            finish = max(now, job.stall_until) + (
+                job.remaining_iterations / throughput
+            )
+            self._push(
+                Event(finish, EventKind.COMPLETION, next(self._seq), job.job_id, version)
+            )
+        self._push(
+            Event(now + self.slot_seconds, EventKind.REPLAN, next(self._seq), "", version)
+        )
+        self._record_sample()
+
+    def _validate_decisions(
+        self, decisions: dict[str, int], active: list[Job]
+    ) -> None:
+        active_ids = {job.job_id for job in active}
+        total = 0
+        for job_id, count in decisions.items():
+            if job_id not in active_ids:
+                raise SchedulingError(
+                    f"policy {self.policy.name!r} allocated to inactive job "
+                    f"{job_id!r}"
+                )
+            if count < 0:
+                raise SchedulingError(
+                    f"policy {self.policy.name!r} allocated {count} GPUs"
+                )
+            if count and count & (count - 1):
+                # Buddy placement only ever hosts power-of-two blocks; an
+                # odd count indicates a policy bug, not a soft preference.
+                raise SchedulingError(
+                    f"policy {self.policy.name!r} allocated a non-power-of-two "
+                    f"count {count} to {job_id!r}"
+                )
+            total += count
+        if total > self.context.usable_gpus:
+            raise SchedulingError(
+                f"policy {self.policy.name!r} allocated {total} GPUs with "
+                f"{self.context.usable_gpus} usable"
+            )
+
+    # ------------------------------------------------------------- samples
+    def _record_sample(self) -> None:
+        if self.timeline is None:
+            return
+        running = [
+            job
+            for job in self.jobs.values()
+            if job.status is JobStatus.RUNNING and job.n_gpus > 0
+        ]
+        efficiency = sum(self._speedup_of(job) for job in running)
+        self.timeline.record(
+            TimelineSample(
+                time=self._now,
+                gpus_in_use=sum(job.n_gpus for job in running),
+                cluster_efficiency=efficiency / self.cluster.total_gpus,
+                running_jobs=len(running),
+                submitted=self._submitted,
+                admitted=self._admitted,
+                allocations={job.job_id: job.n_gpus for job in running},
+            )
+        )
+
+    def _check_no_starvation(self) -> None:
+        stuck = [job.job_id for job in self.jobs.values() if job.is_active]
+        if stuck:
+            raise SimulationError(
+                f"simulation ended with active jobs still unfinished: {stuck}"
+            )

@@ -1,0 +1,47 @@
+"""Event types for the discrete-event engine."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+__all__ = ["EventKind", "Event"]
+
+
+class EventKind(enum.IntEnum):
+    """Job-level events the simulator processes.
+
+    The integer values double as tie-break priorities for events that share
+    a timestamp: completions are applied before arrivals so a finishing
+    job's GPUs are visible to the admission decision of a simultaneous
+    arrival, and periodic replans run last.
+    """
+
+    COMPLETION = 0
+    ARRIVAL = 1
+    REPLAN = 2
+    NODE_FAILURE = 3
+    NODE_REPAIR = 4
+
+
+@dataclass(frozen=True, order=True)
+class Event:
+    """One entry of the simulator's event queue.
+
+    Ordering is by time, then kind priority, then insertion sequence so the
+    simulation is fully deterministic.
+
+    Attributes:
+        time: Absolute simulation time of the event.
+        kind: What happens.
+        seq: Monotonic insertion counter (tie-break).
+        job_id: Affected job (empty for REPLAN events).
+        version: Allocation version stamped on COMPLETION events; the event
+            is ignored if the allocation changed since it was scheduled.
+    """
+
+    time: float
+    kind: EventKind
+    seq: int
+    job_id: str = field(default="", compare=False)
+    version: int = field(default=0, compare=False)

@@ -1,0 +1,88 @@
+"""Elastic training executor overhead model (paper Sections 5 and 6.6).
+
+The prototype scales jobs by checkpointing parameters and restarting the
+job on the new worker set.  Fig 12b shows the overhead is dominated by
+PyTorch's checkpoint/restore and is broadly similar whether a job grows,
+shrinks, or migrates; we model it as a serialisation term (checkpoint plus
+restore of weights and optimizer state) plus a fixed framework restart cost
+and a small per-worker process term.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.profiles.modelzoo import ModelProfile
+
+__all__ = ["ElasticExecutor"]
+
+
+class ElasticExecutor:
+    """Charges wall-clock overhead for scaling and migration events.
+
+    Args:
+        framework_base_s: Fixed cost of tearing down and relaunching the
+            distributed training loop (NCCL groups are kept alive, but the
+            dataloaders and DDP wrappers are rebuilt).
+        per_gpu_restart_s: Additional cost per worker in the larger of the
+            old/new configurations.
+        serialization_mb_per_s: Effective checkpoint serialisation bandwidth
+            (Python-side ``torch.save``/``torch.load``, not raw disk speed).
+        enabled: When ``False`` every overhead is zero — used to check the
+            hard guarantee in isolation.
+    """
+
+    def __init__(
+        self,
+        *,
+        framework_base_s: float = 8.0,
+        per_gpu_restart_s: float = 0.4,
+        serialization_mb_per_s: float = 250.0,
+        enabled: bool = True,
+    ) -> None:
+        if framework_base_s < 0 or per_gpu_restart_s < 0:
+            raise ConfigurationError("overhead constants must be >= 0")
+        if serialization_mb_per_s <= 0:
+            raise ConfigurationError(
+                f"serialization_mb_per_s must be > 0, "
+                f"got {serialization_mb_per_s}"
+            )
+        self.framework_base_s = framework_base_s
+        self.per_gpu_restart_s = per_gpu_restart_s
+        self.serialization_mb_per_s = serialization_mb_per_s
+        self.enabled = enabled
+
+    def _serialization_seconds(self, model: ModelProfile) -> float:
+        return model.checkpoint_bytes / (self.serialization_mb_per_s * 1e6)
+
+    def scaling_overhead(
+        self, model: ModelProfile, old_gpus: int, new_gpus: int
+    ) -> float:
+        """Seconds of stall when a job's worker count changes.
+
+        ``old_gpus == 0`` is a cold start (restore only); ``new_gpus == 0``
+        is a suspension (checkpoint only).
+        """
+        if old_gpus < 0 or new_gpus < 0:
+            raise ConfigurationError("GPU counts must be >= 0")
+        if not self.enabled:
+            return 0.0
+        if old_gpus == new_gpus == 0:
+            return 0.0
+        serialization = 0.0
+        if old_gpus > 0:
+            serialization += self._serialization_seconds(model)  # checkpoint
+        if new_gpus > 0:
+            serialization += self._serialization_seconds(model)  # restore
+        workers = max(old_gpus, new_gpus)
+        return self.framework_base_s + serialization + self.per_gpu_restart_s * workers
+
+    def migration_overhead(self, model: ModelProfile, n_gpus: int) -> float:
+        """Seconds of stall when a job keeps its size but changes GPUs."""
+        if n_gpus < 1:
+            raise ConfigurationError(f"n_gpus must be >= 1, got {n_gpus}")
+        return self.scaling_overhead(model, n_gpus, n_gpus)
+
+    @staticmethod
+    def disabled() -> "ElasticExecutor":
+        """An executor that charges nothing (ideal, overhead-free world)."""
+        return ElasticExecutor(enabled=False)

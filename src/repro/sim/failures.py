@@ -1,0 +1,108 @@
+"""Node-failure injection (paper Section 4.4, "Node failures").
+
+Real clusters lose servers at random; the paper sketches the extension of
+reserving capacity against the failure probability.  This module provides
+(i) a generator of per-node failure/repair schedules from MTBF/MTTR
+exponentials, and (ii) the :class:`FailureSchedule` the engine replays.
+ElasticFlow's corresponding knob is ``failure_reserve_gpus``: admission
+plans against a reduced capacity so a failure does not instantly break
+admitted guarantees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["FailureWindow", "FailureSchedule", "NodeFailureModel"]
+
+
+@dataclass(frozen=True, order=True)
+class FailureWindow:
+    """One outage: a node is down during [start, end)."""
+
+    start: float
+    end: float
+    node_index: int
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.end <= self.start:
+            raise ConfigurationError(
+                f"invalid failure window [{self.start}, {self.end})"
+            )
+        if self.node_index < 0:
+            raise ConfigurationError(f"invalid node index {self.node_index}")
+
+
+@dataclass(frozen=True)
+class FailureSchedule:
+    """A replayable set of outages.
+
+    Windows for the same node must not overlap (a node cannot fail while
+    already failed).
+    """
+
+    windows: tuple[FailureWindow, ...]
+
+    def __post_init__(self) -> None:
+        by_node: dict[int, list[FailureWindow]] = {}
+        for window in self.windows:
+            by_node.setdefault(window.node_index, []).append(window)
+        for node, node_windows in by_node.items():
+            ordered = sorted(node_windows)
+            for left, right in zip(ordered, ordered[1:]):
+                if right.start < left.end:
+                    raise ConfigurationError(
+                        f"node {node} has overlapping outages {left} and {right}"
+                    )
+
+    def __len__(self) -> int:
+        return len(self.windows)
+
+    def within(self, horizon: float) -> "FailureSchedule":
+        """Only the outages that begin before ``horizon``."""
+        return FailureSchedule(
+            windows=tuple(w for w in self.windows if w.start < horizon)
+        )
+
+    @staticmethod
+    def none() -> "FailureSchedule":
+        return FailureSchedule(windows=())
+
+
+class NodeFailureModel:
+    """Exponential failure/repair process per node.
+
+    Args:
+        mtbf_hours: Mean time between failures of one node.
+        mttr_hours: Mean time to repair.
+    """
+
+    def __init__(self, mtbf_hours: float = 720.0, mttr_hours: float = 4.0) -> None:
+        if mtbf_hours <= 0 or mttr_hours <= 0:
+            raise ConfigurationError("mtbf_hours and mttr_hours must be > 0")
+        self.mtbf_s = mtbf_hours * 3600.0
+        self.mttr_s = mttr_hours * 3600.0
+
+    def sample(
+        self, n_nodes: int, horizon_s: float, seed: int = 0
+    ) -> FailureSchedule:
+        """Draw a failure schedule for ``n_nodes`` over ``horizon_s``."""
+        if n_nodes < 1:
+            raise ConfigurationError(f"n_nodes must be >= 1, got {n_nodes}")
+        if horizon_s <= 0:
+            raise ConfigurationError(f"horizon_s must be > 0, got {horizon_s}")
+        rng = np.random.default_rng(seed)
+        windows: list[FailureWindow] = []
+        for node in range(n_nodes):
+            clock = float(rng.exponential(self.mtbf_s))
+            while clock < horizon_s:
+                repair = clock + float(rng.exponential(self.mttr_s))
+                windows.append(
+                    FailureWindow(start=clock, end=repair, node_index=node)
+                )
+                clock = repair + float(rng.exponential(self.mtbf_s))
+        return FailureSchedule(windows=tuple(sorted(windows)))

@@ -1,0 +1,149 @@
+"""Evaluation metrics (paper Section 6.1).
+
+The headline metric is the *deadline satisfactory ratio*: the fraction of
+submitted SLO jobs that finish before their deadline (dropped jobs count
+against it).  *Cluster efficiency* (Eq. 8) measures how well the allocated
+GPUs are used: a job running on ``n`` GPUs contributes its speedup over one
+GPU, so CE is the mean per-GPU normalised throughput across the cluster.
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+from dataclasses import dataclass, field
+
+from repro.core.job import Job, JobStatus
+from repro.errors import ConfigurationError
+from repro.sim.recorder import Timeline
+
+__all__ = ["JobOutcome", "SimulationResult"]
+
+
+@dataclass(frozen=True)
+class JobOutcome:
+    """Final state of one submitted job."""
+
+    job_id: str
+    model_name: str
+    submit_time: float
+    deadline: float
+    best_effort: bool
+    status: JobStatus
+    admitted: bool
+    completion_time: float | None
+    scale_events: int
+
+    @classmethod
+    def from_job(cls, job: Job) -> "JobOutcome":
+        return cls(
+            job_id=job.job_id,
+            model_name=job.spec.model_name,
+            submit_time=job.spec.submit_time,
+            deadline=job.spec.effective_deadline,
+            best_effort=job.spec.best_effort,
+            status=job.status,
+            admitted=job.admission_time is not None,
+            completion_time=job.completion_time,
+            scale_events=job.scale_events,
+        )
+
+    @property
+    def met_deadline(self) -> bool:
+        if self.completion_time is None:
+            return False
+        return self.completion_time <= self.deadline + 1e-6
+
+    @property
+    def jct(self) -> float | None:
+        """Job completion time (submission to completion)."""
+        if self.completion_time is None:
+            return None
+        return self.completion_time - self.submit_time
+
+
+@dataclass
+class SimulationResult:
+    """Everything a simulation run produced."""
+
+    policy_name: str
+    outcomes: list[JobOutcome]
+    timeline: Timeline | None = None
+    total_gpus: int = 0
+    events_processed: int = 0
+    _by_id: dict[str, JobOutcome] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        self._by_id = {outcome.job_id: outcome for outcome in self.outcomes}
+        if len(self._by_id) != len(self.outcomes):
+            raise ConfigurationError("duplicate job ids in outcomes")
+
+    # ------------------------------------------------------------ accessors
+    def outcome_of(self, job_id: str) -> JobOutcome:
+        try:
+            return self._by_id[job_id]
+        except KeyError:
+            raise ConfigurationError(f"unknown job id {job_id!r}") from None
+
+    @property
+    def slo_outcomes(self) -> list[JobOutcome]:
+        return [o for o in self.outcomes if not o.best_effort]
+
+    @property
+    def best_effort_outcomes(self) -> list[JobOutcome]:
+        return [o for o in self.outcomes if o.best_effort]
+
+    # -------------------------------------------------------------- metrics
+    @property
+    def deadline_satisfactory_ratio(self) -> float:
+        """Fraction of submitted SLO jobs finishing on time (the headline)."""
+        slo = self.slo_outcomes
+        if not slo:
+            return math.nan
+        return sum(o.met_deadline for o in slo) / len(slo)
+
+    @property
+    def deadlines_met(self) -> int:
+        return sum(o.met_deadline for o in self.slo_outcomes)
+
+    @property
+    def admitted_count(self) -> int:
+        return sum(o.admitted for o in self.outcomes)
+
+    @property
+    def dropped_count(self) -> int:
+        return sum(o.status is JobStatus.DROPPED for o in self.outcomes)
+
+    @property
+    def completed_count(self) -> int:
+        return sum(o.status is JobStatus.COMPLETED for o in self.outcomes)
+
+    @property
+    def makespan(self) -> float:
+        """Time from first submission to last completion."""
+        completions = [o.completion_time for o in self.outcomes if o.completion_time]
+        if not completions:
+            return 0.0
+        start = min(o.submit_time for o in self.outcomes)
+        return max(completions) - start
+
+    def average_jct(self, *, best_effort_only: bool = False) -> float:
+        """Mean completion latency over finished jobs."""
+        pool = self.best_effort_outcomes if best_effort_only else self.outcomes
+        jcts = [o.jct for o in pool if o.jct is not None]
+        if not jcts:
+            return math.nan
+        return statistics.fmean(jcts)
+
+    def summary(self) -> dict[str, float]:
+        """Compact metric dictionary used by the experiment reports."""
+        return {
+            "jobs": float(len(self.outcomes)),
+            "dsr": self.deadline_satisfactory_ratio,
+            "deadlines_met": float(self.deadlines_met),
+            "admitted": float(self.admitted_count),
+            "dropped": float(self.dropped_count),
+            "completed": float(self.completed_count),
+            "makespan_h": self.makespan / 3600.0,
+            "avg_jct_h": self.average_jct() / 3600.0,
+        }

@@ -1,0 +1,133 @@
+"""Timeline recording for the time-series figures (Figs 7 and 10).
+
+The recorder samples cluster state at every scheduling event: how many GPUs
+each job holds, the instantaneous cluster efficiency (Eq. 8), and the
+cumulative submitted/admitted counters.  Step-wise integration over the
+samples yields the time-weighted averages the figures plot.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+__all__ = ["TimelineSample", "Timeline"]
+
+
+@dataclass(frozen=True)
+class TimelineSample:
+    """Cluster state at one instant (valid until the next sample).
+
+    Attributes:
+        time: Sample timestamp.
+        gpus_in_use: Total GPUs held by running jobs.
+        cluster_efficiency: Eq. 8 value at this instant.
+        running_jobs: Number of jobs holding GPUs.
+        submitted: Cumulative submitted job count.
+        admitted: Cumulative admitted job count.
+        allocations: GPUs per running job id.
+    """
+
+    time: float
+    gpus_in_use: int
+    cluster_efficiency: float
+    running_jobs: int
+    submitted: int
+    admitted: int
+    allocations: dict[str, int] = field(default_factory=dict)
+
+
+class Timeline:
+    """Append-only sequence of :class:`TimelineSample`.
+
+    Samples must arrive in non-decreasing time order; a new sample at an
+    existing timestamp supersedes the older one (scheduling events at the
+    same instant collapse to their final state).
+    """
+
+    def __init__(self) -> None:
+        self._samples: list[TimelineSample] = []
+
+    def record(self, sample: TimelineSample) -> None:
+        if self._samples and sample.time < self._samples[-1].time:
+            raise ConfigurationError(
+                f"samples must be time-ordered: {sample.time} < "
+                f"{self._samples[-1].time}"
+            )
+        if self._samples and sample.time == self._samples[-1].time:
+            self._samples[-1] = sample
+        else:
+            self._samples.append(sample)
+
+    @property
+    def samples(self) -> list[TimelineSample]:
+        return list(self._samples)
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    @property
+    def end_time(self) -> float:
+        if not self._samples:
+            return 0.0
+        return self._samples[-1].time
+
+    def sample_at(self, time: float) -> TimelineSample:
+        """The sample in effect at an arbitrary instant."""
+        if not self._samples:
+            raise ConfigurationError("timeline is empty")
+        times = [s.time for s in self._samples]
+        index = bisect.bisect_right(times, time) - 1
+        if index < 0:
+            raise ConfigurationError(
+                f"time {time} precedes the first sample {times[0]}"
+            )
+        return self._samples[index]
+
+    def series(
+        self, attribute: str, *, resolution_s: float | None = None
+    ) -> tuple[list[float], list[float]]:
+        """Extract an attribute as (times, values), optionally resampled.
+
+        With ``resolution_s`` the step function is sampled on a regular grid
+        — convenient for plotting and for comparing runs of different event
+        densities.
+        """
+        if not self._samples:
+            return [], []
+        if resolution_s is None:
+            times = [s.time for s in self._samples]
+            values = [float(getattr(s, attribute)) for s in self._samples]
+            return times, values
+        if resolution_s <= 0:
+            raise ConfigurationError(
+                f"resolution_s must be > 0, got {resolution_s}"
+            )
+        start, end = self._samples[0].time, self._samples[-1].time
+        times, values = [], []
+        t = start
+        while t <= end:
+            times.append(t)
+            values.append(float(getattr(self.sample_at(t), attribute)))
+            t += resolution_s
+        return times, values
+
+    def time_weighted_mean(
+        self, attribute: str, *, start: float | None = None, end: float | None = None
+    ) -> float:
+        """Integral mean of an attribute over [start, end]."""
+        if not self._samples:
+            raise ConfigurationError("timeline is empty")
+        start = self._samples[0].time if start is None else start
+        end = self._samples[-1].time if end is None else end
+        if end <= start:
+            raise ConfigurationError(f"invalid window [{start}, {end}]")
+        total = 0.0
+        for current, nxt in zip(self._samples, self._samples[1:] + [None]):
+            seg_start = max(current.time, start)
+            seg_end = end if nxt is None else min(nxt.time, end)
+            if seg_end > seg_start:
+                total += float(getattr(current, attribute)) * (seg_end - seg_start)
+        return total / (end - start)

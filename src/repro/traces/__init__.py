@@ -1,0 +1,46 @@
+"""Workload traces: schema, generators, and the job builder.
+
+The paper drives its evaluation with two-month traces from ten production
+clusters (164-2783 GPUs, 260-15802 jobs each) plus the public Microsoft
+Philly trace.  Those traces are not publicly redistributable, so this
+package generates statistically similar synthetic traces: each trace job
+carries only what the paper consumes — submission time, requested GPU
+count, and duration — drawn from per-cluster size/load/duration
+distributions, with deadlines assigned as ``lambda * duration`` after
+submission with ``lambda ~ U[0.5, 1.5]`` (Section 6.1).
+"""
+
+from repro.traces.schema import Trace, TraceJob
+from repro.traces.synthetic import (
+    PRODUCTION_CLUSTERS,
+    ClusterTraceConfig,
+    generate_trace,
+)
+from repro.traces.philly import philly_config
+from repro.traces.deadlines import DeadlineAssigner
+from repro.traces.workload import build_jobs
+from repro.traces.io import (
+    read_trace_csv,
+    trace_from_json,
+    trace_to_json,
+    write_trace_csv,
+)
+from repro.traces.analyze import TraceStats, analyze_trace, offered_load_series
+
+__all__ = [
+    "Trace",
+    "TraceJob",
+    "PRODUCTION_CLUSTERS",
+    "ClusterTraceConfig",
+    "generate_trace",
+    "philly_config",
+    "DeadlineAssigner",
+    "build_jobs",
+    "trace_to_json",
+    "trace_from_json",
+    "write_trace_csv",
+    "read_trace_csv",
+    "TraceStats",
+    "analyze_trace",
+    "offered_load_series",
+]

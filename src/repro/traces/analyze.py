@@ -1,0 +1,115 @@
+"""Workload trace analysis.
+
+Before replaying a trace it pays to know what it asks for: the offered
+load over time, how requested sizes are distributed, how heavy the
+duration tail is.  These are the statistics the paper summarises for its
+production traces (Section 6.1) and the ones an operator needs to pick a
+cluster size; :func:`analyze_trace` computes them and the CLI's
+``trace-stats`` subcommand prints them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import TraceError
+from repro.traces.schema import Trace
+
+__all__ = ["TraceStats", "analyze_trace", "offered_load_series"]
+
+
+@dataclass(frozen=True)
+class TraceStats:
+    """Summary statistics of one workload trace.
+
+    Attributes:
+        name: Trace name.
+        n_jobs: Number of jobs.
+        cluster_gpus: Source cluster size.
+        span_hours: First-to-last submission window.
+        total_gpu_hours: Offered work at requested sizes.
+        mean_load: Offered GPU-time over available GPU-time across the span.
+        peak_load: Largest one-hour offered load.
+        duration_p50_h: Median duration, hours.
+        duration_p90_h: 90th-percentile duration, hours.
+        duration_max_h: Longest job, hours.
+        size_histogram: Fraction of jobs per requested GPU count.
+        single_gpu_fraction: Share of 1-GPU jobs (the Philly headline stat).
+    """
+
+    name: str
+    n_jobs: int
+    cluster_gpus: int
+    span_hours: float
+    total_gpu_hours: float
+    mean_load: float
+    peak_load: float
+    duration_p50_h: float
+    duration_p90_h: float
+    duration_max_h: float
+    size_histogram: dict[int, float]
+    single_gpu_fraction: float
+
+
+def offered_load_series(
+    trace: Trace, *, bucket_s: float = 3600.0
+) -> tuple[list[float], list[float]]:
+    """Offered load per time bucket: GPU-time demanded / GPU-time available.
+
+    A job's demand is spread uniformly over its (requested-size) runtime.
+
+    Returns:
+        (bucket start times, load values).
+    """
+    if bucket_s <= 0:
+        raise TraceError(f"bucket_s must be > 0, got {bucket_s}")
+    if not trace.jobs:
+        return [], []
+    horizon = max(job.submit_time + job.duration_s for job in trace.jobs)
+    n_buckets = max(1, int(np.ceil(horizon / bucket_s)))
+    demand = np.zeros(n_buckets)
+    for job in trace.jobs:
+        start, end = job.submit_time, job.submit_time + job.duration_s
+        first = int(start // bucket_s)
+        last = min(n_buckets - 1, int(end // bucket_s))
+        for bucket in range(first, last + 1):
+            bucket_start = bucket * bucket_s
+            bucket_end = bucket_start + bucket_s
+            overlap = min(end, bucket_end) - max(start, bucket_start)
+            if overlap > 0:
+                demand[bucket] += job.n_gpus * overlap
+    capacity = trace.cluster_gpus * bucket_s
+    times = [bucket * bucket_s for bucket in range(n_buckets)]
+    return times, list(demand / capacity)
+
+
+def analyze_trace(trace: Trace) -> TraceStats:
+    """Compute the summary statistics of a trace.
+
+    Raises:
+        TraceError: For an empty trace.
+    """
+    if not trace.jobs:
+        raise TraceError(f"trace {trace.name!r} has no jobs to analyse")
+    durations_h = np.array([job.duration_s for job in trace.jobs]) / 3600.0
+    sizes = np.array([job.n_gpus for job in trace.jobs])
+    _, loads = offered_load_series(trace)
+    histogram: dict[int, float] = {}
+    for size in sorted(set(sizes.tolist())):
+        histogram[int(size)] = float(np.mean(sizes == size))
+    return TraceStats(
+        name=trace.name,
+        n_jobs=len(trace),
+        cluster_gpus=trace.cluster_gpus,
+        span_hours=trace.span_s / 3600.0,
+        total_gpu_hours=trace.total_gpu_seconds / 3600.0,
+        mean_load=float(np.mean(loads)),
+        peak_load=float(np.max(loads)),
+        duration_p50_h=float(np.percentile(durations_h, 50)),
+        duration_p90_h=float(np.percentile(durations_h, 90)),
+        duration_max_h=float(np.max(durations_h)),
+        size_histogram=histogram,
+        single_gpu_fraction=float(np.mean(sizes == 1)),
+    )

@@ -1,0 +1,52 @@
+"""Deadline assignment (paper Section 6.1).
+
+Production traces carry no deadline information, so the paper sets each
+job's deadline to ``lambda * duration`` after its submission, with the
+tightness ``lambda`` drawn uniformly from [0.5, 1.5].  A job with
+``lambda < 1`` can still make its deadline — the platform just has to scale
+it beyond its trace-requested size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import TraceError
+from repro.traces.schema import TraceJob
+
+__all__ = ["DeadlineAssigner"]
+
+
+@dataclass(frozen=True)
+class DeadlineAssigner:
+    """Draws per-job deadline tightness factors.
+
+    Attributes:
+        lambda_min: Lower bound of the tightness distribution.
+        lambda_max: Upper bound; ``lambda_min == lambda_max`` pins every job
+            to a fixed tightness (used by the Fig 10 fair-comparison run,
+            which sets lambda = 1.5 so every scheduler runs the same jobs).
+    """
+
+    lambda_min: float = 0.5
+    lambda_max: float = 1.5
+
+    def __post_init__(self) -> None:
+        if self.lambda_min <= 0:
+            raise TraceError(f"lambda_min must be > 0, got {self.lambda_min}")
+        if self.lambda_max < self.lambda_min:
+            raise TraceError(
+                f"lambda_max {self.lambda_max} < lambda_min {self.lambda_min}"
+            )
+
+    def draw(self, rng: np.random.Generator) -> float:
+        """One tightness factor."""
+        if self.lambda_min == self.lambda_max:
+            return self.lambda_min
+        return float(rng.uniform(self.lambda_min, self.lambda_max))
+
+    def deadline_for(self, job: TraceJob, rng: np.random.Generator) -> float:
+        """Absolute deadline for one trace job."""
+        return job.submit_time + self.draw(rng) * job.duration_s

@@ -1,0 +1,129 @@
+"""Trace serialisation: bring your own production trace.
+
+The synthetic generators stand in for the paper's private traces, but a
+downstream user with real cluster logs only needs the three columns the
+pipeline consumes: submission time, GPU count, and duration.  This module
+round-trips :class:`~repro.traces.schema.Trace` through JSON (full fidelity)
+and CSV (interchange with spreadsheet-shaped exports).
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+from repro.errors import TraceError
+from repro.traces.schema import Trace, TraceJob
+
+__all__ = ["trace_to_json", "trace_from_json", "write_trace_csv", "read_trace_csv"]
+
+_CSV_FIELDS = ("job_id", "submit_time", "n_gpus", "duration_s")
+
+
+def trace_to_json(trace: Trace) -> str:
+    """Serialise a trace to a JSON document."""
+    payload = {
+        "name": trace.name,
+        "cluster_gpus": trace.cluster_gpus,
+        "jobs": [
+            {
+                "job_id": job.job_id,
+                "submit_time": job.submit_time,
+                "n_gpus": job.n_gpus,
+                "duration_s": job.duration_s,
+            }
+            for job in trace.jobs
+        ],
+    }
+    return json.dumps(payload, indent=2)
+
+
+def trace_from_json(document: str) -> Trace:
+    """Parse a trace from the JSON document produced by :func:`trace_to_json`.
+
+    Raises:
+        TraceError: On malformed JSON or schema violations.
+    """
+    try:
+        payload = json.loads(document)
+    except json.JSONDecodeError as exc:
+        raise TraceError(f"invalid trace JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise TraceError("trace JSON must be an object")
+    missing = {"name", "cluster_gpus", "jobs"} - set(payload)
+    if missing:
+        raise TraceError(f"trace JSON missing keys: {sorted(missing)}")
+    try:
+        jobs = [
+            TraceJob(
+                job_id=str(row["job_id"]),
+                submit_time=float(row["submit_time"]),
+                n_gpus=int(row["n_gpus"]),
+                duration_s=float(row["duration_s"]),
+            )
+            for row in payload["jobs"]
+        ]
+    except (KeyError, TypeError, ValueError) as exc:
+        raise TraceError(f"malformed trace job row: {exc}") from exc
+    return Trace(
+        name=str(payload["name"]),
+        cluster_gpus=int(payload["cluster_gpus"]),
+        jobs=jobs,
+    )
+
+
+def write_trace_csv(trace: Trace, path: str | Path) -> None:
+    """Write a trace as CSV (cluster size goes in the filename's sidecar
+    JSON header line, ``# cluster_gpus=N``)."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        handle.write(f"# name={trace.name} cluster_gpus={trace.cluster_gpus}\n")
+        writer = csv.DictWriter(handle, fieldnames=_CSV_FIELDS)
+        writer.writeheader()
+        for job in trace.jobs:
+            writer.writerow(
+                {
+                    "job_id": job.job_id,
+                    "submit_time": job.submit_time,
+                    "n_gpus": job.n_gpus,
+                    "duration_s": job.duration_s,
+                }
+            )
+
+
+def read_trace_csv(path: str | Path) -> Trace:
+    """Read a trace written by :func:`write_trace_csv`.
+
+    Raises:
+        TraceError: On a malformed header or rows.
+    """
+    path = Path(path)
+    try:
+        lines = path.read_text().splitlines()
+    except OSError as exc:
+        raise TraceError(f"cannot read trace file {path}: {exc}") from exc
+    if not lines or not lines[0].startswith("#"):
+        raise TraceError(f"{path}: missing '# name=... cluster_gpus=...' header")
+    header = dict(
+        part.split("=", 1) for part in lines[0].lstrip("# ").split() if "=" in part
+    )
+    if "name" not in header or "cluster_gpus" not in header:
+        raise TraceError(f"{path}: header must carry name= and cluster_gpus=")
+    reader = csv.DictReader(lines[1:])
+    jobs = []
+    try:
+        for row in reader:
+            jobs.append(
+                TraceJob(
+                    job_id=row["job_id"],
+                    submit_time=float(row["submit_time"]),
+                    n_gpus=int(row["n_gpus"]),
+                    duration_s=float(row["duration_s"]),
+                )
+            )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise TraceError(f"{path}: malformed row: {exc}") from exc
+    return Trace(
+        name=header["name"], cluster_gpus=int(header["cluster_gpus"]), jobs=jobs
+    )

@@ -1,0 +1,45 @@
+"""A Philly-like public-trace configuration.
+
+The Microsoft Philly trace (Jeon et al., ATC 2019) is the public workload
+the paper uses for its fair-comparison run (Fig 8b, rightmost group).  Its
+published analysis shows a workload dominated by single-GPU jobs with a
+very heavy-tailed duration distribution; this module captures those
+marginals as a :class:`~repro.traces.synthetic.ClusterTraceConfig` so the
+same generator machinery produces a Philly-flavoured trace.
+"""
+
+from __future__ import annotations
+
+from repro.traces.synthetic import ClusterTraceConfig
+
+__all__ = ["philly_config"]
+
+
+def philly_config(
+    *, cluster_gpus: int = 2048, n_jobs: int = 10000, target_load: float = 0.6
+) -> ClusterTraceConfig:
+    """Configuration matching the Philly trace's published marginals.
+
+    Args:
+        cluster_gpus: Simulated cluster size (power of two).
+        n_jobs: Number of jobs to draw.
+        target_load: Offered load; Philly ran well below saturation.
+    """
+    return ClusterTraceConfig(
+        name="philly",
+        cluster_gpus=cluster_gpus,
+        n_jobs=n_jobs,
+        target_load=target_load,
+        duration_median_s=1500.0,  # most Philly jobs are short...
+        duration_sigma=2.0,  # ...but the tail reaches multi-day runs
+        gpu_weights={
+            1: 0.70,
+            2: 0.09,
+            4: 0.08,
+            8: 0.09,
+            16: 0.03,
+            32: 0.01,
+        },
+        burst_fraction=0.1,
+        n_bursts=3,
+    )

@@ -1,0 +1,80 @@
+"""Turning a trace into runnable job specs (paper Section 6.1).
+
+Trace rows carry only submission time, GPU count, and duration.  Following
+the paper, each job is assigned a random (model, batch size) pair from the
+Table 1 pool, and its iteration count is derived from the trace duration
+and the profiled throughput at the trace's GPU count — so a trace job that
+ran two hours on four GPUs becomes a spec whose work equals two hours of
+the chosen model's four-GPU throughput.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.job import JobSpec
+from repro.errors import TraceError
+from repro.profiles.modelzoo import TABLE1_SETTINGS
+from repro.profiles.throughput import ThroughputModel
+from repro.traces.deadlines import DeadlineAssigner
+from repro.traces.schema import Trace
+
+__all__ = ["build_jobs"]
+
+
+def build_jobs(
+    trace: Trace,
+    throughput: ThroughputModel,
+    *,
+    seed: int = 0,
+    deadlines: DeadlineAssigner | None = None,
+    best_effort_fraction: float = 0.0,
+    model_pool: tuple[tuple[str, int], ...] = TABLE1_SETTINGS,
+) -> list[JobSpec]:
+    """Instantiate every trace row as a submittable :class:`JobSpec`.
+
+    Args:
+        trace: Source trace.
+        throughput: Profiled scaling curves used to convert durations into
+            iteration counts (the engine uses the same curves, mirroring the
+            paper's profile-then-simulate methodology).
+        seed: Seed for model assignment, deadline tightness, and the
+            best-effort lottery.
+        deadlines: Tightness distribution; defaults to U[0.5, 1.5].
+        best_effort_fraction: Fraction of jobs submitted without a deadline
+            (Section 6.5's SLO/best-effort mix).
+        model_pool: (model, global batch) candidates, defaults to Table 1.
+
+    Raises:
+        TraceError: If the trace is empty or the fraction is out of range.
+    """
+    if not trace.jobs:
+        raise TraceError(f"trace {trace.name!r} has no jobs")
+    if not 0.0 <= best_effort_fraction <= 1.0:
+        raise TraceError(
+            f"best_effort_fraction must be in [0, 1], got {best_effort_fraction}"
+        )
+    if not model_pool:
+        raise TraceError("model_pool must not be empty")
+    assigner = deadlines or DeadlineAssigner()
+    rng = np.random.default_rng(seed)
+    specs: list[JobSpec] = []
+    for row in trace.jobs:
+        model_name, batch = model_pool[int(rng.integers(len(model_pool)))]
+        curve = throughput.curve(model_name, batch)
+        rate = curve.effective_throughput(row.n_gpus)
+        iterations = max(1, int(round(row.duration_s * rate)))
+        best_effort = bool(rng.random() < best_effort_fraction)
+        deadline = None if best_effort else assigner.deadline_for(row, rng)
+        specs.append(
+            JobSpec(
+                job_id=row.job_id,
+                model_name=model_name,
+                global_batch_size=batch,
+                max_iterations=iterations,
+                submit_time=row.submit_time,
+                deadline=deadline,
+                requested_gpus=row.n_gpus,
+            )
+        )
+    return specs

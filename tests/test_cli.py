@@ -1,0 +1,110 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--policy", "fifo"])
+
+    def test_unknown_artifact_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "fig99"])
+
+
+class TestListModels:
+    def test_prints_table(self, capsys):
+        assert main(["list-models"]) == 0
+        output = capsys.readouterr().out
+        assert "resnet50" in output and "deepspeech2" in output
+
+
+class TestScalingCurve:
+    def test_prints_series_and_peak(self, capsys):
+        assert main(["scaling-curve", "resnet50", "256", "--max-gpus", "16"]) == 0
+        output = capsys.readouterr().out
+        assert "speedup" in output
+        assert "peak-throughput size" in output
+
+    def test_unknown_model_is_reported(self, capsys):
+        assert main(["scaling-curve", "alexnet", "128"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestSimulate:
+    def test_json_output(self, capsys):
+        code = main(
+            ["simulate", "--policy", "edf", "--gpus", "16", "--jobs", "6",
+             "--no-overheads", "--json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["jobs"] == 6.0
+        assert 0.0 <= payload["dsr"] <= 1.0
+
+    def test_table_output(self, capsys):
+        code = main(
+            ["simulate", "--policy", "elasticflow", "--gpus", "16", "--jobs", "5",
+             "--no-overheads"]
+        )
+        assert code == 0
+        assert "dsr" in capsys.readouterr().out
+
+
+class TestCompare:
+    def test_compares_policies(self, capsys):
+        code = main(
+            ["compare", "--policies", "elasticflow,edf", "--gpus", "16",
+             "--jobs", "6", "--no-overheads"]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "elasticflow" in output and "edf" in output
+
+
+class TestExperiment:
+    @pytest.mark.parametrize("artifact", ["table1", "fig2a", "fig2b", "fig3", "fig4"])
+    def test_light_artifacts(self, artifact, capsys):
+        assert main(["experiment", artifact]) == 0
+        assert capsys.readouterr().out.strip()
+
+    def test_fig12a(self, capsys):
+        assert main(["experiment", "fig12a"]) == 0
+        assert "Overhead" in capsys.readouterr().out
+
+    def test_fig12b(self, capsys):
+        assert main(["experiment", "fig12b"]) == 0
+        assert "migrate-8" in capsys.readouterr().out
+
+
+class TestMakeTrace:
+    def test_json_trace(self, tmp_path, capsys):
+        out = tmp_path / "trace.json"
+        code = main(
+            ["make-trace", "--out", str(out), "--cluster-gpus", "32",
+             "--jobs", "15"]
+        )
+        assert code == 0
+        from repro.traces import trace_from_json
+
+        trace = trace_from_json(out.read_text())
+        assert len(trace) == 15
+
+    def test_csv_trace(self, tmp_path):
+        out = tmp_path / "trace.csv"
+        assert main(
+            ["make-trace", "--out", str(out), "--cluster-gpus", "32",
+             "--jobs", "10"]
+        ) == 0
+        from repro.traces import read_trace_csv
+
+        assert len(read_trace_csv(out)) == 10

@@ -1,0 +1,236 @@
+"""Unit and property tests for the buddy allocator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import Block, BuddyAllocator
+from repro.errors import AllocationError, ConfigurationError
+
+
+class TestBlock:
+    def test_alignment_enforced(self):
+        with pytest.raises(ConfigurationError):
+            Block(offset=1, size=2)
+        with pytest.raises(ConfigurationError):
+            Block(offset=-4, size=4)
+
+    def test_size_must_be_power_of_two(self):
+        with pytest.raises(ConfigurationError):
+            Block(offset=0, size=3)
+
+    def test_buddy_offset(self):
+        assert Block(offset=0, size=4).buddy_offset == 4
+        assert Block(offset=4, size=4).buddy_offset == 0
+        assert Block(offset=8, size=8).buddy_offset == 0
+
+    def test_gpu_indices(self):
+        assert Block(offset=4, size=4).gpu_indices == [4, 5, 6, 7]
+
+
+class TestAllocateFree:
+    def test_fresh_allocator_fully_free(self):
+        allocator = BuddyAllocator(16)
+        assert allocator.free_gpus == 16
+        assert allocator.allocated_gpus == 0
+        assert allocator.largest_free_block() == 16
+
+    def test_capacity_must_be_power_of_two(self):
+        with pytest.raises(ConfigurationError):
+            BuddyAllocator(12)
+
+    def test_allocate_splits_from_smallest_fit(self):
+        allocator = BuddyAllocator(16)
+        a = allocator.allocate(4)
+        b = allocator.allocate(4)
+        # Best-fit: the second request reuses the buddy of the first.
+        assert {a.offset, b.offset} == {0, 4}
+        assert allocator.free_gpus == 8
+
+    def test_allocate_too_big_raises(self):
+        allocator = BuddyAllocator(8)
+        with pytest.raises(AllocationError):
+            allocator.allocate(16)
+
+    def test_allocate_non_power_of_two_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BuddyAllocator(8).allocate(3)
+
+    def test_exhaustion_raises(self):
+        allocator = BuddyAllocator(8)
+        allocator.allocate(8)
+        with pytest.raises(AllocationError):
+            allocator.allocate(1)
+
+    def test_free_coalesces_to_full(self):
+        allocator = BuddyAllocator(16)
+        blocks = [allocator.allocate(4) for _ in range(4)]
+        for block in blocks:
+            allocator.free(block)
+        assert allocator.largest_free_block() == 16
+
+    def test_double_free_rejected(self):
+        allocator = BuddyAllocator(8)
+        block = allocator.allocate(4)
+        allocator.free(block)
+        with pytest.raises(AllocationError):
+            allocator.free(block)
+
+    def test_fragmentation_scenario_from_paper(self):
+        """Two 7-ish GPU jobs leave two idle GPUs but no 2-block (Sec 4.3).
+
+        With power-of-two sizes the analogue: fill two 8-GPU nodes with one
+        4+2+1 split each, leaving one non-adjacent GPU per node.
+        """
+        allocator = BuddyAllocator(16)
+        keep = []
+        spare = []
+        for _ in range(2):
+            keep.append(allocator.allocate(4))
+            keep.append(allocator.allocate(2))
+            keep.append(allocator.allocate(1))
+            spare.append(allocator.allocate(1))
+        for block in spare:
+            allocator.free(block)
+        assert allocator.free_gpus == 2
+        assert not allocator.can_allocate(2)  # fragmented!
+        plan = allocator.repack_plan()
+        allocator.apply_repack(plan)
+        assert allocator.can_allocate(2)  # defragmentation fixes it
+
+
+class TestShrink:
+    def test_shrink_keeps_prefix(self):
+        allocator = BuddyAllocator(16)
+        block = allocator.allocate(8)
+        kept = allocator.shrink(block, 2)
+        assert kept == Block(offset=block.offset, size=2)
+        assert allocator.free_gpus == 14
+
+    def test_shrink_freed_space_reusable(self):
+        allocator = BuddyAllocator(8)
+        block = allocator.allocate(8)
+        allocator.shrink(block, 1)
+        assert allocator.allocate(4).offset == 4
+        assert allocator.allocate(2).offset == 2
+        assert allocator.allocate(1).offset == 1
+
+    def test_shrink_to_equal_or_larger_rejected(self):
+        allocator = BuddyAllocator(8)
+        block = allocator.allocate(4)
+        with pytest.raises(AllocationError):
+            allocator.shrink(block, 4)
+        with pytest.raises(AllocationError):
+            allocator.shrink(block, 8)
+
+    def test_shrink_unallocated_rejected(self):
+        allocator = BuddyAllocator(8)
+        with pytest.raises(AllocationError):
+            allocator.shrink(Block(offset=0, size=4), 2)
+
+
+class TestRepack:
+    def test_plan_is_empty_when_packed(self):
+        allocator = BuddyAllocator(16)
+        allocator.allocate(8)
+        allocator.allocate(4)
+        assert allocator.repack_plan() == {}
+
+    def test_plan_moves_to_prefix(self):
+        allocator = BuddyAllocator(16)
+        first = allocator.allocate(4)
+        second = allocator.allocate(4)
+        allocator.free(first)
+        plan = allocator.repack_plan()
+        assert plan == {second: Block(offset=0, size=4)}
+
+    def test_apply_stale_plan_rejected(self):
+        allocator = BuddyAllocator(16)
+        block = allocator.allocate(4)
+        plan = {Block(offset=8, size=4): Block(offset=0, size=4)}
+        with pytest.raises(AllocationError):
+            allocator.apply_repack(plan)
+        assert block in allocator.allocated_blocks
+
+    def test_apply_resizing_plan_rejected(self):
+        allocator = BuddyAllocator(16)
+        block = allocator.allocate(4)
+        with pytest.raises(AllocationError):
+            allocator.apply_repack({block: Block(offset=8, size=8)})
+
+
+# ---------------------------------------------------------------- properties
+@st.composite
+def operation_sequences(draw):
+    """Random interleavings of allocate/free requests."""
+    n_ops = draw(st.integers(min_value=1, max_value=40))
+    ops = []
+    for _ in range(n_ops):
+        if draw(st.booleans()):
+            ops.append(("alloc", draw(st.sampled_from([1, 2, 4, 8, 16]))))
+        else:
+            ops.append(("free", draw(st.integers(min_value=0, max_value=10**6))))
+    return ops
+
+
+class TestBuddyProperties:
+    @settings(max_examples=200, deadline=None)
+    @given(ops=operation_sequences())
+    def test_no_overlap_and_conservation(self, ops):
+        """Allocated blocks never overlap; free + allocated == capacity."""
+        allocator = BuddyAllocator(64)
+        live: list[Block] = []
+        for kind, value in ops:
+            if kind == "alloc":
+                try:
+                    live.append(allocator.allocate(value))
+                except AllocationError:
+                    assert not allocator.can_allocate(value)
+            elif live:
+                block = live.pop(value % len(live))
+                allocator.free(block)
+            covered = sorted(
+                (b.offset, b.offset + b.size) for b in allocator.allocated_blocks
+            )
+            for (_, end), (start, _) in zip(covered, covered[1:]):
+                assert end <= start
+            assert allocator.free_gpus + allocator.allocated_gpus == 64
+            assert set(live) == set(allocator.allocated_blocks)
+
+    @settings(max_examples=200, deadline=None)
+    @given(ops=operation_sequences())
+    def test_repack_always_eliminates_fragmentation(self, ops):
+        """After repack, any request within the free total succeeds."""
+        allocator = BuddyAllocator(64)
+        live: list[Block] = []
+        for kind, value in ops:
+            if kind == "alloc":
+                try:
+                    live.append(allocator.allocate(value))
+                except AllocationError:
+                    pass
+            elif live:
+                allocator.free(live.pop(value % len(live)))
+        allocator.apply_repack(allocator.repack_plan())
+        free = allocator.free_gpus
+        size = 1
+        while size <= free:
+            assert allocator.can_allocate(size)
+            size *= 2
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        sizes=st.lists(st.sampled_from([1, 2, 4, 8]), min_size=1, max_size=8),
+        new_log=st.integers(min_value=0, max_value=2),
+    )
+    def test_shrink_conserves_gpus(self, sizes, new_log):
+        allocator = BuddyAllocator(64)
+        blocks = [allocator.allocate(s) for s in sizes]
+        target = blocks[-1]
+        new_size = 2**new_log
+        if new_size >= target.size:
+            return
+        allocator.shrink(target, new_size)
+        expected_allocated = sum(sizes) - target.size + new_size
+        assert allocator.allocated_gpus == expected_allocated
+        assert allocator.free_gpus == 64 - expected_allocated

@@ -1,0 +1,172 @@
+"""Tests for topology-aware placement with migration-based defragmentation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import ClusterSpec, PlacementManager
+from repro.errors import PlacementError
+
+
+@pytest.fixture()
+def manager() -> PlacementManager:
+    return PlacementManager(ClusterSpec(n_nodes=4, gpus_per_node=8))
+
+
+class TestPlaceRelease:
+    def test_place_reports_compact_span(self, manager):
+        placement, migrated = manager.place("a", 8)
+        assert placement.n_gpus == 8
+        assert placement.nodes_spanned == 1
+        assert migrated == []
+
+    def test_multi_node_job_spans_whole_nodes(self, manager):
+        placement, _ = manager.place("a", 16)
+        assert placement.nodes_spanned == 2
+
+    def test_small_jobs_share_a_node(self, manager):
+        first, _ = manager.place("a", 4)
+        second, _ = manager.place("b", 4)
+        assert first.nodes_spanned == second.nodes_spanned == 1
+        assert {g // 8 for g in first.gpu_indices + second.gpu_indices} == {0}
+
+    def test_place_twice_rejected(self, manager):
+        manager.place("a", 2)
+        with pytest.raises(PlacementError):
+            manager.place("a", 2)
+
+    def test_place_beyond_capacity_rejected(self, manager):
+        manager.place("a", 32)
+        with pytest.raises(PlacementError):
+            manager.place("b", 1)
+
+    def test_release_frees_gpus(self, manager):
+        manager.place("a", 16)
+        manager.release("a")
+        assert manager.free_gpus == 32
+        assert not manager.is_placed("a")
+
+    def test_release_unknown_rejected(self, manager):
+        with pytest.raises(PlacementError):
+            manager.release("ghost")
+
+    def test_placement_of_unknown_rejected(self, manager):
+        with pytest.raises(PlacementError):
+            manager.placement_of("ghost")
+
+    def test_placed_jobs_sorted(self, manager):
+        manager.place("b", 2)
+        manager.place("a", 2)
+        assert manager.placed_jobs == ["a", "b"]
+
+
+class TestDefragmentation:
+    def test_place_migrates_to_defragment(self, manager):
+        """The Section 4.3 scenario: free GPUs exist but are scattered."""
+        manager.place("a", 4)
+        manager.place("hole1", 4)
+        manager.place("b", 4)
+        manager.place("hole2", 4)
+        manager.place("c", 16)
+        manager.release("hole1")
+        manager.release("hole2")
+        # 8 free GPUs but split into two non-buddy 4-blocks.
+        placement, migrated = manager.place("d", 8)
+        assert placement.n_gpus == 8
+        assert migrated  # somebody had to move
+        # All placements remain disjoint.
+        taken = [g for j in manager.placed_jobs for g in manager.placement_of(j).gpu_indices]
+        assert len(taken) == len(set(taken))
+
+    def test_no_migration_when_block_exists(self, manager):
+        manager.place("a", 8)
+        _, migrated = manager.place("b", 8)
+        assert migrated == []
+
+
+class TestResize:
+    def test_grow_in_place_or_move(self, manager):
+        manager.place("a", 4)
+        placement, _ = manager.resize("a", 8)
+        assert placement.n_gpus == 8
+        assert manager.free_gpus == 24
+
+    def test_shrink_keeps_prefix(self, manager):
+        before, _ = manager.place("a", 8)
+        after, migrated = manager.resize("a", 2)
+        assert migrated == []
+        assert after.gpu_indices == before.gpu_indices[:2]
+
+    def test_resize_same_size_is_noop(self, manager):
+        before, _ = manager.place("a", 4)
+        after, migrated = manager.resize("a", 4)
+        assert after.block == before.block
+        assert migrated == []
+
+    def test_grow_beyond_free_rejected(self, manager):
+        manager.place("a", 16)
+        manager.place("b", 16)
+        with pytest.raises(PlacementError):
+            manager.resize("a", 32)
+        # Job a is still placed after the failed resize.
+        assert manager.placement_of("a").n_gpus == 16
+
+    def test_resize_unknown_rejected(self, manager):
+        with pytest.raises(PlacementError):
+            manager.resize("ghost", 4)
+
+    def test_grow_with_defrag_migration(self, manager):
+        manager.place("a", 8)
+        manager.place("b", 8)
+        manager.place("c", 8)
+        manager.place("d", 8)
+        manager.release("a")
+        manager.release("c")
+        # b and d occupy blocks 1 and 3; growing b to 16 needs a repack.
+        placement, _ = manager.resize("b", 16)
+        assert placement.n_gpus == 16
+        taken = [g for j in manager.placed_jobs for g in manager.placement_of(j).gpu_indices]
+        assert len(taken) == len(set(taken))
+
+
+class TestPlacementProperties:
+    @settings(max_examples=100, deadline=None)
+    @given(
+        requests=st.lists(
+            st.tuples(
+                st.sampled_from(["place", "release", "resize"]),
+                st.sampled_from(["a", "b", "c", "d", "e"]),
+                st.sampled_from([1, 2, 4, 8, 16]),
+            ),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    def test_no_fragmentation_guarantee(self, requests):
+        """A request never fails while enough GPUs are idle (Theorem of 4.3)."""
+        manager = PlacementManager(ClusterSpec(n_nodes=4, gpus_per_node=8))
+        for op, job, size in requests:
+            try:
+                if op == "place":
+                    manager.place(job, size)
+                elif op == "release":
+                    manager.release(job)
+                else:
+                    manager.resize(job, size)
+            except PlacementError as exc:
+                message = str(exc)
+                # The only legitimate failures: duplicate place, unknown job,
+                # or genuinely too few idle GPUs.
+                assert (
+                    "already placed" in message
+                    or "not placed" in message
+                    or "idle" in message
+                ), message
+            # Invariant: placements are disjoint and within capacity.
+            taken = [
+                g
+                for j in manager.placed_jobs
+                for g in manager.placement_of(j).gpu_indices
+            ]
+            assert len(taken) == len(set(taken))
+            assert manager.free_gpus + len(taken) == 32

@@ -1,0 +1,112 @@
+"""Tests for the hierarchical GPU topology (paper Fig 5)."""
+
+import pytest
+
+from repro.cluster import ClusterSpec, TopologyLevel, build_topology
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def spec() -> ClusterSpec:
+    return ClusterSpec(n_nodes=16, gpus_per_node=8)
+
+
+@pytest.fixture(scope="module")
+def tree(spec):
+    return build_topology(spec)
+
+
+class TestClusterSpec:
+    def test_paper_testbed_shape(self, spec):
+        assert spec.total_gpus == 128
+        assert spec.n_racks == 1
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ClusterSpec(n_nodes=3)
+        with pytest.raises(ConfigurationError):
+            ClusterSpec(gpus_per_node=6)
+
+    def test_pcie_group_cannot_exceed_node(self):
+        with pytest.raises(ConfigurationError):
+            ClusterSpec(gpus_per_node=4, gpus_per_pcie_group=8)
+
+    def test_pcie_group_defaults_to_node(self):
+        assert ClusterSpec(gpus_per_node=8).gpus_per_pcie_group == 8
+
+    def test_node_of(self, spec):
+        assert spec.node_of(0) == 0
+        assert spec.node_of(7) == 0
+        assert spec.node_of(8) == 1
+        assert spec.node_of(127) == 15
+
+    def test_node_of_out_of_range(self, spec):
+        with pytest.raises(ConfigurationError):
+            spec.node_of(128)
+        with pytest.raises(ConfigurationError):
+            spec.node_of(-1)
+
+    def test_nodes_spanned(self, spec):
+        assert spec.nodes_spanned([0, 1, 2, 3]) == 1
+        assert spec.nodes_spanned([0, 8]) == 2
+        assert spec.nodes_spanned(list(range(32))) == 4
+
+    def test_nodes_spanned_empty_rejected(self, spec):
+        with pytest.raises(ConfigurationError):
+            spec.nodes_spanned([])
+
+    def test_multi_rack(self):
+        spec = ClusterSpec(n_nodes=32, nodes_per_rack=16)
+        assert spec.n_racks == 2
+
+
+class TestTopologyTree:
+    def test_root_covers_cluster(self, tree, spec):
+        assert tree.level is TopologyLevel.CLUSTER
+        assert tree.n_gpus == spec.total_gpus
+        assert tree.first_gpu == 0
+
+    def test_level_counts(self, tree):
+        assert len(tree.iter_level(TopologyLevel.RACK)) == 1
+        assert len(tree.iter_level(TopologyLevel.NODE)) == 16
+        assert len(tree.iter_level(TopologyLevel.GPU)) == 128
+
+    def test_nodes_are_contiguous_in_order(self, tree):
+        nodes = tree.iter_level(TopologyLevel.NODE)
+        assert [n.first_gpu for n in nodes] == [8 * i for i in range(16)]
+
+    def test_smallest_subtree_single_node(self, tree):
+        subtree = tree.smallest_subtree_containing([0, 3, 7])
+        assert subtree.level is TopologyLevel.NODE
+        assert subtree.first_gpu == 0
+
+    def test_smallest_subtree_cross_node(self, tree):
+        subtree = tree.smallest_subtree_containing([0, 8])
+        assert subtree.level is TopologyLevel.RACK
+
+    def test_smallest_subtree_single_gpu(self, tree):
+        subtree = tree.smallest_subtree_containing([42])
+        assert subtree.level is TopologyLevel.GPU
+        assert subtree.first_gpu == 42
+
+    def test_smallest_subtree_rejects_outside_gpu(self, tree):
+        node0 = tree.iter_level(TopologyLevel.NODE)[0]
+        with pytest.raises(ConfigurationError):
+            node0.smallest_subtree_containing([99])
+
+    def test_smallest_subtree_rejects_empty(self, tree):
+        with pytest.raises(ConfigurationError):
+            tree.smallest_subtree_containing([])
+
+    def test_fig5_style_pcie_groups(self):
+        """Paper Fig 5: two four-GPU PCIe groups per server."""
+        spec = ClusterSpec(n_nodes=2, gpus_per_node=8, gpus_per_pcie_group=4)
+        tree = build_topology(spec)
+        groups = tree.iter_level(TopologyLevel.PCIE_GROUP)
+        assert len(groups) == 4
+        assert all(g.n_gpus == 4 for g in groups)
+        # GPUs 0-3 share a group; GPUs 0 and 4 only share the server.
+        same_group = tree.smallest_subtree_containing([0, 3])
+        cross_group = tree.smallest_subtree_containing([0, 4])
+        assert same_group.level is TopologyLevel.PCIE_GROUP
+        assert cross_group.level is TopologyLevel.NODE

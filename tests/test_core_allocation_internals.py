@@ -1,0 +1,103 @@
+"""Direct unit tests for Algorithm 2's proposal machinery."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import Ledger
+from repro.core.allocation import Upgrade, _propose
+
+from conftest import synthetic_planning_job
+from repro.core.slots import SlotGrid
+
+FIG_CURVE = {1: 1.0, 2: 1.5, 4: 2.0}
+
+
+def grid() -> SlotGrid:
+    return SlotGrid(origin=0.0, slot_seconds=1.0, horizon=5)
+
+
+def seeded_ledger(info, plan):
+    ledger = Ledger(4, 5)
+    ledger.set_plan(info.job_id, np.asarray(plan, dtype=np.int64))
+    return ledger
+
+
+class TestPropose:
+    def test_proposes_next_size_step(self):
+        info = synthetic_planning_job("a", 3.0, 4.0, grid(), 4, FIG_CURVE)
+        ledger = seeded_ledger(info, [1, 1, 1, 0, 0])
+        upgrade = _propose(info, ledger, 1.0)
+        assert upgrade is not None
+        assert upgrade.plan[0] == 2
+        assert upgrade.added_gpus == 1
+
+    def test_no_proposal_at_the_top_size(self):
+        info = synthetic_planning_job("a", 3.0, 4.0, grid(), 4, FIG_CURVE)
+        ledger = seeded_ledger(info, [4, 0, 0, 0, 0])
+        assert _propose(info, ledger, 1.0) is None
+
+    def test_no_proposal_when_throughput_flat(self):
+        flat = {1: 1.0, 2: 1.5, 4: 1.5}
+        info = synthetic_planning_job("a", 3.0, 4.0, grid(), 4, flat)
+        ledger = seeded_ledger(info, [2, 2, 0, 0, 0])
+        assert _propose(info, ledger, 1.0) is None  # constraint (7)
+
+    def test_no_proposal_without_slot0_capacity(self):
+        info = synthetic_planning_job("a", 3.0, 4.0, grid(), 4, FIG_CURVE)
+        ledger = seeded_ledger(info, [1, 1, 1, 0, 0])
+        blocker = synthetic_planning_job("b", 1.0, 4.0, grid(), 4, FIG_CURVE)
+        ledger.set_plan("b", np.array([3, 0, 0, 0, 0]))
+        assert _propose(info, ledger, 1.0) is None
+
+    def test_priority_is_gpu_time_saved_per_gpu(self):
+        # Linear curve: upgrading 1 -> 2 halves the runtime; GPU-time equal,
+        # so the marginal return is ~zero (neither saved nor wasted).
+        linear = {1: 1.0, 2: 2.0, 4: 4.0}
+        info = synthetic_planning_job("a", 4.0, 5.0, grid(), 4, linear)
+        ledger = seeded_ledger(info, [1, 1, 1, 1, 0])
+        upgrade = _propose(info, ledger, 1.0)
+        assert upgrade is not None
+        assert upgrade.priority == pytest.approx(0.0, abs=1e-9)
+
+    def test_concave_upgrade_has_negative_priority(self):
+        info = synthetic_planning_job("a", 3.0, 4.0, grid(), 4, FIG_CURVE)
+        ledger = seeded_ledger(info, [1, 1, 1, 0, 0])
+        upgrade = _propose(info, ledger, 1.0)
+        assert upgrade.priority < 0  # running faster wastes GPU-time
+
+    def test_best_effort_first_gpu_is_infinite_priority(self):
+        info = synthetic_planning_job(
+            "be", 5.0, math.inf, grid(), 4, FIG_CURVE, best_effort=True
+        )
+        ledger = seeded_ledger(info, [0, 0, 0, 0, 0])
+        upgrade = _propose(info, ledger, 1.0)
+        assert upgrade is not None
+        assert math.isinf(upgrade.priority)
+        assert upgrade.tiebreak == pytest.approx(5.0)  # SRTF key
+
+    def test_degraded_job_uses_best_effort_path(self):
+        info = synthetic_planning_job("late", 5.0, 2.0, grid(), 4, FIG_CURVE)
+        info.degraded = True
+        ledger = seeded_ledger(info, [0, 0, 0, 0, 0])
+        upgrade = _propose(info, ledger, 1.0)
+        assert upgrade is not None
+        assert math.isinf(upgrade.priority)
+        assert upgrade.plan[1:].sum() == 0  # leftovers only, slot 0 only
+
+    def test_stale_version_stamped(self):
+        info = synthetic_planning_job("a", 3.0, 4.0, grid(), 4, FIG_CURVE)
+        ledger = seeded_ledger(info, [1, 1, 1, 0, 0])
+        upgrade = _propose(info, ledger, 1.0)
+        assert upgrade.ledger_version == ledger.version
+        ledger.set_plan("other", np.zeros(5, dtype=np.int64))
+        assert upgrade.ledger_version != ledger.version
+
+    def test_upgrade_is_frozen(self):
+        info = synthetic_planning_job("a", 3.0, 4.0, grid(), 4, FIG_CURVE)
+        ledger = seeded_ledger(info, [1, 1, 1, 0, 0])
+        upgrade = _propose(info, ledger, 1.0)
+        assert isinstance(upgrade, Upgrade)
+        with pytest.raises(AttributeError):
+            upgrade.priority = 1.0

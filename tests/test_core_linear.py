@@ -1,0 +1,128 @@
+"""Tests for the Theorem 1 linear-feasibility criterion, including the
+property that progressive filling agrees with it in the linear special case."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import AdmissionController, SlotGrid
+from repro.core.admission import PlanningJob
+from repro.core.linear import LinearJob, linear_feasible, linear_schedule_witness
+from repro.errors import ConfigurationError
+
+
+class TestLinearFeasible:
+    def test_single_job(self):
+        assert linear_feasible([LinearJob("a", gpu_seconds=10.0, deadline=10.0)], 1)
+        assert not linear_feasible(
+            [LinearJob("a", gpu_seconds=11.0, deadline=10.0)], 1
+        )
+
+    def test_cumulative_criterion(self):
+        jobs = [
+            LinearJob("a", gpu_seconds=4.0, deadline=2.0),
+            LinearJob("b", gpu_seconds=4.0, deadline=3.0),
+        ]
+        # 2 GPUs: by t=2 need 4 <= 4; by t=3 need 8 <= 6 -> infeasible.
+        assert not linear_feasible(jobs, 2)
+        assert linear_feasible(jobs, 3)
+
+    def test_order_independent_input(self):
+        jobs = [
+            LinearJob("late", gpu_seconds=1.0, deadline=10.0),
+            LinearJob("early", gpu_seconds=1.0, deadline=1.0),
+        ]
+        assert linear_feasible(jobs, 1)
+        assert linear_feasible(list(reversed(jobs)), 1)
+
+    def test_empty_set_feasible(self):
+        assert linear_feasible([], 4)
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LinearJob("a", gpu_seconds=0.0, deadline=1.0)
+        with pytest.raises(ConfigurationError):
+            LinearJob("a", gpu_seconds=1.0, deadline=0.0)
+        with pytest.raises(ConfigurationError):
+            linear_feasible([], 0)
+
+
+class TestWitness:
+    def test_witness_meets_every_deadline(self):
+        jobs = [
+            LinearJob("a", gpu_seconds=4.0, deadline=2.0),
+            LinearJob("b", gpu_seconds=4.0, deadline=3.0),
+        ]
+        witness = linear_schedule_witness(jobs, 3)
+        assert witness is not None
+        for job in jobs:
+            intervals = witness[job.job_id]
+            work = sum((end - start) * gpus for start, end, gpus in intervals)
+            assert work == pytest.approx(job.gpu_seconds)
+            assert max(end for _, end, _ in intervals) <= job.deadline + 1e-9
+
+    def test_witness_none_when_infeasible(self):
+        assert linear_schedule_witness(
+            [LinearJob("a", gpu_seconds=100.0, deadline=1.0)], 4
+        ) is None
+
+    def test_witness_never_oversubscribes(self):
+        jobs = [LinearJob(f"j{i}", gpu_seconds=2.0, deadline=5.0) for i in range(5)]
+        witness = linear_schedule_witness(jobs, 2)
+        assert witness is not None
+        # Jobs run back to back at full capacity: intervals must not overlap.
+        intervals = sorted(
+            interval for per_job in witness.values() for interval in per_job
+        )
+        for (s1, e1, _), (s2, _, _) in zip(intervals, intervals[1:]):
+            assert e1 <= s2 + 1e-9
+
+
+def linear_planning_job(job_id, gpu_seconds, deadline, grid, capacity, rate=1.0):
+    """PlanningJob with a perfectly linear curve T(x) = rate * x."""
+    throughput_table = rate * np.arange(capacity + 1, dtype=np.float64)
+    size_table = np.arange(capacity + 1, dtype=np.int64)
+    return PlanningJob(
+        job_id=job_id,
+        remaining_iterations=gpu_seconds * rate,
+        deadline=deadline,
+        weights=grid.weights_until(deadline),
+        throughput_table=throughput_table,
+        size_table=size_table,
+        sizes=list(range(1, capacity + 1)),
+    )
+
+
+class TestAgreementWithProgressiveFilling:
+    @settings(max_examples=80, deadline=None)
+    @given(
+        works=st.lists(
+            st.integers(min_value=1, max_value=12), min_size=1, max_size=5
+        ),
+        deadline_slots=st.lists(
+            st.integers(min_value=1, max_value=10), min_size=1, max_size=5
+        ),
+        capacity=st.integers(min_value=1, max_value=6),
+    )
+    def test_theorem1_matches_algorithm1_on_linear_curves(
+        self, works, deadline_slots, capacity
+    ):
+        """On slot-aligned linear instances, Theorem 1 and progressive
+        filling must reach the same verdict."""
+        n = min(len(works), len(deadline_slots))
+        grid = SlotGrid(origin=0.0, slot_seconds=1.0, horizon=12)
+        linear_jobs = [
+            LinearJob(f"j{i}", gpu_seconds=float(works[i]),
+                      deadline=float(deadline_slots[i]))
+            for i in range(n)
+        ]
+        infos = [
+            linear_planning_job(
+                f"j{i}", float(works[i]), float(deadline_slots[i]), grid, capacity
+            )
+            for i in range(n)
+        ]
+        theorem = linear_feasible(linear_jobs, capacity)
+        algorithm = AdmissionController(capacity).plan_shares(infos, grid).admitted
+        assert theorem == algorithm

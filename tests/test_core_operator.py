@@ -1,0 +1,197 @@
+"""Tests for operator admission policies (quotas and pricing, Section 4.4)."""
+
+import pytest
+
+from repro.cluster import ClusterSpec
+from repro.core import (
+    AdmitAllPolicy,
+    CompositePolicy,
+    ElasticFlowPolicy,
+    Job,
+    JobSpec,
+    PricingPolicy,
+    UserQuotaPolicy,
+)
+from repro.errors import ConfigurationError
+from repro.profiles import ThroughputModel
+from repro.sim import ElasticExecutor, Simulator
+
+MODEL = ThroughputModel()
+
+
+def job(i, user="alice", submit=0.0, deadline_rel=7200.0, iters=5000,
+        best_effort=False):
+    spec = JobSpec(
+        job_id=f"j{i}",
+        model_name="resnet50",
+        global_batch_size=128,
+        max_iterations=iters,
+        submit_time=submit,
+        deadline=None if best_effort else submit + deadline_rel,
+        user=user,
+    )
+    return Job(spec=spec)
+
+
+class TestAdmitAll:
+    def test_always_approves(self):
+        policy = AdmitAllPolicy()
+        assert policy.approve(job(0), 0.0)
+        policy.on_admitted(job(0), 0.0)  # no-op
+
+
+class TestUserQuota:
+    def test_enforces_per_user_cap(self):
+        policy = UserQuotaPolicy(max_jobs=2)
+        for i in range(2):
+            assert policy.approve(job(i), float(i))
+            policy.on_admitted(job(i), float(i))
+        assert not policy.approve(job(2), 2.0)
+
+    def test_quota_is_per_user(self):
+        policy = UserQuotaPolicy(max_jobs=1)
+        policy.on_admitted(job(0, user="alice"), 0.0)
+        assert not policy.approve(job(1, user="alice"), 1.0)
+        assert policy.approve(job(2, user="bob"), 1.0)
+
+    def test_window_slides(self):
+        policy = UserQuotaPolicy(max_jobs=1, window_s=100.0)
+        policy.on_admitted(job(0), 0.0)
+        assert not policy.approve(job(1), 50.0)
+        assert policy.approve(job(2), 200.0)  # first admission expired
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            UserQuotaPolicy(max_jobs=0)
+        with pytest.raises(ConfigurationError):
+            UserQuotaPolicy(max_jobs=1, window_s=0.0)
+
+
+class TestPricing:
+    def build(self, budget=100.0):
+        policy = PricingPolicy(budgets={"alice": budget}, rate_per_gpu_hour=1.0)
+        policy.register_curve(MODEL.curve("resnet50", 128))
+        return policy
+
+    def test_price_scales_with_work(self):
+        policy = self.build()
+        cheap = policy.price_of(job(0, iters=1000))
+        pricey = policy.price_of(job(1, iters=100_000))
+        assert pricey > cheap
+
+    def test_tight_deadline_costs_extra(self):
+        policy = self.build()
+        relaxed = policy.price_of(job(0, iters=500_000, deadline_rel=1e6))
+        urgent = policy.price_of(job(1, iters=500_000, deadline_rel=600.0))
+        assert urgent > relaxed
+
+    def test_best_effort_has_no_urgency_premium(self):
+        policy = self.build()
+        base = policy.price_of(job(0, iters=500_000, deadline_rel=1e9))
+        be = policy.price_of(job(1, iters=500_000, best_effort=True))
+        assert be == pytest.approx(base, rel=0.01)
+
+    def test_budget_depletes(self):
+        policy = self.build(budget=1.0)
+        first = job(0, iters=50_000)  # ~0.7 GPU-hours of work
+        assert policy.approve(first, 0.0)
+        policy.on_admitted(first, 0.0)
+        assert policy.balance("alice") < 1.0
+        # A second identical job no longer fits the budget.
+        assert not policy.approve(job(1, iters=50_000), 0.0)
+
+    def test_unknown_user_has_no_budget(self):
+        policy = self.build()
+        assert not policy.approve(job(0, user="mallory", iters=50_000), 0.0)
+
+    def test_unregistered_curve_rejected(self):
+        policy = PricingPolicy(budgets={"alice": 1.0})
+        with pytest.raises(ConfigurationError):
+            policy.price_of(job(0))
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PricingPolicy(budgets={}, rate_per_gpu_hour=0.0)
+        with pytest.raises(ConfigurationError):
+            PricingPolicy(budgets={"a": -1.0})
+
+
+class TestComposite:
+    def test_all_must_approve(self):
+        quota = UserQuotaPolicy(max_jobs=1)
+        composite = CompositePolicy([AdmitAllPolicy(), quota])
+        first = job(0)
+        assert composite.approve(first, 0.0)
+        composite.on_admitted(first, 0.0)
+        assert not composite.approve(job(1), 1.0)
+
+    def test_empty_composite_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CompositePolicy([])
+
+
+class TestSchedulerIntegration:
+    def test_quota_limits_a_flooding_user(self):
+        """The paper's malicious-user scenario: one user floods the cluster;
+        a quota keeps capacity available for others."""
+        specs = []
+        for i in range(6):
+            specs.append(
+                JobSpec(
+                    job_id=f"flood-{i}",
+                    model_name="resnet50",
+                    global_batch_size=128,
+                    max_iterations=20_000,
+                    submit_time=float(i),
+                    deadline=float(i) + 7200.0,
+                    user="mallory",
+                )
+            )
+        specs.append(
+            JobSpec(
+                job_id="victim",
+                model_name="bert",
+                global_batch_size=64,
+                max_iterations=5_000,
+                submit_time=10.0,
+                deadline=7200.0,
+                user="honest",
+            )
+        )
+        policy = ElasticFlowPolicy(operator_policy=UserQuotaPolicy(max_jobs=2))
+        result = Simulator(
+            ClusterSpec(2, 8),
+            policy,
+            specs,
+            throughput=MODEL,
+            executor=ElasticExecutor.disabled(),
+        ).run()
+        flood = [o for o in result.outcomes if o.job_id.startswith("flood")]
+        assert sum(o.admitted for o in flood) == 2
+        assert result.outcome_of("victim").admitted
+        assert result.outcome_of("victim").met_deadline
+
+    def test_best_effort_also_passes_operator_gate(self):
+        quota = UserQuotaPolicy(max_jobs=1)
+        specs = [
+            JobSpec(
+                job_id=f"be-{i}",
+                model_name="resnet50",
+                global_batch_size=128,
+                max_iterations=1000,
+                submit_time=float(i),
+                deadline=None,
+                user="alice",
+            )
+            for i in range(2)
+        ]
+        policy = ElasticFlowPolicy(operator_policy=quota)
+        result = Simulator(
+            ClusterSpec(2, 8),
+            policy,
+            specs,
+            throughput=MODEL,
+            executor=ElasticExecutor.disabled(),
+        ).run()
+        assert result.admitted_count == 1
+        assert result.dropped_count == 1

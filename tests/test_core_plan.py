@@ -1,0 +1,114 @@
+"""Tests for allocation plans and the occupancy ledger."""
+
+import numpy as np
+import pytest
+
+from repro.core import Ledger
+from repro.core.plan import zero_plan
+from repro.errors import ConfigurationError, SchedulingError
+
+
+class TestZeroPlan:
+    def test_shape_and_dtype(self):
+        plan = zero_plan(4)
+        assert plan.tolist() == [0, 0, 0, 0]
+        assert plan.dtype == np.int64
+
+    def test_invalid_horizon(self):
+        with pytest.raises(ConfigurationError):
+            zero_plan(0)
+
+
+class TestLedger:
+    def test_fresh_ledger_fully_available(self):
+        ledger = Ledger(capacity=8, horizon=3)
+        assert ledger.available().tolist() == [8, 8, 8]
+        assert ledger.job_ids == []
+
+    def test_set_plan_claims_capacity(self):
+        ledger = Ledger(capacity=8, horizon=3)
+        ledger.set_plan("a", np.array([2, 4, 0]))
+        assert ledger.available().tolist() == [6, 4, 8]
+        assert ledger.plan_of("a").tolist() == [2, 4, 0]
+
+    def test_replace_plan(self):
+        ledger = Ledger(capacity=8, horizon=2)
+        ledger.set_plan("a", np.array([4, 4]))
+        ledger.set_plan("a", np.array([1, 0]))
+        assert ledger.available().tolist() == [7, 8]
+
+    def test_replace_plan_capacity_check_uses_replacement(self):
+        ledger = Ledger(capacity=8, horizon=1)
+        ledger.set_plan("a", np.array([8]))
+        # Swapping a's plan for another size-8 plan is fine.
+        ledger.set_plan("a", np.array([8]))
+        assert ledger.available().tolist() == [0]
+
+    def test_overflow_rejected_and_state_unchanged(self):
+        ledger = Ledger(capacity=8, horizon=2)
+        ledger.set_plan("a", np.array([6, 0]))
+        with pytest.raises(SchedulingError, match="overflows"):
+            ledger.set_plan("b", np.array([4, 0]))
+        assert ledger.available().tolist() == [2, 8]
+        assert not ledger.has_plan("b")
+
+    def test_remove_plan(self):
+        ledger = Ledger(capacity=8, horizon=2)
+        ledger.set_plan("a", np.array([3, 3]))
+        ledger.remove_plan("a")
+        assert ledger.available().tolist() == [8, 8]
+        with pytest.raises(SchedulingError):
+            ledger.remove_plan("a")
+
+    def test_plan_of_unknown_rejected(self):
+        with pytest.raises(SchedulingError):
+            Ledger(4, 2).plan_of("ghost")
+
+    def test_clear(self):
+        ledger = Ledger(capacity=4, horizon=2)
+        ledger.set_plan("a", np.array([1, 1]))
+        ledger.clear()
+        assert ledger.available().tolist() == [4, 4]
+        assert ledger.job_ids == []
+
+    def test_plan_shape_validated(self):
+        ledger = Ledger(capacity=4, horizon=2)
+        with pytest.raises(SchedulingError):
+            ledger.set_plan("a", np.array([1, 1, 1]))
+
+    def test_plan_dtype_validated(self):
+        ledger = Ledger(capacity=4, horizon=2)
+        with pytest.raises(SchedulingError):
+            ledger.set_plan("a", np.array([0.5, 1.0]))
+
+    def test_negative_plan_rejected(self):
+        ledger = Ledger(capacity=4, horizon=2)
+        with pytest.raises(SchedulingError):
+            ledger.set_plan("a", np.array([-1, 1]))
+
+    def test_version_bumps_on_mutation(self):
+        ledger = Ledger(capacity=4, horizon=2)
+        v0 = ledger.version
+        ledger.set_plan("a", np.array([1, 1]))
+        v1 = ledger.version
+        ledger.remove_plan("a")
+        v2 = ledger.version
+        assert v0 < v1 < v2
+
+    def test_stored_plan_is_a_copy(self):
+        ledger = Ledger(capacity=4, horizon=2)
+        source = np.array([1, 1])
+        ledger.set_plan("a", source)
+        source[0] = 99
+        assert ledger.plan_of("a").tolist() == [1, 1]
+
+    def test_used_view_read_only(self):
+        ledger = Ledger(capacity=4, horizon=2)
+        with pytest.raises(ValueError):
+            ledger.used[0] = 3
+
+    def test_invalid_construction(self):
+        with pytest.raises(ConfigurationError):
+            Ledger(capacity=0, horizon=2)
+        with pytest.raises(ConfigurationError):
+            Ledger(capacity=4, horizon=0)

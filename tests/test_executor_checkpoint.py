@@ -1,0 +1,69 @@
+"""Tests for the versioned checkpoint store."""
+
+import pytest
+
+from repro.errors import ConfigurationError, SchedulingError
+from repro.executor import CheckpointStore
+
+
+@pytest.fixture()
+def store() -> CheckpointStore:
+    return CheckpointStore(keep_versions=2)
+
+
+class TestSaveLoad:
+    def test_versions_increase(self, store):
+        first = store.save("job", nbytes=1e9, iterations_done=100.0, now=10.0)
+        second = store.save("job", nbytes=1e9, iterations_done=200.0, now=20.0)
+        assert (first.version, second.version) == (1, 2)
+
+    def test_latest_returns_newest(self, store):
+        store.save("job", nbytes=1e9, iterations_done=100.0, now=10.0)
+        store.save("job", nbytes=1e9, iterations_done=200.0, now=20.0)
+        assert store.latest("job").iterations_done == 200.0
+
+    def test_missing_checkpoint_raises(self, store):
+        with pytest.raises(SchedulingError):
+            store.latest("ghost")
+        assert not store.has_checkpoint("ghost")
+
+    def test_lineages_are_per_job(self, store):
+        store.save("a", nbytes=1e9, iterations_done=1.0, now=1.0)
+        store.save("b", nbytes=1e9, iterations_done=2.0, now=1.0)
+        assert store.latest("a").iterations_done == 1.0
+        assert store.latest("b").iterations_done == 2.0
+
+
+class TestRetention:
+    def test_old_versions_pruned(self, store):
+        for i in range(5):
+            store.save("job", nbytes=1e9, iterations_done=float(i), now=float(i))
+        assert store.versions_of("job") == [4, 5]
+
+    def test_total_bytes_bounded_by_retention(self, store):
+        for i in range(10):
+            store.save("job", nbytes=1e9, iterations_done=float(i), now=float(i))
+        assert store.total_bytes == pytest.approx(2e9)
+
+    def test_forget_reclaims(self, store):
+        store.save("job", nbytes=1e9, iterations_done=1.0, now=1.0)
+        store.forget("job")
+        assert store.total_bytes == 0.0
+        assert not store.has_checkpoint("job")
+
+
+class TestInvariants:
+    def test_progress_never_regresses(self, store):
+        store.save("job", nbytes=1e9, iterations_done=500.0, now=1.0)
+        with pytest.raises(SchedulingError, match="lose progress"):
+            store.save("job", nbytes=1e9, iterations_done=400.0, now=2.0)
+
+    def test_invalid_checkpoint_rejected(self, store):
+        with pytest.raises(ConfigurationError):
+            store.save("job", nbytes=0.0, iterations_done=1.0, now=1.0)
+        with pytest.raises(ConfigurationError):
+            store.save("job", nbytes=1e9, iterations_done=-1.0, now=1.0)
+
+    def test_invalid_retention_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CheckpointStore(keep_versions=0)

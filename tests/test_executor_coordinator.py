@@ -1,0 +1,197 @@
+"""Tests for the worker FSM and the scaling coordinator."""
+
+import pytest
+
+from repro.errors import ConfigurationError, SchedulingError
+from repro.executor import (
+    JobCoordinator,
+    ScalingPhase,
+    Worker,
+    WorkerState,
+)
+from repro.profiles import ThroughputModel, get_model
+from repro.sim import ElasticExecutor
+
+MODEL = get_model("resnet50")
+
+
+def coordinator(**kwargs) -> JobCoordinator:
+    return JobCoordinator("job-1", MODEL, 256, **kwargs)
+
+
+class TestWorkerFSM:
+    def test_happy_path(self):
+        worker = Worker(worker_id="w0", gpu_index=0)
+        for state in (
+            WorkerState.INITIALIZING,
+            WorkerState.READY,
+            WorkerState.TRAINING,
+            WorkerState.PAUSED,
+            WorkerState.CHECKPOINTING,
+            WorkerState.PAUSED,
+            WorkerState.TRAINING,
+            WorkerState.STOPPED,
+        ):
+            worker.transition(state)
+        assert worker.is_terminal
+
+    def test_illegal_transition_rejected(self):
+        worker = Worker(worker_id="w0", gpu_index=0)
+        with pytest.raises(SchedulingError, match="illegal transition"):
+            worker.transition(WorkerState.TRAINING)  # CREATED -> TRAINING
+
+    def test_terminal_state_is_final(self):
+        worker = Worker(worker_id="w0", gpu_index=0)
+        worker.transition(WorkerState.INITIALIZING)
+        worker.transition(WorkerState.STOPPED)
+        with pytest.raises(SchedulingError):
+            worker.transition(WorkerState.READY)
+
+    def test_history_recorded(self):
+        worker = Worker(worker_id="w0", gpu_index=0)
+        worker.transition(WorkerState.INITIALIZING)
+        assert worker.history == [WorkerState.CREATED, WorkerState.INITIALIZING]
+
+    def test_invalid_construction(self):
+        with pytest.raises(ConfigurationError):
+            Worker(worker_id="", gpu_index=0)
+        with pytest.raises(ConfigurationError):
+            Worker(worker_id="w0", gpu_index=-1)
+
+
+class TestLaunch:
+    def test_cold_start_brings_workers_to_training(self):
+        coord = coordinator()
+        transcript = coord.launch([0, 1, 2, 3], now=0.0)
+        assert coord.n_workers == 4
+        assert coord.is_running
+        assert transcript.old_workers == 0
+        assert transcript.new_workers == 4
+        # No drain/checkpoint/restore on a first launch.
+        assert transcript.seconds_in(ScalingPhase.DRAIN) == 0.0
+        assert transcript.seconds_in(ScalingPhase.CHECKPOINT) == 0.0
+        assert transcript.seconds_in(ScalingPhase.RESTORE) == 0.0
+
+    def test_local_batches_assigned(self):
+        coord = coordinator()
+        coord.launch([0, 1, 2, 3], now=0.0)
+        assert sum(w.local_batch for w in coord.workers.values()) == 256
+
+    def test_double_launch_rejected(self):
+        coord = coordinator()
+        coord.launch([0], now=0.0)
+        with pytest.raises(SchedulingError):
+            coord.launch([1], now=1.0)
+
+    def test_bad_indices_rejected(self):
+        coord = coordinator()
+        with pytest.raises(ConfigurationError):
+            coord.launch([], now=0.0)
+        with pytest.raises(ConfigurationError):
+            coord.launch([0, 0], now=0.0)
+        with pytest.raises(ConfigurationError):
+            coord.launch([-1], now=0.0)
+
+
+class TestScale:
+    def test_grow_preserves_survivors(self):
+        coord = coordinator()
+        coord.launch([0, 1], now=0.0)
+        survivors = {gpu: coord.workers[gpu] for gpu in (0, 1)}
+        transcript = coord.scale(
+            [0, 1, 2, 3], now=100.0, iterations_done=500.0, iteration_seconds=0.05
+        )
+        assert coord.n_workers == 4
+        # Surviving workers kept their objects (NCCL groups stay alive).
+        assert coord.workers[0] is survivors[0]
+        assert coord.workers[1] is survivors[1]
+        assert transcript.plan.n_workers == 4
+
+    def test_shrink_stops_departures(self):
+        coord = coordinator()
+        coord.launch([0, 1, 2, 3], now=0.0)
+        departing = coord.workers[3]
+        coord.scale([0, 1], now=50.0, iterations_done=100.0, iteration_seconds=0.05)
+        assert coord.n_workers == 2
+        assert departing.is_terminal
+
+    def test_protocol_phase_order(self):
+        coord = coordinator()
+        coord.launch([0], now=0.0)
+        transcript = coord.scale(
+            [0, 1], now=10.0, iterations_done=50.0, iteration_seconds=0.1
+        )
+        order = [record.phase for record in transcript.phases]
+        assert order == [
+            ScalingPhase.DRAIN,
+            ScalingPhase.CHECKPOINT,
+            ScalingPhase.RECONFIGURE,
+            ScalingPhase.RESTORE,
+            ScalingPhase.RESUME,
+        ]
+        times = [record.start for record in transcript.phases]
+        assert times == sorted(times)
+
+    def test_progress_carried_through_checkpoint(self):
+        coord = coordinator()
+        coord.launch([0], now=0.0)
+        coord.scale([0, 1], now=10.0, iterations_done=123.0, iteration_seconds=0.1)
+        assert coord.iterations_done == 123.0
+        assert coord.store.latest("job-1").iterations_done == 123.0
+
+    def test_scale_without_launch_rejected(self):
+        with pytest.raises(SchedulingError):
+            coordinator().scale(
+                [0], now=0.0, iterations_done=0.0, iteration_seconds=0.1
+            )
+
+
+class TestSuspendAndFinish:
+    def test_suspend_releases_everything(self):
+        coord = coordinator()
+        coord.launch([0, 1], now=0.0)
+        transcript = coord.suspend(
+            now=10.0, iterations_done=42.0, iteration_seconds=0.05
+        )
+        assert coord.n_workers == 0
+        assert transcript.new_workers == 0
+        assert transcript.seconds_in(ScalingPhase.RESTORE) == 0.0
+        assert coord.store.has_checkpoint("job-1")
+
+    def test_relaunch_restores_from_checkpoint(self):
+        coord = coordinator()
+        coord.launch([0], now=0.0)
+        coord.suspend(now=10.0, iterations_done=42.0, iteration_seconds=0.05)
+        transcript = coord.launch([2, 3], now=100.0)
+        assert transcript.seconds_in(ScalingPhase.RESTORE) > 0.0
+        assert coord.iterations_done == 42.0
+
+    def test_finish_reclaims_checkpoints(self):
+        coord = coordinator()
+        coord.launch([0], now=0.0)
+        coord.scale([0, 1], now=5.0, iterations_done=10.0, iteration_seconds=0.05)
+        coord.finish()
+        assert coord.n_workers == 0
+        assert not coord.store.has_checkpoint("job-1")
+
+
+class TestAgreementWithClosedForm:
+    def test_transcript_close_to_elastic_executor(self):
+        """The simulator's closed-form overhead tracks the detailed protocol."""
+        executor = ElasticExecutor()
+        curve = ThroughputModel().curve("resnet50", 256)
+        for old, new in [(1, 8), (8, 1), (4, 8), (8, 4)]:
+            coord = coordinator()
+            coord.launch(list(range(old)), now=0.0)
+            transcript = coord.scale(
+                list(range(new)),
+                now=100.0,
+                iterations_done=10.0,
+                iteration_seconds=curve.iteration_seconds(old),
+            )
+            closed_form = executor.scaling_overhead(MODEL, old, new)
+            # The transcript adds the drain (sub-second) and counts only
+            # joining workers; both stay within a small factor.
+            assert transcript.total_seconds == pytest.approx(
+                closed_form, rel=0.5
+            )

@@ -1,0 +1,92 @@
+"""Tests for local batch-size reconfiguration."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.executor import accumulation_steps, plan_reconfiguration, shard_batch
+from repro.profiles import get_model
+
+
+class TestShardBatch:
+    def test_even_split(self):
+        assert shard_batch(256, 8) == [32] * 8
+
+    def test_remainder_spread(self):
+        assert shard_batch(10, 4) == [3, 3, 2, 2]
+
+    def test_single_worker(self):
+        assert shard_batch(256, 1) == [256]
+
+    def test_more_workers_than_samples_rejected(self):
+        with pytest.raises(ConfigurationError):
+            shard_batch(4, 8)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            shard_batch(0, 1)
+        with pytest.raises(ConfigurationError):
+            shard_batch(8, 0)
+
+    @settings(max_examples=200)
+    @given(
+        global_batch=st.integers(min_value=1, max_value=4096),
+        n_workers=st.integers(min_value=1, max_value=256),
+    )
+    def test_shards_conserve_and_balance(self, global_batch, n_workers):
+        """Shards always sum to the global batch and differ by at most 1."""
+        if n_workers > global_batch:
+            with pytest.raises(ConfigurationError):
+                shard_batch(global_batch, n_workers)
+            return
+        shards = shard_batch(global_batch, n_workers)
+        assert sum(shards) == global_batch
+        assert max(shards) - min(shards) <= 1
+        assert all(s >= 1 for s in shards)
+
+
+class TestAccumulation:
+    def test_no_accumulation_when_it_fits(self):
+        assert accumulation_steps(32, 64) == 1
+
+    def test_accumulation_rounds_up(self):
+        assert accumulation_steps(100, 32) == 4
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            accumulation_steps(0, 8)
+        with pytest.raises(ConfigurationError):
+            accumulation_steps(8, 0)
+
+
+class TestPlanReconfiguration:
+    def test_plan_fields(self):
+        plan = plan_reconfiguration(get_model("resnet50"), 256, 8)
+        assert plan.n_workers == 8
+        assert plan.global_batch == 256
+        assert plan.max_local_batch == 32
+        assert not plan.uses_accumulation
+
+    def test_accumulation_on_memory_pressure(self):
+        # gpt2 fits 32 samples; a 256 batch on 2 workers needs 4 micro-steps.
+        plan = plan_reconfiguration(get_model("gpt2"), 256, 2)
+        assert plan.uses_accumulation
+        assert plan.accumulation == (4, 4)
+
+    def test_single_gpu_always_plannable(self):
+        for name in ("resnet50", "vgg16", "gpt2", "deepspeech2"):
+            plan = plan_reconfiguration(get_model(name), 256, 1)
+            assert plan.local_batches == (256,)
+
+    @settings(max_examples=100)
+    @given(
+        n_workers=st.sampled_from([1, 2, 4, 8, 16, 32]),
+        batch=st.sampled_from([32, 64, 128, 256]),
+    )
+    def test_global_batch_always_preserved(self, n_workers, batch):
+        """Section 5: local batch sizes always maintain the global batch."""
+        if n_workers > batch:
+            return
+        plan = plan_reconfiguration(get_model("bert"), batch, n_workers)
+        assert plan.global_batch == batch

@@ -1,0 +1,150 @@
+"""Small-scale integration tests for the heavy figure drivers.
+
+The benchmarks run the drivers at their paper-like scales; these tests run
+them at toy scales so the drivers' plumbing (series extraction,
+normalisation, row shapes) is exercised in the fast suite.
+"""
+
+import math
+
+import pytest
+
+from repro.experiments import (
+    fig6_deadline_satisfaction,
+    fig7_timelines,
+    fig8b_trace_sweep,
+    fig9_sources_of_improvement,
+    fig10_cluster_efficiency,
+    fig11_best_effort_mix,
+    lambda_tightness_sweep,
+)
+from repro.experiments.harness import ExperimentConfig
+
+
+@pytest.fixture(scope="module")
+def config() -> ExperimentConfig:
+    return ExperimentConfig(seed=2, slot_seconds=900.0)
+
+
+class TestFig6Driver:
+    def test_small_scale_runs_all_policies(self, config):
+        result = fig6_deadline_satisfaction(scale="small", config=config)
+        assert len(result.results) == 7
+        for ratio in result.satisfactory_ratios.values():
+            assert 0.0 <= ratio <= 1.0
+
+    def test_rows_align_with_results(self, config):
+        result = fig6_deadline_satisfaction(scale="small", config=config)
+        rows = result.rows()
+        assert len(rows) == 7
+        for name, ratio, met, dropped in rows:
+            assert result.results[name].deadlines_met == met
+            assert result.results[name].dropped_count == dropped
+
+    def test_unknown_scale_rejected(self, config):
+        with pytest.raises(ValueError):
+            fig6_deadline_satisfaction(scale="medium", config=config)
+
+
+class TestFig7Driver:
+    def test_series_extracted_for_requested_policies(self, config):
+        series = fig7_timelines(
+            config=config,
+            scale="small",
+            policies=("elasticflow", "gandiva"),
+            resolution_s=3600.0,
+        )
+        assert set(series) == {"elasticflow", "gandiva"}
+        for line in series.values():
+            assert len(line.hours) == len(line.gpus_in_use)
+            assert list(line.submitted) == sorted(line.submitted)
+
+    def test_unknown_policy_rejected(self, config):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            fig7_timelines(config=config, scale="small", policies=("pollux2",))
+
+
+class TestFig8bDriver:
+    def test_subset_sweep(self, config):
+        rows = fig8b_trace_sweep(
+            config=config,
+            scale=0.0625,
+            trace_indices=(0,),
+            include_philly=False,
+            policies=("elasticflow", "edf"),
+        )
+        assert len(rows) == 1
+        assert set(rows[0].ratios) == {"elasticflow", "edf"}
+
+    def test_invalid_scale_rejected(self, config):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            fig8b_trace_sweep(config=config, scale=0.0)
+
+
+class TestFig9Driver:
+    def test_two_point_sweep(self, config):
+        rows = fig9_sources_of_improvement(
+            config=config,
+            cluster_sizes=(16, 64),
+            n_jobs=20,
+            workload_gpus=16,
+            target_load=1.5,
+        )
+        assert [row.cluster_gpus for row in rows] == [16, 64]
+        for row in rows:
+            assert set(row.ratios) == {"edf", "edf+ac", "edf+es", "elasticflow"}
+
+    def test_invalid_sizes_rejected(self, config):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            fig9_sources_of_improvement(config=config, cluster_sizes=(17,))
+
+
+class TestFig10Driver:
+    def test_loose_deadlines_admit_everything(self, config):
+        result = fig10_cluster_efficiency(
+            config=config,
+            cluster_gpus=16,
+            n_jobs=15,
+            policies=("elasticflow", "gandiva"),
+            resolution_s=3600.0,
+        )
+        assert result.all_jobs_ran_everywhere
+        assert set(result.mean_efficiency) == {"elasticflow", "gandiva"}
+        for values in result.efficiency.values():
+            assert all(0.0 <= v <= 1.0 + 1e-9 for v in values)
+
+
+class TestLambdaSweepDriver:
+    def test_two_point_sweep(self, config):
+        rows = lambda_tightness_sweep(
+            config=config,
+            tightness_values=(0.8, 2.0),
+            cluster_gpus=16,
+            n_jobs=15,
+            policies=("elasticflow", "gandiva"),
+        )
+        assert [row.tightness for row in rows] == [0.8, 2.0]
+        # Non-elastic scheduling cannot satisfy lambda < 1 deadlines.
+        assert rows[0].ratios["gandiva"] == 0.0
+        assert rows[1].ratios["elasticflow"] >= rows[0].ratios["elasticflow"]
+
+
+class TestFig11Driver:
+    def test_two_fraction_sweep(self, config):
+        rows = fig11_best_effort_mix(
+            config=config,
+            fractions=(0.0, 0.5),
+            cluster_gpus=16,
+            n_jobs=20,
+            policies=("elasticflow", "gandiva"),
+        )
+        assert [row.best_effort_fraction for row in rows] == [0.0, 0.5]
+        # With no best-effort jobs, normalised JCT is NaN by construction.
+        assert math.isnan(rows[0].best_effort_jct_normalized["elasticflow"])
+        assert not math.isnan(rows[1].best_effort_jct_normalized["elasticflow"])

@@ -1,0 +1,110 @@
+"""Tests for the experiment harness and one small end-to-end driver run."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.harness import (
+    ExperimentConfig,
+    improvement_factors,
+    run_policies,
+)
+from repro.experiments.harness import testbed_workload as build_testbed
+
+
+@pytest.fixture(scope="module")
+def config() -> ExperimentConfig:
+    return ExperimentConfig(seed=1, slot_seconds=600.0)
+
+
+class TestExperimentConfig:
+    def test_executor_reflects_toggle(self, config):
+        assert ExperimentConfig(overheads_enabled=False).executor().enabled is False
+        assert ExperimentConfig(overheads_enabled=True).executor().enabled is True
+
+    def test_policy_forwards_protection_knobs(self):
+        config = ExperimentConfig(
+            safety_margin=0.07, deadline_padding_s=33.0, stability_threshold=0.2
+        )
+        policy = config.policy("elasticflow")
+        assert policy.safety_margin == 0.07
+        assert policy.deadline_padding_s == 33.0
+        assert policy.stability_threshold == 0.2
+
+    def test_baselines_get_no_knobs(self, config):
+        policy = config.policy("edf")
+        assert policy.name == "edf"
+
+
+class TestTestbedWorkload:
+    def test_cluster_and_jobs_consistent(self, config):
+        cluster, specs = build_testbed(config, cluster_gpus=32, n_jobs=25)
+        assert cluster.total_gpus == 32
+        assert len(specs) == 25
+
+    def test_deterministic_per_seed(self, config):
+        _, a = build_testbed(config, cluster_gpus=32, n_jobs=10)
+        _, b = build_testbed(config, cluster_gpus=32, n_jobs=10)
+        assert a == b
+
+    def test_best_effort_fraction_forwarded(self, config):
+        _, specs = build_testbed(
+            config, cluster_gpus=32, n_jobs=40, best_effort_fraction=1.0
+        )
+        assert all(spec.best_effort for spec in specs)
+
+    def test_non_node_multiple_rejected(self, config):
+        with pytest.raises(ConfigurationError):
+            build_testbed(config, cluster_gpus=33, n_jobs=10)
+
+
+class TestRunPolicies:
+    def test_runs_each_named_policy(self, config):
+        cluster, specs = build_testbed(config, cluster_gpus=16, n_jobs=8)
+        results = run_policies(["elasticflow", "edf"], cluster, specs, config)
+        assert set(results) == {"elasticflow", "edf"}
+        for result in results.values():
+            assert result.completed_count + result.dropped_count == 8
+
+    def test_timeline_recording_toggle(self, config):
+        cluster, specs = build_testbed(config, cluster_gpus=16, n_jobs=5)
+        off = run_policies(["edf"], cluster, specs, config)["edf"]
+        on = run_policies(
+            ["edf"], cluster, specs, config, record_timeline=True
+        )["edf"]
+        assert off.timeline is None
+        assert on.timeline is not None and len(on.timeline) > 0
+
+    def test_empty_policy_list_rejected(self, config):
+        cluster, specs = build_testbed(config, cluster_gpus=16, n_jobs=5)
+        with pytest.raises(ConfigurationError):
+            run_policies([], cluster, specs, config)
+
+
+class TestImprovementFactors:
+    def test_factors_relative_to_reference(self, config):
+        cluster, specs = build_testbed(
+            config, cluster_gpus=16, n_jobs=20, target_load=2.0
+        )
+        results = run_policies(["elasticflow", "gandiva"], cluster, specs, config)
+        factors = improvement_factors(results)
+        assert "gandiva" in factors and "elasticflow" not in factors
+        expected = results["elasticflow"].deadlines_met / max(
+            1, results["gandiva"].deadlines_met
+        )
+        assert factors["gandiva"] == pytest.approx(expected)
+
+    def test_zero_baseline_gives_infinity(self):
+        from repro.sim.metrics import SimulationResult
+
+        results = {
+            "elasticflow": SimulationResult(policy_name="elasticflow", outcomes=[]),
+            "edf": SimulationResult(policy_name="edf", outcomes=[]),
+        }
+        factors = improvement_factors(results)
+        assert math.isinf(factors["edf"]) or factors["edf"] == 0
+
+    def test_missing_reference_rejected(self):
+        with pytest.raises(ConfigurationError):
+            improvement_factors({})

@@ -1,0 +1,119 @@
+"""Tests for the lightweight experiment drivers (no simulation needed)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments import (
+    fig2a_scaling_curves,
+    fig2b_placement_throughput,
+    fig3_edf_example,
+    fig4_admission_example,
+    fig12a_profiling_overheads,
+    fig12b_scaling_overheads,
+    format_series,
+    format_table,
+    table1_models,
+)
+from repro.experiments.fig12_overheads import SCALING_CASES
+
+
+class TestTable1:
+    def test_six_models_grouped_by_task(self):
+        rows = table1_models()
+        assert len(rows) == 6
+        tasks = [row.task for row in rows]
+        # Grouped: cv rows first, then nlp, then speech.
+        assert tasks == sorted(tasks, key={"cv": 0, "nlp": 1, "speech": 2}.get)
+
+    def test_batch_sizes_sorted(self):
+        for row in table1_models():
+            assert list(row.batch_sizes) == sorted(row.batch_sizes)
+
+
+class TestFig2:
+    def test_fig2a_covers_all_models(self):
+        series = fig2a_scaling_curves()
+        assert {s.model for s in series} == {
+            "resnet50", "vgg16", "inceptionv3", "bert", "gpt2", "deepspeech2"
+        }
+        for line in series:
+            assert line.speedups[0] == pytest.approx(1.0)
+
+    def test_fig2b_normalised_to_scattered(self):
+        series = fig2b_placement_throughput()
+        for line in series:
+            assert line.speedups[-1] == pytest.approx(1.0)
+            assert line.speedups[0] > 1.5  # compact placement clearly wins
+
+    def test_fig2b_resnet_anchor(self):
+        series = {s.model: s for s in fig2b_placement_throughput()}
+        assert series["resnet50"].speedups[0] == pytest.approx(2.17, abs=0.15)
+
+
+class TestFig3:
+    def test_edf_violates_b(self):
+        outcome = fig3_edf_example()
+        assert outcome["edf"].deadlines_met == 1
+        assert not outcome["edf"].b_met
+
+    def test_one_worker_each_succeeds(self):
+        outcome = fig3_edf_example()
+        assert outcome["one_worker_each"].deadlines_met == 2
+
+    def test_elasticflow_finds_the_schedule(self):
+        assert fig3_edf_example()["elasticflow_admits_both"]
+
+
+class TestFig4:
+    def test_paper_numbers(self):
+        result = fig4_admission_example()
+        assert result.plan[:2] == (1, 4)
+        assert result.gpu_time_alone == 4.0
+        assert result.gpu_time_contended == 5.0
+
+
+class TestFig12:
+    def test_profiling_rows(self):
+        rows = fig12a_profiling_overheads()
+        assert len(rows) == 6
+        for row in rows:
+            assert row.overhead_minutes > 0
+            assert row.configurations_profiled >= len(row.batch_sizes) * 2
+
+    def test_scaling_rows_cover_all_cases(self):
+        rows = fig12b_scaling_overheads()
+        labels = {label for _, _, label in SCALING_CASES}
+        for row in rows:
+            assert set(row.seconds_by_case) == labels
+            assert all(v > 0 for v in row.seconds_by_case.values())
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [(1, 2.5), ("x", "y")])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+        assert "2.500" in lines[2]
+
+    def test_format_table_title(self):
+        text = format_table(["a"], [(1,)], title="T")
+        assert text.splitlines()[0] == "T"
+
+    def test_format_table_mismatched_row_rejected(self):
+        with pytest.raises(ConfigurationError):
+            format_table(["a", "b"], [(1,)])
+
+    def test_format_series(self):
+        text = format_series("y", [1, 2], [3.0, 4.0], x_label="x")
+        lines = text.splitlines()
+        assert lines[0].startswith("x")
+        assert lines[1].startswith("y")
+
+    def test_format_series_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            format_series("y", [1], [1, 2])
+
+    def test_format_table_empty_rows(self):
+        text = format_table(["col"], [])
+        assert "col" in text

@@ -1,0 +1,119 @@
+"""Tests for the clairvoyant admission oracle."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterSpec
+from repro.core import JobSpec
+from repro.errors import ConfigurationError
+from repro.experiments.oracle import clairvoyant_max_admissions
+from repro.profiles import ThroughputModel
+from repro.sim import ElasticExecutor, Simulator
+from repro.baselines import make_policy
+
+MODEL = ThroughputModel()
+
+
+def spec(i, seconds, lam, submit=0.0):
+    one = MODEL.curve("resnet50", 128).throughput(1)
+    return JobSpec(
+        job_id=f"j{i}",
+        model_name="resnet50",
+        global_batch_size=128,
+        max_iterations=max(1, int(one * seconds)),
+        submit_time=submit,
+        deadline=submit + lam * seconds,
+    )
+
+
+class TestOracle:
+    def test_all_feasible_when_light(self):
+        specs = [spec(i, 1200.0, 2.0) for i in range(4)]
+        result = clairvoyant_max_admissions(specs, 16, MODEL)
+        assert result.max_admissions == 4
+        assert result.best_subset == ("j0", "j1", "j2", "j3")
+
+    def test_zero_when_all_impossible(self):
+        # Work far beyond peak throughput within the deadline.
+        one = MODEL.curve("resnet50", 128).throughput(1)
+        impossible = [
+            JobSpec(
+                job_id=f"j{i}",
+                model_name="resnet50",
+                global_batch_size=128,
+                max_iterations=int(one * 1e6),
+                deadline=60.0,
+            )
+            for i in range(3)
+        ]
+        result = clairvoyant_max_admissions(impossible, 16, MODEL)
+        assert result.max_admissions == 0
+
+    def test_capacity_limits_the_subset(self):
+        # Each job needs the whole 16-GPU cluster for its entire window: a
+        # required rate strictly between the 8-GPU and 16-GPU throughputs.
+        curve = MODEL.curve("resnet50", 256)
+        required_speedup = 0.5 * (curve.speedup(8) + curve.speedup(16))
+        tight_lambda = 1.0 / required_speedup
+        one = curve.throughput(1)
+        specs = [
+            JobSpec(
+                job_id=f"j{i}",
+                model_name="resnet50",
+                global_batch_size=256,
+                max_iterations=max(1, int(one * 1800.0)),
+                deadline=tight_lambda * 1800.0,
+            )
+            for i in range(3)
+        ]
+        result = clairvoyant_max_admissions(specs, 16, MODEL)
+        assert result.max_admissions == 1
+
+    def test_best_effort_jobs_ignored(self):
+        specs = [spec(0, 1200.0, 2.0)]
+        specs.append(
+            JobSpec(
+                job_id="be",
+                model_name="bert",
+                global_batch_size=64,
+                max_iterations=100,
+                deadline=None,
+            )
+        )
+        result = clairvoyant_max_admissions(specs, 16, MODEL)
+        assert result.max_admissions == 1
+        assert result.best_subset == ("j0",)
+
+    def test_input_validation(self):
+        with pytest.raises(ConfigurationError):
+            clairvoyant_max_admissions([], 16, MODEL)
+        with pytest.raises(ConfigurationError):
+            clairvoyant_max_admissions(
+                [spec(i, 600.0, 1.0) for i in range(15)], 16, MODEL
+            )
+
+
+class TestOnlineVersusOracle:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_online_admission_within_oracle(self, seed):
+        """ElasticFlow's online count never exceeds the clairvoyant optimum
+        and stays within a reasonable factor of it."""
+        rng = np.random.default_rng(seed)
+        specs = []
+        for i in range(8):
+            seconds = float(rng.uniform(600, 2400))
+            lam = float(rng.uniform(0.5, 1.2))
+            submit = float(rng.uniform(0, 300))
+            specs.append(spec(i, seconds, lam, submit=submit))
+        oracle = clairvoyant_max_admissions(specs, 16, MODEL)
+        result = Simulator(
+            ClusterSpec(2, 8),
+            make_policy("elasticflow"),
+            specs,
+            throughput=MODEL,
+            executor=ElasticExecutor.disabled(),
+        ).run()
+        online = result.admitted_count
+        assert online <= oracle.max_admissions
+        if oracle.max_admissions:
+            assert online >= 0.5 * oracle.max_admissions

@@ -1,0 +1,87 @@
+"""Tests for the multi-seed statistics helper."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.experiments.stats import SeedSweep, sweep_seeds
+
+
+class TestSeedSweep:
+    def test_mean_and_std(self):
+        sweep = SeedSweep(values=(1.0, 2.0, 3.0))
+        assert sweep.mean == pytest.approx(2.0)
+        assert sweep.std == pytest.approx(1.0)
+        assert sweep.n == 3
+
+    def test_single_value_has_zero_spread(self):
+        sweep = SeedSweep(values=(5.0,))
+        assert sweep.std == 0.0
+        assert sweep.ci95_halfwidth == 0.0
+        assert sweep.ci95 == (5.0, 5.0)
+
+    def test_ci_contains_mean(self):
+        sweep = SeedSweep(values=(0.7, 0.8, 0.9, 0.75))
+        low, high = sweep.ci95
+        assert low < sweep.mean < high
+
+    def test_str_format(self):
+        text = str(SeedSweep(values=(1.0, 1.0)))
+        assert "n=2" in text
+
+
+class TestSweepSeeds:
+    def test_calls_metric_per_seed(self):
+        seen = []
+
+        def metric(seed):
+            seen.append(seed)
+            return seed * 0.1
+
+        sweep = sweep_seeds(metric, [1, 2, 3])
+        assert seen == [1, 2, 3]
+        assert sweep.values == (0.1, 0.2, pytest.approx(0.3))
+
+    def test_empty_seeds_rejected(self):
+        with pytest.raises(ConfigurationError):
+            sweep_seeds(lambda s: 1.0, [])
+
+    def test_non_finite_metric_rejected(self):
+        with pytest.raises(ConfigurationError):
+            sweep_seeds(lambda s: math.nan, [1])
+
+    def test_deterministic_metric_zero_variance(self):
+        sweep = sweep_seeds(lambda s: 0.5, [1, 2, 3, 4])
+        assert sweep.std == 0.0
+
+    @settings(max_examples=50)
+    @given(values=st.lists(st.floats(min_value=-100, max_value=100), min_size=2, max_size=20))
+    def test_ci_width_shrinks_with_more_samples(self, values):
+        sweep = SeedSweep(values=tuple(values))
+        doubled = SeedSweep(values=tuple(values) * 4)
+        assert doubled.ci95_halfwidth <= sweep.ci95_halfwidth + 1e-9
+
+
+class TestEndToEnd:
+    def test_dsr_across_seeds(self):
+        """A tiny real sweep: ElasticFlow DSR across three workload seeds."""
+        from repro.experiments.harness import (
+            ExperimentConfig,
+            run_policies,
+            testbed_workload,
+        )
+
+        def metric(seed):
+            config = ExperimentConfig(seed=seed)
+            cluster, specs = testbed_workload(
+                config, cluster_gpus=16, n_jobs=12, target_load=1.4
+            )
+            result = run_policies(["elasticflow"], cluster, specs, config)
+            return result["elasticflow"].deadline_satisfactory_ratio
+
+        sweep = sweep_seeds(metric, [0, 1, 2])
+        assert 0.0 <= sweep.mean <= 1.0
+        assert sweep.n == 3

@@ -1,0 +1,71 @@
+"""Tests for the public package surface and the exception hierarchy."""
+
+import importlib
+
+import pytest
+
+import repro
+from repro import errors
+
+
+class TestTopLevelExports:
+    def test_version_string(self):
+        assert repro.__version__.count(".") == 2
+
+    def test_quickstart_names_available(self):
+        for name in (
+            "ClusterSpec",
+            "JobSpec",
+            "ElasticFlowPolicy",
+            "Simulator",
+            "ThroughputModel",
+            "SimulationResult",
+        ):
+            assert hasattr(repro, name), name
+
+    def test_all_lists_existing_names(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+
+class TestSubpackagesImportCleanly:
+    @pytest.mark.parametrize(
+        "module",
+        [
+            "repro.core",
+            "repro.cluster",
+            "repro.profiles",
+            "repro.traces",
+            "repro.sim",
+            "repro.baselines",
+            "repro.executor",
+            "repro.experiments",
+            "repro.cli",
+        ],
+    )
+    def test_import_order_independent(self, module):
+        imported = importlib.import_module(module)
+        for name in getattr(imported, "__all__", []):
+            assert hasattr(imported, name), f"{module}.{name}"
+
+
+class TestErrorHierarchy:
+    def test_all_errors_are_repro_errors(self):
+        for name in errors.__all__:
+            exc = getattr(errors, name)
+            assert issubclass(exc, errors.ReproError)
+
+    def test_configuration_error_is_value_error(self):
+        assert issubclass(errors.ConfigurationError, ValueError)
+
+    def test_unknown_model_error_is_key_error(self):
+        assert issubclass(errors.UnknownModelError, KeyError)
+
+    def test_trace_error_is_value_error(self):
+        assert issubclass(errors.TraceError, ValueError)
+
+    def test_single_except_catches_everything(self):
+        from repro.profiles import get_model
+
+        with pytest.raises(errors.ReproError):
+            get_model("nope")

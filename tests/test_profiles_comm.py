@@ -1,0 +1,107 @@
+"""Unit and property tests for the ring all-reduce communication model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.profiles import InterconnectSpec, LinkSpec, ring_allreduce_seconds
+
+INTERCONNECT = InterconnectSpec()
+
+
+class TestLinkSpec:
+    def test_transfer_seconds(self):
+        link = LinkSpec(alpha_s=1e-6, beta_bytes_per_s=1e9)
+        assert link.transfer_seconds(1e9) == pytest.approx(1.0 + 1e-6)
+
+    def test_negative_alpha_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LinkSpec(alpha_s=-1.0, beta_bytes_per_s=1e9)
+
+    def test_zero_bandwidth_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LinkSpec(alpha_s=0.0, beta_bytes_per_s=0.0)
+
+    def test_negative_bytes_rejected(self):
+        link = LinkSpec(alpha_s=0.0, beta_bytes_per_s=1e9)
+        with pytest.raises(ConfigurationError):
+            link.transfer_seconds(-1)
+
+
+class TestInterconnectSpec:
+    def test_inter_node_bandwidth_scales_with_gpus(self):
+        one = INTERCONNECT.inter_node_bandwidth(1)
+        four = INTERCONNECT.inter_node_bandwidth(4)
+        eight = INTERCONNECT.inter_node_bandwidth(8)
+        assert four == pytest.approx(4 * one)
+        assert eight == pytest.approx(8 * one)
+
+    def test_inter_node_bandwidth_caps_at_hca_count(self):
+        spec = InterconnectSpec(gpus_per_node=16, hcas_per_node=8)
+        assert spec.inter_node_bandwidth(16) == spec.inter_node_bandwidth(8)
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ConfigurationError):
+            InterconnectSpec(gpus_per_node=0)
+        with pytest.raises(ConfigurationError):
+            INTERCONNECT.inter_node_bandwidth(0)
+
+
+class TestRingAllreduce:
+    def test_single_gpu_is_free(self):
+        assert ring_allreduce_seconds(1e9, 1, 1, INTERCONNECT) == 0.0
+
+    def test_intra_node_faster_than_inter_node(self):
+        intra = ring_allreduce_seconds(4e8, 8, 1, INTERCONNECT)
+        inter = ring_allreduce_seconds(4e8, 8, 8, INTERCONNECT)
+        assert intra < inter
+
+    def test_fewer_nodes_is_faster_for_same_gpus(self):
+        times = [
+            ring_allreduce_seconds(4e8, 8, nodes, INTERCONNECT) for nodes in (2, 4, 8)
+        ]
+        assert times == sorted(times)
+
+    def test_too_many_gpus_for_one_node_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ring_allreduce_seconds(4e8, 16, 1, INTERCONNECT)
+
+    def test_more_nodes_than_gpus_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ring_allreduce_seconds(4e8, 2, 4, INTERCONNECT)
+
+    def test_zero_gpus_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ring_allreduce_seconds(4e8, 0, 1, INTERCONNECT)
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ring_allreduce_seconds(-1.0, 2, 1, INTERCONNECT)
+
+    @settings(max_examples=50)
+    @given(
+        grad=st.floats(min_value=1e6, max_value=1e10),
+        log_n=st.integers(min_value=1, max_value=3),
+    )
+    def test_intra_node_cost_grows_with_gradient_and_workers(self, grad, log_n):
+        n = 2**log_n
+        smaller = ring_allreduce_seconds(grad, n, 1, INTERCONNECT)
+        bigger_grad = ring_allreduce_seconds(2 * grad, n, 1, INTERCONNECT)
+        assert bigger_grad > smaller
+        if n < 8:
+            more_workers = ring_allreduce_seconds(grad, 2 * n, 1, INTERCONNECT)
+            assert more_workers > smaller
+
+    @settings(max_examples=50)
+    @given(
+        grad=st.floats(min_value=1e6, max_value=1e10),
+        log_nodes=st.integers(min_value=1, max_value=4),
+    )
+    def test_compact_multi_node_beats_scattered(self, grad, log_nodes):
+        """A job using whole nodes beats the same GPU count spread out."""
+        nodes = 2**log_nodes
+        n_gpus = 8 * nodes
+        compact = ring_allreduce_seconds(grad, n_gpus, nodes, INTERCONNECT)
+        scattered = ring_allreduce_seconds(grad, n_gpus, n_gpus, INTERCONNECT)
+        assert compact <= scattered

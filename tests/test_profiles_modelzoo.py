@@ -1,0 +1,93 @@
+"""Unit tests for the DNN model zoo (paper Table 1)."""
+
+import pytest
+
+from repro.errors import ConfigurationError, UnknownModelError
+from repro.profiles import MODEL_ZOO, TABLE1_SETTINGS, ModelProfile, get_model, list_models
+
+
+class TestZooContents:
+    def test_all_table1_models_present(self):
+        expected = {"resnet50", "vgg16", "inceptionv3", "bert", "gpt2", "deepspeech2"}
+        assert set(MODEL_ZOO) == expected
+
+    def test_list_models_sorted(self):
+        assert list_models() == sorted(MODEL_ZOO)
+
+    def test_table1_settings_reference_known_models(self):
+        for name, batch in TABLE1_SETTINGS:
+            profile = get_model(name)
+            assert batch >= 1
+            assert profile.name == name
+
+    def test_table1_covers_every_model(self):
+        assert {name for name, _ in TABLE1_SETTINGS} == set(MODEL_ZOO)
+
+    def test_tasks_match_table1(self):
+        assert get_model("resnet50").task == "cv"
+        assert get_model("bert").task == "nlp"
+        assert get_model("deepspeech2").task == "speech"
+
+    def test_get_model_unknown_raises(self):
+        with pytest.raises(UnknownModelError):
+            get_model("alexnet")
+
+    def test_unknown_model_error_names_candidates(self):
+        with pytest.raises(UnknownModelError, match="resnet50"):
+            get_model("nope")
+
+
+class TestModelProfile:
+    def test_gradient_bytes_fp32(self):
+        profile = get_model("resnet50")
+        assert profile.gradient_bytes == pytest.approx(25.6e6 * 4)
+
+    def test_checkpoint_larger_than_gradients(self):
+        for profile in MODEL_ZOO.values():
+            assert profile.checkpoint_bytes > profile.gradient_bytes
+
+    def test_compute_seconds_linear_in_batch(self):
+        profile = get_model("resnet50")
+        t64 = profile.compute_seconds(64)
+        t128 = profile.compute_seconds(128)
+        # Affine: doubling the batch less than doubles the time (fixed base).
+        assert t64 < t128 < 2 * t64
+
+    def test_compute_seconds_gradient_accumulation(self):
+        profile = get_model("gpt2")  # max_local_batch=32
+        no_accum = profile.compute_seconds(32)
+        accum = profile.compute_seconds(64)
+        linear_only = (
+            profile.compute_base_ms + profile.compute_per_sample_ms * 64
+        ) / 1e3
+        # Accumulation adds overhead beyond the linear extrapolation.
+        assert accum > linear_only
+        assert accum > no_accum
+
+    def test_compute_seconds_rejects_zero_batch(self):
+        with pytest.raises(ConfigurationError):
+            get_model("vgg16").compute_seconds(0)
+
+    def test_invalid_profile_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ModelProfile(
+                name="bad",
+                task="cv",
+                dataset="x",
+                parameters_m=-1.0,
+                compute_base_ms=1.0,
+                compute_per_sample_ms=1.0,
+                max_local_batch=8,
+            )
+
+    def test_zero_per_sample_cost_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ModelProfile(
+                name="bad",
+                task="cv",
+                dataset="x",
+                parameters_m=10.0,
+                compute_base_ms=1.0,
+                compute_per_sample_ms=0.0,
+                max_local_batch=8,
+            )

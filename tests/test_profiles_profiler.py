@@ -1,0 +1,64 @@
+"""Tests for the pre-run profiling simulation (Fig 12a substrate)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.profiles import PreRunProfiler, ThroughputModel
+
+
+@pytest.fixture(scope="module")
+def profiler() -> PreRunProfiler:
+    return PreRunProfiler(ThroughputModel())
+
+
+class TestPreRunProfiler:
+    def test_profiles_every_batch_size(self, profiler):
+        report = profiler.profile("resnet50", [64, 128])
+        batches = {point.global_batch for point in report.points}
+        assert batches == {64, 128}
+
+    def test_overhead_positive_and_accumulates(self, profiler):
+        one = profiler.profile("resnet50", [64]).total_overhead_seconds
+        two = profiler.profile("resnet50", [64, 128]).total_overhead_seconds
+        assert 0 < one < two
+
+    def test_early_exit_on_throughput_plateau(self, profiler):
+        """Profiling stops one step past the peak GPU count."""
+        report = profiler.profile("inceptionv3", [64])
+        sizes = sorted(point.n_gpus for point in report.points)
+        curve = ThroughputModel().curve("inceptionv3", 64)
+        peak = curve.max_useful_gpus(128)
+        assert max(sizes) == 2 * peak
+
+    def test_gpu_counts_are_doubling(self, profiler):
+        report = profiler.profile("bert", [64])
+        sizes = sorted(point.n_gpus for point in report.points)
+        assert all(b == 2 * a for a, b in zip(sizes, sizes[1:]))
+
+    def test_best_size_matches_curve_peak(self, profiler):
+        report = profiler.profile("vgg16", [128])
+        curve = ThroughputModel().curve("vgg16", 128)
+        assert report.best_size(128) == curve.max_useful_gpus(128)
+
+    def test_best_size_unprofiled_batch_raises(self, profiler):
+        report = profiler.profile("vgg16", [128])
+        with pytest.raises(ConfigurationError):
+            report.best_size(999)
+
+    def test_empty_batches_rejected(self, profiler):
+        with pytest.raises(ConfigurationError):
+            profiler.profile("vgg16", [])
+
+    def test_heavier_models_cost_more_to_profile(self, profiler):
+        """Per-iteration time drives overhead, so slow models profile slower."""
+        fast = profiler.profile("resnet50", [64]).total_overhead_seconds
+        slow = profiler.profile("deepspeech2", [64]).total_overhead_seconds
+        assert slow > fast
+
+    def test_invalid_constructor_args_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PreRunProfiler(ThroughputModel(), measure_iterations=0)
+        with pytest.raises(ConfigurationError):
+            PreRunProfiler(ThroughputModel(), setup_seconds=-1.0)
+        with pytest.raises(ConfigurationError):
+            PreRunProfiler(ThroughputModel(), max_gpus=0)

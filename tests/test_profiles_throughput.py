@@ -1,0 +1,156 @@
+"""Tests for scaling curves, including the paper's calibration anchors."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.profiles import (
+    MODEL_ZOO,
+    TABLE1_SETTINGS,
+    Placement,
+    ThroughputModel,
+    compact_placement,
+)
+
+
+@pytest.fixture(scope="module")
+def model() -> ThroughputModel:
+    return ThroughputModel()
+
+
+class TestPlacement:
+    def test_compact_placement_single_node(self):
+        assert compact_placement(8, 8) == Placement(8, 1)
+
+    def test_compact_placement_multi_node(self):
+        assert compact_placement(32, 8) == Placement(32, 4)
+
+    def test_compact_placement_partial_node(self):
+        assert compact_placement(4, 8) == Placement(4, 1)
+
+    def test_invalid_placement_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Placement(n_gpus=4, nodes_spanned=5)
+        with pytest.raises(ConfigurationError):
+            Placement(n_gpus=0, nodes_spanned=1)
+        with pytest.raises(ConfigurationError):
+            compact_placement(8, 0)
+
+
+class TestCalibrationAnchors:
+    """The two measurements the paper quotes verbatim (Sections 3.2)."""
+
+    def test_vgg16_8gpu_efficiency_near_76_percent(self, model):
+        efficiency = model.curve("vgg16", 256).efficiency(8)
+        assert efficiency == pytest.approx(0.7607, abs=0.02)
+
+    def test_resnet50_same_node_vs_8_nodes_near_2_17x(self, model):
+        curve = model.curve("resnet50", 256)
+        ratio = curve.throughput(8, Placement(8, 1)) / curve.throughput(
+            8, Placement(8, 8)
+        )
+        assert ratio == pytest.approx(2.17, abs=0.1)
+
+
+class TestCurveShape:
+    @pytest.mark.parametrize("name,batch", TABLE1_SETTINGS)
+    def test_sub_linear_scaling(self, model, name, batch):
+        """Fig 2a: all curves are below linear at 8 GPUs."""
+        curve = model.curve(name, batch)
+        assert 1.0 < curve.speedup(8) < 8.0
+
+    @pytest.mark.parametrize("name,batch", TABLE1_SETTINGS)
+    def test_diminishing_returns_within_a_node(self, model, name, batch):
+        """Per-GPU marginal gain shrinks as the job doubles (concavity)."""
+        curve = model.curve(name, batch)
+        marginal_2 = curve.speedup(2) - curve.speedup(1)
+        marginal_4 = (curve.speedup(4) - curve.speedup(2)) / 2
+        marginal_8 = (curve.speedup(8) - curve.speedup(4)) / 4
+        assert marginal_2 >= marginal_4 >= marginal_8
+
+    @pytest.mark.parametrize("name", sorted(MODEL_ZOO))
+    def test_placement_changes_throughput(self, model, name):
+        """Fig 2b: same GPU count, different node spans, different speed."""
+        curve = model.curve(name, 256)
+        spans = [curve.throughput(8, Placement(8, k)) for k in (1, 2, 4, 8)]
+        assert spans == sorted(spans, reverse=True)
+        assert spans[0] > spans[-1]
+
+    def test_max_useful_gpus_is_peak(self, model):
+        curve = model.curve("inceptionv3", 128)
+        peak = curve.max_useful_gpus(128)
+        assert curve.throughput(peak) >= curve.throughput(peak * 2)
+        assert curve.throughput(peak) > curve.throughput(max(1, peak // 2))
+
+    def test_effective_throughput_monotone(self, model):
+        curve = model.curve("inceptionv3", 128)
+        values = [curve.effective_throughput(x) for x in range(0, 65)]
+        assert values[0] == 0.0
+        assert all(a <= b for a, b in zip(values, values[1:]))
+
+    def test_best_size_zero_when_no_gpus(self, model):
+        assert model.curve("bert", 128).best_size(0) == 0
+
+    def test_best_size_power_of_two(self, model):
+        curve = model.curve("resnet50", 256)
+        for avail in (3, 5, 7, 9, 100):
+            size = curve.best_size(avail)
+            assert size & (size - 1) == 0  # power of two
+            assert size <= avail
+
+
+class TestTable:
+    def test_table_matches_effective_throughput(self, model):
+        curve = model.curve("vgg16", 128)
+        table = curve.table(32)
+        for x in (0, 1, 2, 3, 8, 17, 32):
+            assert table[x] == pytest.approx(curve.effective_throughput(x))
+
+    def test_table_monotone_nondecreasing(self, model):
+        for name, batch in TABLE1_SETTINGS:
+            table = model.curve(name, batch).table(128)
+            assert np.all(np.diff(table) >= 0)
+
+    def test_non_power_of_two_mode_allows_all_sizes(self):
+        model = ThroughputModel(power_of_two=False)
+        curve = model.curve("resnet50", 256)
+        assert curve.allowed_sizes(5) == [1, 2, 3, 4, 5]
+
+    def test_curve_cached(self, model):
+        assert model.curve("bert", 64) is model.curve("bert", 64)
+
+    def test_invalid_batch_rejected(self, model):
+        with pytest.raises(ConfigurationError):
+            model.curve("bert", 0)
+
+    def test_mismatched_placement_rejected(self, model):
+        curve = model.curve("bert", 64)
+        with pytest.raises(ConfigurationError):
+            curve.iteration_seconds(4, Placement(8, 1))
+
+
+class TestProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        batch=st.sampled_from([32, 64, 128, 256, 512]),
+        name=st.sampled_from(sorted(MODEL_ZOO)),
+    )
+    def test_throughput_positive_and_finite(self, batch, name):
+        curve = ThroughputModel().curve(name, batch)
+        for n in (1, 2, 4, 8, 16):
+            thr = curve.throughput(n)
+            assert np.isfinite(thr) and thr > 0
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        batch=st.sampled_from([64, 128, 256]),
+        name=st.sampled_from(sorted(MODEL_ZOO)),
+        max_gpus=st.sampled_from([8, 32, 128]),
+    )
+    def test_table_bounded_by_peak(self, batch, name, max_gpus):
+        curve = ThroughputModel().curve(name, batch)
+        table = curve.table(max_gpus)
+        peak = max(curve.throughput(s) for s in curve.allowed_sizes(max_gpus))
+        assert table.max() == pytest.approx(peak)

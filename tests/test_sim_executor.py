@@ -1,0 +1,73 @@
+"""Tests for the elastic executor overhead model (Fig 12b substrate)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.profiles import get_model
+from repro.sim import ElasticExecutor
+
+
+@pytest.fixture(scope="module")
+def executor() -> ElasticExecutor:
+    return ElasticExecutor()
+
+
+class TestScalingOverhead:
+    def test_positive_for_any_change(self, executor):
+        model = get_model("resnet50")
+        for old, new in [(1, 8), (8, 1), (4, 8), (8, 4), (0, 8), (8, 0)]:
+            assert executor.scaling_overhead(model, old, new) > 0
+
+    def test_noop_transition_is_free(self, executor):
+        assert executor.scaling_overhead(get_model("resnet50"), 0, 0) == 0.0
+
+    def test_bigger_models_checkpoint_slower(self, executor):
+        small = executor.scaling_overhead(get_model("resnet50"), 4, 8)
+        big = executor.scaling_overhead(get_model("vgg16"), 4, 8)
+        assert big > small
+
+    def test_cases_are_similar_in_magnitude(self, executor):
+        """Fig 12b: the five transition cases have comparable overheads."""
+        model = get_model("bert")
+        cases = [
+            executor.scaling_overhead(model, 1, 8),
+            executor.scaling_overhead(model, 8, 1),
+            executor.scaling_overhead(model, 4, 8),
+            executor.scaling_overhead(model, 8, 4),
+            executor.migration_overhead(model, 8),
+        ]
+        assert max(cases) < 2 * min(cases)
+
+    def test_suspend_cheaper_than_scale(self, executor):
+        """Suspension only checkpoints; scaling checkpoints and restores."""
+        model = get_model("gpt2")
+        suspend = executor.scaling_overhead(model, 8, 0)
+        scale = executor.scaling_overhead(model, 8, 4)
+        assert suspend < scale
+
+    def test_overheads_are_tens_of_seconds(self, executor):
+        """Sanity: small relative to the ~23-minute scheduling interval."""
+        for name in ("resnet50", "vgg16", "bert", "gpt2"):
+            overhead = executor.scaling_overhead(get_model(name), 1, 8)
+            assert 5.0 < overhead < 120.0
+
+    def test_negative_counts_rejected(self, executor):
+        with pytest.raises(ConfigurationError):
+            executor.scaling_overhead(get_model("bert"), -1, 4)
+
+    def test_migration_zero_gpus_rejected(self, executor):
+        with pytest.raises(ConfigurationError):
+            executor.migration_overhead(get_model("bert"), 0)
+
+
+class TestDisabled:
+    def test_disabled_charges_nothing(self):
+        executor = ElasticExecutor.disabled()
+        assert executor.scaling_overhead(get_model("vgg16"), 1, 64) == 0.0
+        assert executor.migration_overhead(get_model("vgg16"), 8) == 0.0
+
+    def test_invalid_constants_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ElasticExecutor(framework_base_s=-1.0)
+        with pytest.raises(ConfigurationError):
+            ElasticExecutor(serialization_mb_per_s=0.0)

@@ -1,0 +1,262 @@
+"""Tests for node-failure injection (Section 4.4 extension)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import ClusterSpec, PlacementManager
+from repro.core import ElasticFlowPolicy, JobSpec
+from repro.errors import ConfigurationError, PlacementError, SimulationError
+from repro.profiles import ThroughputModel
+from repro.sim import (
+    ElasticExecutor,
+    FailureSchedule,
+    FailureWindow,
+    NodeFailureModel,
+    Simulator,
+)
+
+MODEL = ThroughputModel()
+
+
+def spec(i, submit=0.0, deadline_rel=7200.0, seconds=1800.0):
+    one = MODEL.curve("resnet50", 128).throughput(1)
+    return JobSpec(
+        job_id=f"j{i}",
+        model_name="resnet50",
+        global_batch_size=128,
+        max_iterations=max(1, int(one * seconds)),
+        submit_time=submit,
+        deadline=submit + deadline_rel,
+    )
+
+
+class TestFailureWindow:
+    def test_valid_window(self):
+        window = FailureWindow(start=10.0, end=20.0, node_index=1)
+        assert window.end > window.start
+
+    def test_invalid_windows_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FailureWindow(start=10.0, end=10.0, node_index=0)
+        with pytest.raises(ConfigurationError):
+            FailureWindow(start=-1.0, end=5.0, node_index=0)
+        with pytest.raises(ConfigurationError):
+            FailureWindow(start=0.0, end=5.0, node_index=-1)
+
+
+class TestFailureSchedule:
+    def test_overlapping_same_node_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FailureSchedule(
+                windows=(
+                    FailureWindow(0.0, 100.0, 0),
+                    FailureWindow(50.0, 150.0, 0),
+                )
+            )
+
+    def test_overlap_on_different_nodes_allowed(self):
+        schedule = FailureSchedule(
+            windows=(FailureWindow(0.0, 100.0, 0), FailureWindow(50.0, 150.0, 1))
+        )
+        assert len(schedule) == 2
+
+    def test_within(self):
+        schedule = FailureSchedule(
+            windows=(FailureWindow(0.0, 10.0, 0), FailureWindow(500.0, 510.0, 1))
+        )
+        assert len(schedule.within(100.0)) == 1
+
+    def test_none(self):
+        assert len(FailureSchedule.none()) == 0
+
+
+class TestNodeFailureModel:
+    def test_sample_deterministic(self):
+        model = NodeFailureModel(mtbf_hours=24, mttr_hours=1)
+        a = model.sample(4, 86400.0, seed=3)
+        b = model.sample(4, 86400.0, seed=3)
+        assert a.windows == b.windows
+
+    def test_shorter_mtbf_means_more_failures(self):
+        horizon = 14 * 24 * 3600.0
+        flaky = NodeFailureModel(mtbf_hours=12, mttr_hours=1).sample(8, horizon, 0)
+        sturdy = NodeFailureModel(mtbf_hours=720, mttr_hours=1).sample(8, horizon, 0)
+        assert len(flaky) > len(sturdy)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            NodeFailureModel(mtbf_hours=0)
+        with pytest.raises(ConfigurationError):
+            NodeFailureModel(mttr_hours=-1)
+        with pytest.raises(ConfigurationError):
+            NodeFailureModel().sample(0, 100.0)
+        with pytest.raises(ConfigurationError):
+            NodeFailureModel().sample(4, 0.0)
+
+
+class TestPlacementNodeFaults:
+    def test_fail_node_evicts_residents(self):
+        manager = PlacementManager(ClusterSpec(n_nodes=2, gpus_per_node=8))
+        manager.place("a", 8)  # node 0
+        manager.place("b", 8)  # node 1
+        evicted = manager.fail_node(0)
+        assert evicted == ["a"]
+        assert manager.usable_gpus == 8
+        assert manager.failed_nodes == [0]
+        assert not manager.is_placed("a")
+        assert manager.is_placed("b")
+
+    def test_failed_node_unusable_until_repair(self):
+        manager = PlacementManager(ClusterSpec(n_nodes=2, gpus_per_node=8))
+        manager.fail_node(1)
+        manager.place("a", 8)  # fits on node 0
+        with pytest.raises(PlacementError):
+            manager.place("b", 8)
+        manager.repair_node(1)
+        manager.place("b", 8)
+        assert manager.usable_gpus == 16
+
+    def test_double_fail_rejected(self):
+        manager = PlacementManager(ClusterSpec(n_nodes=2, gpus_per_node=8))
+        manager.fail_node(0)
+        with pytest.raises(PlacementError):
+            manager.fail_node(0)
+
+    def test_repair_healthy_rejected(self):
+        manager = PlacementManager(ClusterSpec(n_nodes=2, gpus_per_node=8))
+        with pytest.raises(PlacementError):
+            manager.repair_node(0)
+
+    def test_fail_out_of_range_rejected(self):
+        manager = PlacementManager(ClusterSpec(n_nodes=2, gpus_per_node=8))
+        with pytest.raises(PlacementError):
+            manager.fail_node(5)
+
+    def test_spanning_job_evicted_by_either_node(self):
+        manager = PlacementManager(ClusterSpec(n_nodes=2, gpus_per_node=8))
+        manager.place("wide", 16)
+        assert manager.fail_node(1) == ["wide"]
+
+    def test_defrag_around_failed_node(self):
+        """Migration still works with a pinned (failed) node in the middle."""
+        manager = PlacementManager(ClusterSpec(n_nodes=4, gpus_per_node=8))
+        manager.place("a", 8)
+        manager.fail_node(1)
+        manager.place("b", 8)
+        manager.place("c", 4)
+        manager.release("a")
+        # 12 free GPUs across nodes 0 and 3; an 8-block must still fit.
+        placement, _ = manager.place("d", 8)
+        assert placement.n_gpus == 8
+
+
+class TestEngineWithFailures:
+    def test_eviction_and_recovery(self):
+        specs = [spec(i, submit=i * 100.0) for i in range(4)]
+        schedule = FailureSchedule(
+            windows=(FailureWindow(start=300.0, end=1500.0, node_index=0),)
+        )
+        result = Simulator(
+            ClusterSpec(2, 8),
+            ElasticFlowPolicy(),
+            specs,
+            throughput=MODEL,
+            executor=ElasticExecutor.disabled(),
+            failures=schedule,
+        ).run()
+        assert result.completed_count + result.dropped_count == 4
+
+    def test_failure_reduces_visible_capacity(self):
+        specs = [spec(0, seconds=4000.0)]
+        schedule = FailureSchedule(
+            windows=(FailureWindow(start=100.0, end=5000.0, node_index=1),)
+        )
+        sim = Simulator(
+            ClusterSpec(2, 8),
+            ElasticFlowPolicy(),
+            specs,
+            throughput=MODEL,
+            executor=ElasticExecutor.disabled(),
+            failures=schedule,
+        )
+        result = sim.run()
+        # During the outage at most 8 GPUs were ever in use.
+        during = [
+            s for s in result.timeline.samples if 100.0 <= s.time < 5000.0
+        ]
+        assert during and all(s.gpus_in_use <= 8 for s in during)
+
+    def test_failure_on_unknown_node_rejected(self):
+        schedule = FailureSchedule(
+            windows=(FailureWindow(start=1.0, end=2.0, node_index=9),)
+        )
+        with pytest.raises(SimulationError):
+            Simulator(
+                ClusterSpec(2, 8),
+                ElasticFlowPolicy(),
+                [spec(0)],
+                throughput=MODEL,
+                failures=schedule,
+            )
+
+    def test_failure_reserve_survives_outage(self):
+        """With a reserve, admitted jobs ride out a single-node outage."""
+        specs = [spec(i, submit=i * 50.0, deadline_rel=7200.0) for i in range(4)]
+        schedule = FailureSchedule(
+            windows=(FailureWindow(start=400.0, end=2000.0, node_index=0),)
+        )
+        result = Simulator(
+            ClusterSpec(2, 8),
+            ElasticFlowPolicy(failure_reserve_gpus=8),
+            specs,
+            throughput=MODEL,
+            executor=ElasticExecutor.disabled(),
+            failures=schedule,
+        ).run()
+        admitted = [o for o in result.outcomes if o.admitted]
+        assert admitted
+        assert all(o.met_deadline for o in admitted)
+
+    def test_failure_loses_uncheckpointed_progress(self):
+        """A crash rolls the job back to its last checkpoint; a planned
+        scaling event does not (it checkpoints first)."""
+        # Sized so the job is still running when the node dies at t=900.
+        lone = spec(0, seconds=8 * 3600.0, deadline_rel=24 * 3600.0)
+        schedule = FailureSchedule(
+            windows=(FailureWindow(start=900.0, end=1200.0, node_index=0),)
+        )
+        sim = Simulator(
+            ClusterSpec(2, 8),
+            ElasticFlowPolicy(),
+            [lone],
+            throughput=MODEL,
+            executor=ElasticExecutor.disabled(),
+            failures=schedule,
+        )
+        sim.run_until(899.0)
+        before_crash = sim.jobs["j0"].iterations_done
+        checkpointed = sim.jobs["j0"].checkpointed_iterations
+        assert before_crash > checkpointed  # progress since the last event
+        sim.run_until(900.0)  # the node hosting the job fails right now
+        after_crash = sim.jobs["j0"].iterations_done
+        assert after_crash == checkpointed < before_crash
+        result = sim.run()
+        assert result.completed_count == 1
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=1000))
+    def test_random_outages_never_wedge_the_engine(self, seed):
+        specs = [spec(i, submit=i * 120.0, deadline_rel=5400.0) for i in range(5)]
+        schedule = NodeFailureModel(mtbf_hours=1.0, mttr_hours=0.2).sample(
+            2, 7200.0, seed=seed
+        )
+        result = Simulator(
+            ClusterSpec(2, 8),
+            ElasticFlowPolicy(),
+            specs,
+            throughput=MODEL,
+            executor=ElasticExecutor.disabled(),
+            failures=schedule,
+        ).run()
+        assert result.completed_count + result.dropped_count == 5

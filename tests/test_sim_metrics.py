@@ -1,0 +1,129 @@
+"""Tests for the evaluation metrics."""
+
+import math
+
+import pytest
+
+from repro.core import Job, JobSpec, JobStatus
+from repro.errors import ConfigurationError
+from repro.sim import JobOutcome, SimulationResult
+
+
+def outcome(
+    job_id="a",
+    deadline=100.0,
+    best_effort=False,
+    status=JobStatus.COMPLETED,
+    completion=50.0,
+    submit=0.0,
+    admitted=True,
+):
+    return JobOutcome(
+        job_id=job_id,
+        model_name="resnet50",
+        submit_time=submit,
+        deadline=math.inf if best_effort else deadline,
+        best_effort=best_effort,
+        status=status,
+        admitted=admitted,
+        completion_time=completion,
+        scale_events=0,
+    )
+
+
+class TestJobOutcome:
+    def test_from_job(self):
+        job = Job(
+            spec=JobSpec(
+                job_id="x",
+                model_name="bert",
+                global_batch_size=64,
+                max_iterations=10,
+                submit_time=5.0,
+                deadline=100.0,
+            )
+        )
+        job.mark_admitted(5.0)
+        job.mark_completed(42.0)
+        result = JobOutcome.from_job(job)
+        assert result.met_deadline
+        assert result.jct == 37.0
+        assert result.admitted
+
+    def test_unfinished_job(self):
+        assert not outcome(completion=None).met_deadline
+        assert outcome(completion=None).jct is None
+
+    def test_late_completion(self):
+        late = outcome(deadline=10.0, completion=20.0)
+        assert not late.met_deadline
+        assert late.jct == 20.0
+
+
+class TestSimulationResult:
+    def build(self, outcomes):
+        return SimulationResult(policy_name="test", outcomes=outcomes, total_gpus=8)
+
+    def test_dsr_counts_dropped_jobs(self):
+        outcomes = [
+            outcome("a", completion=50.0),
+            outcome("b", status=JobStatus.DROPPED, completion=None, admitted=False),
+            outcome("c", deadline=10.0, completion=20.0),
+            outcome("d", completion=90.0),
+        ]
+        result = self.build(outcomes)
+        assert result.deadline_satisfactory_ratio == pytest.approx(0.5)
+        assert result.deadlines_met == 2
+        assert result.dropped_count == 1
+
+    def test_dsr_excludes_best_effort(self):
+        outcomes = [
+            outcome("a", completion=50.0),
+            outcome("be", best_effort=True, completion=1e9),
+        ]
+        assert self.build(outcomes).deadline_satisfactory_ratio == 1.0
+
+    def test_dsr_nan_without_slo_jobs(self):
+        result = self.build([outcome("be", best_effort=True)])
+        assert math.isnan(result.deadline_satisfactory_ratio)
+
+    def test_makespan(self):
+        outcomes = [
+            outcome("a", submit=10.0, completion=50.0),
+            outcome("b", submit=0.0, completion=200.0),
+        ]
+        assert self.build(outcomes).makespan == 200.0
+
+    def test_average_jct(self):
+        outcomes = [
+            outcome("a", submit=0.0, completion=10.0),
+            outcome("b", submit=0.0, completion=30.0),
+            outcome("c", completion=None, status=JobStatus.DROPPED, admitted=False),
+        ]
+        assert self.build(outcomes).average_jct() == pytest.approx(20.0)
+
+    def test_average_jct_best_effort_only(self):
+        outcomes = [
+            outcome("a", submit=0.0, completion=10.0),
+            outcome("be", best_effort=True, submit=0.0, completion=100.0),
+        ]
+        result = self.build(outcomes)
+        assert result.average_jct(best_effort_only=True) == pytest.approx(100.0)
+
+    def test_average_jct_empty_is_nan(self):
+        result = self.build([outcome("a", completion=None, status=JobStatus.DROPPED, admitted=False)])
+        assert math.isnan(result.average_jct())
+
+    def test_outcome_lookup(self):
+        result = self.build([outcome("a")])
+        assert result.outcome_of("a").job_id == "a"
+        with pytest.raises(ConfigurationError):
+            result.outcome_of("ghost")
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ConfigurationError):
+            self.build([outcome("a"), outcome("a")])
+
+    def test_summary_keys(self):
+        summary = self.build([outcome("a")]).summary()
+        assert {"jobs", "dsr", "admitted", "dropped", "makespan_h"} <= set(summary)

@@ -1,0 +1,124 @@
+"""Property tests for the engine with scaling overheads enabled.
+
+Physical sanity bounds that must hold whatever the policy does: no job
+finishes faster than its peak-throughput lower bound, attained service
+never exceeds the time-capacity product, and overheads only ever delay.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import make_policy
+from repro.cluster import ClusterSpec
+from repro.core import JobSpec
+from repro.profiles import ThroughputModel
+from repro.sim import ElasticExecutor, Simulator
+
+MODEL = ThroughputModel()
+CLUSTER = ClusterSpec(n_nodes=2, gpus_per_node=8)
+
+
+def build_workload(seed: int, n_jobs: int) -> list[JobSpec]:
+    rng = np.random.default_rng(seed)
+    pool = [("resnet50", 128), ("bert", 64), ("vgg16", 64)]
+    specs = []
+    for i in range(n_jobs):
+        name, batch = pool[int(rng.integers(len(pool)))]
+        one = MODEL.curve(name, batch).throughput(1)
+        seconds = float(rng.uniform(900, 3600))
+        submit = float(rng.uniform(0, 1800))
+        lam = float(rng.uniform(0.6, 1.4))
+        specs.append(
+            JobSpec(
+                job_id=f"j{i}",
+                model_name=name,
+                global_batch_size=batch,
+                max_iterations=max(1, int(one * seconds)),
+                submit_time=submit,
+                deadline=submit + lam * seconds,
+                requested_gpus=int(2 ** rng.integers(0, 3)),
+            )
+        )
+    return specs
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    policy_name=st.sampled_from(["elasticflow", "edf", "tiresias"]),
+)
+def test_physical_bounds_hold_under_overheads(seed, policy_name):
+    specs = build_workload(seed, n_jobs=8)
+    sim = Simulator(
+        CLUSTER,
+        make_policy(policy_name),
+        specs,
+        throughput=MODEL,
+        executor=ElasticExecutor(),
+    )
+    result = sim.run()
+    for spec in specs:
+        outcome = result.outcome_of(spec.job_id)
+        if outcome.completion_time is None:
+            continue
+        curve = MODEL.curve(spec.model_name, spec.global_batch_size)
+        peak = max(
+            curve.throughput(size) for size in curve.allowed_sizes(16)
+        )
+        lower_bound = spec.max_iterations / peak
+        elapsed = outcome.completion_time - spec.submit_time
+        # No job can beat its peak-throughput runtime.
+        assert elapsed >= lower_bound - 1e-6, spec.job_id
+        # Attained service is bounded by elapsed x cluster size.
+        job = sim.jobs[spec.job_id]
+        assert job.gpu_seconds <= elapsed * CLUSTER.total_gpus + 1e-6
+
+
+@settings(max_examples=6, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_overheads_never_speed_anything_up(seed):
+    """Per-job completion with overheads is >= completion without."""
+    specs = build_workload(seed, n_jobs=6)
+
+    def run(executor):
+        return Simulator(
+            CLUSTER,
+            make_policy("gandiva"),  # deterministic FIFO sizes
+            specs,
+            throughput=MODEL,
+            executor=executor,
+        ).run()
+
+    free = run(ElasticExecutor.disabled())
+    charged = run(ElasticExecutor())
+    for spec in specs:
+        a = free.outcome_of(spec.job_id).completion_time
+        b = charged.outcome_of(spec.job_id).completion_time
+        assert a is not None and b is not None
+        assert b >= a - 1e-6, spec.job_id
+
+
+def test_stall_time_accounted_not_lost():
+    """A single job's completion delay equals its accumulated stalls."""
+    spec = build_workload(0, n_jobs=1)[0]
+    executor = ElasticExecutor()
+    sim = Simulator(
+        CLUSTER,
+        make_policy("gandiva"),
+        [spec],
+        throughput=MODEL,
+        executor=executor,
+    )
+    result = sim.run()
+    job = sim.jobs[spec.job_id]
+    curve = MODEL.curve(spec.model_name, spec.global_batch_size)
+    size = min(spec.requested_gpus, curve.max_useful_gpus(16))
+    pure_runtime = spec.max_iterations / curve.effective_throughput(size)
+    elapsed = result.outcome_of(spec.job_id).completion_time - spec.submit_time
+    stall = elapsed - pure_runtime
+    # Exactly one cold-start launch: base + restore + per-worker terms.
+    profile = curve.model
+    expected = executor.scaling_overhead(profile, 0, size)
+    assert stall == pytest.approx(expected, rel=1e-6, abs=1e-3)

@@ -1,0 +1,109 @@
+"""Tests for the timeline recorder (Figs 7 and 10 substrate)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim import Timeline, TimelineSample
+
+
+def sample(time, gpus=0, ce=0.0, running=0, submitted=0, admitted=0):
+    return TimelineSample(
+        time=time,
+        gpus_in_use=gpus,
+        cluster_efficiency=ce,
+        running_jobs=running,
+        submitted=submitted,
+        admitted=admitted,
+    )
+
+
+class TestTimeline:
+    def test_append_and_length(self):
+        timeline = Timeline()
+        timeline.record(sample(0.0, gpus=4))
+        timeline.record(sample(10.0, gpus=8))
+        assert len(timeline) == 2
+        assert timeline.end_time == 10.0
+
+    def test_same_timestamp_supersedes(self):
+        timeline = Timeline()
+        timeline.record(sample(5.0, gpus=4))
+        timeline.record(sample(5.0, gpus=16))
+        assert len(timeline) == 1
+        assert timeline.samples[0].gpus_in_use == 16
+
+    def test_out_of_order_rejected(self):
+        timeline = Timeline()
+        timeline.record(sample(10.0))
+        with pytest.raises(ConfigurationError):
+            timeline.record(sample(5.0))
+
+    def test_sample_at(self):
+        timeline = Timeline()
+        timeline.record(sample(0.0, gpus=2))
+        timeline.record(sample(10.0, gpus=6))
+        assert timeline.sample_at(0.0).gpus_in_use == 2
+        assert timeline.sample_at(9.99).gpus_in_use == 2
+        assert timeline.sample_at(10.0).gpus_in_use == 6
+        assert timeline.sample_at(1e9).gpus_in_use == 6
+
+    def test_sample_at_before_first_rejected(self):
+        timeline = Timeline()
+        timeline.record(sample(10.0))
+        with pytest.raises(ConfigurationError):
+            timeline.sample_at(5.0)
+
+    def test_sample_at_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Timeline().sample_at(0.0)
+
+    def test_series_raw(self):
+        timeline = Timeline()
+        timeline.record(sample(0.0, gpus=2))
+        timeline.record(sample(5.0, gpus=4))
+        times, values = timeline.series("gpus_in_use")
+        assert times == [0.0, 5.0]
+        assert values == [2.0, 4.0]
+
+    def test_series_resampled(self):
+        timeline = Timeline()
+        timeline.record(sample(0.0, gpus=2))
+        timeline.record(sample(10.0, gpus=4))
+        times, values = timeline.series("gpus_in_use", resolution_s=5.0)
+        assert times == [0.0, 5.0, 10.0]
+        assert values == [2.0, 2.0, 4.0]
+
+    def test_series_invalid_resolution(self):
+        timeline = Timeline()
+        timeline.record(sample(0.0))
+        with pytest.raises(ConfigurationError):
+            timeline.series("gpus_in_use", resolution_s=0.0)
+
+    def test_series_empty(self):
+        assert Timeline().series("gpus_in_use") == ([], [])
+
+    def test_time_weighted_mean(self):
+        timeline = Timeline()
+        timeline.record(sample(0.0, ce=1.0))
+        timeline.record(sample(10.0, ce=0.0))
+        # 10 s at 1.0 then 10 s at 0.0.
+        assert timeline.time_weighted_mean(
+            "cluster_efficiency", end=20.0
+        ) == pytest.approx(0.5)
+
+    def test_time_weighted_mean_window(self):
+        timeline = Timeline()
+        timeline.record(sample(0.0, ce=1.0))
+        timeline.record(sample(10.0, ce=0.5))
+        mean = timeline.time_weighted_mean("cluster_efficiency", start=10.0, end=20.0)
+        assert mean == pytest.approx(0.5)
+
+    def test_time_weighted_mean_invalid_window(self):
+        timeline = Timeline()
+        timeline.record(sample(0.0))
+        with pytest.raises(ConfigurationError):
+            timeline.time_weighted_mean("cluster_efficiency", start=5.0, end=5.0)
+
+    def test_time_weighted_mean_empty(self):
+        with pytest.raises(ConfigurationError):
+            Timeline().time_weighted_mean("cluster_efficiency")

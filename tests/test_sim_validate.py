@@ -1,0 +1,93 @@
+"""Tests for the public simulation-validation API."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import make_policy
+from repro.cluster import ClusterSpec
+from repro.core import JobSpec
+from repro.errors import ConfigurationError
+from repro.profiles import ThroughputModel
+from repro.sim import ElasticExecutor, Simulator, validate_result
+
+MODEL = ThroughputModel()
+
+
+def workload(seed=7, n_jobs=8):
+    rng = np.random.default_rng(seed)
+    pool = [("resnet50", 128), ("bert", 64)]
+    specs = []
+    for i in range(n_jobs):
+        name, batch = pool[int(rng.integers(len(pool)))]
+        one = MODEL.curve(name, batch).throughput(1)
+        seconds = float(rng.uniform(600, 2400))
+        submit = float(rng.uniform(0, 600))
+        specs.append(
+            JobSpec(
+                job_id=f"j{i}",
+                model_name=name,
+                global_batch_size=batch,
+                max_iterations=max(1, int(one * seconds)),
+                submit_time=submit,
+                deadline=submit + 2.0 * seconds,
+            )
+        )
+    return specs
+
+
+def run(specs, *, overheads=False, timeline=True, policy="elasticflow"):
+    return Simulator(
+        ClusterSpec(2, 8),
+        make_policy(policy),
+        specs,
+        throughput=MODEL,
+        executor=ElasticExecutor() if overheads else ElasticExecutor.disabled(),
+        record_timeline=timeline,
+    ).run()
+
+
+class TestValidateResult:
+    def test_overhead_free_run_is_consistent(self):
+        specs = workload()
+        report = validate_result(run(specs), specs, MODEL)
+        assert report.consistent, report.max_relative_error
+        assert report.total_implied_stall_seconds == pytest.approx(0.0, abs=1.0)
+        assert len(report.jobs) == len(specs)
+
+    def test_every_policy_validates(self):
+        specs = workload(seed=9)
+        for name in ("edf", "gandiva", "tiresias", "pollux"):
+            report = validate_result(run(specs, policy=name), specs, MODEL)
+            assert report.consistent, name
+
+    def test_overheads_show_up_as_implied_stall(self):
+        specs = workload(seed=3)
+        report = validate_result(run(specs, overheads=True), specs, MODEL)
+        # Stalls reconcile the books instead of being flagged as errors.
+        assert report.consistent
+        assert report.total_implied_stall_seconds > 0.0
+
+    def test_missing_timeline_rejected(self):
+        specs = workload()
+        result = run(specs, timeline=False)
+        with pytest.raises(ConfigurationError):
+            validate_result(result, specs, MODEL)
+
+    def test_missing_spec_rejected(self):
+        specs = workload()
+        result = run(specs)
+        with pytest.raises(ConfigurationError):
+            validate_result(result, specs[:-1], MODEL)
+
+    def test_wrong_throughput_model_is_caught(self):
+        """Validating against different curves must expose the mismatch."""
+        from repro.profiles import ScaledThroughputModel
+
+        specs = workload()
+        result = run(specs)
+        report = validate_result(
+            result, specs, ScaledThroughputModel(MODEL, 0.5), tolerance=1e-5
+        )
+        # Half-speed curves under-integrate every job by ~50 %.
+        assert not report.consistent
+        assert report.max_relative_error > 0.3

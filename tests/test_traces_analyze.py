@@ -1,0 +1,138 @@
+"""Tests for trace analysis and the occupancy renderer."""
+
+import pytest
+
+from repro.cluster import ClusterSpec, PlacementManager, occupancy_legend, render_occupancy
+from repro.errors import TraceError
+from repro.traces import (
+    PRODUCTION_CLUSTERS,
+    Trace,
+    TraceJob,
+    analyze_trace,
+    generate_trace,
+    offered_load_series,
+    philly_config,
+)
+
+
+def tiny_trace() -> Trace:
+    return Trace(
+        name="tiny",
+        cluster_gpus=4,
+        jobs=[
+            TraceJob(job_id="a", submit_time=0.0, n_gpus=2, duration_s=3600.0),
+            TraceJob(job_id="b", submit_time=1800.0, n_gpus=4, duration_s=1800.0),
+            TraceJob(job_id="c", submit_time=3600.0, n_gpus=1, duration_s=7200.0),
+        ],
+    )
+
+
+class TestOfferedLoad:
+    def test_single_job_full_bucket(self):
+        trace = Trace(
+            name="one",
+            cluster_gpus=4,
+            jobs=[TraceJob(job_id="a", submit_time=0.0, n_gpus=4, duration_s=3600.0)],
+        )
+        times, loads = offered_load_series(trace, bucket_s=3600.0)
+        assert times == [0.0]
+        assert loads[0] == pytest.approx(1.0)
+
+    def test_partial_overlap_split_across_buckets(self):
+        trace = Trace(
+            name="half",
+            cluster_gpus=2,
+            jobs=[TraceJob(job_id="a", submit_time=1800.0, n_gpus=2, duration_s=3600.0)],
+        )
+        _, loads = offered_load_series(trace, bucket_s=3600.0)
+        assert loads == [pytest.approx(0.5), pytest.approx(0.5)]
+
+    def test_demand_conserved(self):
+        trace = tiny_trace()
+        _, loads = offered_load_series(trace, bucket_s=600.0)
+        total = sum(loads) * trace.cluster_gpus * 600.0
+        assert total == pytest.approx(trace.total_gpu_seconds, rel=1e-6)
+
+    def test_empty_trace(self):
+        assert offered_load_series(Trace(name="e", cluster_gpus=4)) == ([], [])
+
+    def test_invalid_bucket_rejected(self):
+        with pytest.raises(TraceError):
+            offered_load_series(tiny_trace(), bucket_s=0.0)
+
+
+class TestAnalyzeTrace:
+    def test_summary_fields(self):
+        stats = analyze_trace(tiny_trace())
+        assert stats.n_jobs == 3
+        assert stats.cluster_gpus == 4
+        assert stats.total_gpu_hours == pytest.approx((2 + 2 + 2) * 1.0)
+        assert stats.single_gpu_fraction == pytest.approx(1 / 3)
+        assert stats.size_histogram == {
+            1: pytest.approx(1 / 3),
+            2: pytest.approx(1 / 3),
+            4: pytest.approx(1 / 3),
+        }
+        assert stats.duration_max_h == pytest.approx(2.0)
+
+    def test_peak_at_least_mean(self):
+        stats = analyze_trace(generate_trace(PRODUCTION_CLUSTERS[0], seed=1))
+        assert stats.peak_load >= stats.mean_load > 0
+
+    def test_philly_is_single_gpu_dominated(self):
+        trace = generate_trace(philly_config(cluster_gpus=128, n_jobs=400), seed=2)
+        stats = analyze_trace(trace)
+        assert stats.single_gpu_fraction > 0.55
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(TraceError):
+            analyze_trace(Trace(name="e", cluster_gpus=4))
+
+
+class TestOccupancyRendering:
+    def test_jobs_idle_and_failed_cells(self):
+        manager = PlacementManager(ClusterSpec(n_nodes=4, gpus_per_node=4))
+        manager.place("alpha", 4)
+        manager.place("beta", 2)
+        manager.fail_node(2)
+        art = render_occupancy(manager)
+        lines = art.splitlines()
+        assert len(lines) == 4
+        assert lines[0].endswith("a a a a")
+        assert "b b . ." in lines[1]
+        assert lines[2].endswith("X X X X")
+        assert lines[3].endswith(". . . .")
+
+    def test_legend_names_jobs(self):
+        manager = PlacementManager(ClusterSpec(n_nodes=2, gpus_per_node=4))
+        manager.place("alpha", 2)
+        manager.fail_node(1)
+        legend = occupancy_legend(manager)
+        assert "a = alpha" in legend
+        assert ". = idle" in legend
+        assert "X = failed node" in legend
+
+    def test_empty_cluster_all_idle(self):
+        manager = PlacementManager(ClusterSpec(n_nodes=1, gpus_per_node=8))
+        art = render_occupancy(manager)
+        assert art.count(".") == 8
+
+    def test_many_jobs_wrap_symbols(self):
+        manager = PlacementManager(ClusterSpec(n_nodes=8, gpus_per_node=8))
+        for i in range(64):
+            manager.place(f"job-{i:02d}", 1)
+        art = render_occupancy(manager)
+        assert "." not in art.split("|")[1]  # node 0 fully occupied
+
+
+class TestCliTraceStats:
+    def test_trace_stats_on_csv(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.traces import write_trace_csv
+
+        path = tmp_path / "t.csv"
+        write_trace_csv(tiny_trace(), path)
+        assert main(["trace-stats", str(path)]) == 0
+        output = capsys.readouterr().out
+        assert "peak load" in output
+        assert "Requested-size distribution" in output

@@ -1,0 +1,192 @@
+"""Tests for the synthetic trace generators, deadlines, and workload builder."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TraceError
+from repro.profiles import ThroughputModel
+from repro.traces import (
+    PRODUCTION_CLUSTERS,
+    ClusterTraceConfig,
+    DeadlineAssigner,
+    build_jobs,
+    generate_trace,
+    philly_config,
+)
+
+MODEL = ThroughputModel()
+
+
+class TestClusterConfigs:
+    def test_ten_production_clusters(self):
+        assert len(PRODUCTION_CLUSTERS) == 10
+        names = {c.name for c in PRODUCTION_CLUSTERS}
+        assert len(names) == 10
+
+    def test_sizes_span_paper_range(self):
+        sizes = [c.cluster_gpus for c in PRODUCTION_CLUSTERS]
+        jobs = [c.n_jobs for c in PRODUCTION_CLUSTERS]
+        assert min(sizes) == 128 and max(sizes) == 2048
+        assert min(jobs) == 260 and max(jobs) == 15802
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(TraceError):
+            ClusterTraceConfig("x", cluster_gpus=100, n_jobs=10)
+        with pytest.raises(TraceError):
+            ClusterTraceConfig("x", cluster_gpus=128, n_jobs=0)
+        with pytest.raises(TraceError):
+            ClusterTraceConfig("x", 128, 10, target_load=0.0)
+        with pytest.raises(TraceError):
+            ClusterTraceConfig("x", 128, 10, gpu_weights={3: 1.0})
+        with pytest.raises(TraceError):
+            ClusterTraceConfig("x", 128, 10, burst_fraction=1.0)
+        with pytest.raises(TraceError):
+            ClusterTraceConfig("x", 128, 10, duration_max_s=10.0)
+
+    def test_scaled_preserves_load(self):
+        config = PRODUCTION_CLUSTERS[5]
+        small = config.scaled(0.1)
+        assert small.cluster_gpus < config.cluster_gpus
+        assert small.cluster_gpus & (small.cluster_gpus - 1) == 0
+        assert small.target_load == config.target_load
+        # Size distribution keys capped at the smaller cluster.
+        assert max(small.gpu_weights) <= small.cluster_gpus
+
+    def test_scaled_invalid_factor(self):
+        with pytest.raises(TraceError):
+            PRODUCTION_CLUSTERS[0].scaled(0.0)
+        with pytest.raises(TraceError):
+            PRODUCTION_CLUSTERS[0].scaled(2.0)
+
+
+class TestGenerateTrace:
+    def test_deterministic_per_seed(self):
+        config = PRODUCTION_CLUSTERS[0]
+        a = generate_trace(config, seed=7)
+        b = generate_trace(config, seed=7)
+        c = generate_trace(config, seed=8)
+        assert a.jobs == b.jobs
+        assert a.jobs != c.jobs
+
+    def test_row_count_and_validity(self):
+        trace = generate_trace(PRODUCTION_CLUSTERS[0], seed=1)
+        assert len(trace) == PRODUCTION_CLUSTERS[0].n_jobs
+        for job in trace.jobs:
+            assert job.n_gpus & (job.n_gpus - 1) == 0
+            assert job.duration_s >= 120.0
+
+    def test_sizes_within_cluster(self):
+        config = ClusterTraceConfig("tiny", 16, 200, gpu_weights={1: 0.5, 32: 0.5})
+        trace = generate_trace(config, seed=1)
+        assert all(j.n_gpus <= 16 for j in trace.jobs)
+
+    def test_bursts_create_concentration(self):
+        bursty = ClusterTraceConfig(
+            "bursty", 128, 1000, burst_fraction=0.5, n_bursts=1
+        )
+        trace = generate_trace(bursty, seed=1)
+        arrivals = np.array([j.submit_time for j in trace.jobs])
+        # Half the jobs land inside a window of about 1% of the span, which
+        # covers at most two adjacent histogram bins.
+        histogram, _ = np.histogram(arrivals, bins=50)
+        top_two = np.sort(histogram)[-2:].sum()
+        assert top_two >= 0.4 * len(trace)
+
+    def test_philly_config_generates(self):
+        trace = generate_trace(philly_config(cluster_gpus=128, n_jobs=300), seed=1)
+        assert len(trace) == 300
+        ones = sum(j.n_gpus == 1 for j in trace.jobs)
+        assert ones / len(trace) > 0.55  # single-GPU dominated
+
+
+class TestDeadlineAssigner:
+    def test_draw_within_range(self):
+        assigner = DeadlineAssigner(0.5, 1.5)
+        rng = np.random.default_rng(0)
+        draws = [assigner.draw(rng) for _ in range(200)]
+        assert all(0.5 <= value <= 1.5 for value in draws)
+
+    def test_fixed_lambda(self):
+        assigner = DeadlineAssigner(1.5, 1.5)
+        rng = np.random.default_rng(0)
+        assert assigner.draw(rng) == 1.5
+
+    def test_deadline_after_submission(self):
+        from repro.traces import TraceJob
+
+        assigner = DeadlineAssigner()
+        rng = np.random.default_rng(0)
+        job = TraceJob(job_id="a", submit_time=100.0, n_gpus=2, duration_s=600.0)
+        deadline = assigner.deadline_for(job, rng)
+        assert 100.0 + 0.5 * 600.0 <= deadline <= 100.0 + 1.5 * 600.0
+
+    def test_invalid_ranges_rejected(self):
+        with pytest.raises(TraceError):
+            DeadlineAssigner(0.0, 1.0)
+        with pytest.raises(TraceError):
+            DeadlineAssigner(1.0, 0.5)
+
+
+class TestBuildJobs:
+    @pytest.fixture(scope="class")
+    def trace(self):
+        return generate_trace(PRODUCTION_CLUSTERS[0], seed=3).head(50)
+
+    def test_one_spec_per_row(self, trace):
+        specs = build_jobs(trace, MODEL, seed=0)
+        assert len(specs) == 50
+        assert {s.job_id for s in specs} == {j.job_id for j in trace.jobs}
+
+    def test_deterministic(self, trace):
+        assert build_jobs(trace, MODEL, seed=0) == build_jobs(trace, MODEL, seed=0)
+
+    def test_iterations_match_duration_at_requested_size(self, trace):
+        specs = build_jobs(trace, MODEL, seed=0)
+        by_id = {j.job_id: j for j in trace.jobs}
+        for spec in specs:
+            row = by_id[spec.job_id]
+            rate = MODEL.curve(
+                spec.model_name, spec.global_batch_size
+            ).effective_throughput(row.n_gpus)
+            assert spec.max_iterations == pytest.approx(
+                row.duration_s * rate, rel=0.01, abs=1.0
+            )
+
+    def test_deadline_tightness_range(self, trace):
+        specs = build_jobs(trace, MODEL, seed=0)
+        by_id = {j.job_id: j for j in trace.jobs}
+        for spec in specs:
+            row = by_id[spec.job_id]
+            lam = (spec.deadline - spec.submit_time) / row.duration_s
+            assert 0.5 - 1e-9 <= lam <= 1.5 + 1e-9
+
+    def test_best_effort_fraction(self, trace):
+        specs = build_jobs(trace, MODEL, seed=0, best_effort_fraction=1.0)
+        assert all(s.best_effort for s in specs)
+        specs = build_jobs(trace, MODEL, seed=0, best_effort_fraction=0.0)
+        assert not any(s.best_effort for s in specs)
+
+    def test_empty_trace_rejected(self):
+        from repro.traces import Trace
+
+        with pytest.raises(TraceError):
+            build_jobs(Trace(name="t", cluster_gpus=8), MODEL)
+
+    def test_invalid_fraction_rejected(self, trace):
+        with pytest.raises(TraceError):
+            build_jobs(trace, MODEL, best_effort_fraction=1.5)
+
+    def test_empty_pool_rejected(self, trace):
+        with pytest.raises(TraceError):
+            build_jobs(trace, MODEL, model_pool=())
+
+    @settings(max_examples=10, deadline=None)
+    @given(fraction=st.floats(min_value=0.0, max_value=1.0))
+    def test_fraction_roughly_respected(self, trace, fraction):
+        specs = build_jobs(trace, MODEL, seed=1, best_effort_fraction=fraction)
+        share = sum(s.best_effort for s in specs) / len(specs)
+        assert abs(share - fraction) < 0.35
