@@ -10,6 +10,7 @@ heuristic specialised to power-of-two subtrees.
 
 from __future__ import annotations
 
+from bisect import insort
 from dataclasses import dataclass
 
 from repro.errors import AllocationError, ConfigurationError
@@ -243,21 +244,27 @@ class BuddyAllocator:
             target = Block(offset=address, size=block.size)
             if target != block:
                 plan[block] = target
-            occupied.append(target)
-            occupied.sort()
+            insort(occupied, target)
         return plan
 
     def _first_fit(self, size: int, occupied: list[Block]) -> int | None:
-        """Lowest aligned address for a ``size`` block avoiding ``occupied``."""
-        for address in range(0, self.capacity, size):
-            end = address + size
-            if end > self.capacity:
-                break
-            if all(
-                end <= block.offset or block.offset + block.size <= address
-                for block in occupied
-            ):
-                return address
+        """Lowest aligned address for a ``size`` block avoiding ``occupied``.
+
+        ``occupied`` must be sorted by offset and non-overlapping.  Walks
+        the blocks once instead of probing every aligned address: a
+        candidate that overlaps a block cannot succeed before that block's
+        end, so it jumps straight to the next aligned address past it.
+        """
+        address = 0
+        for block in occupied:
+            block_end = block.offset + block.size
+            if block_end <= address:
+                continue  # entirely before the candidate
+            if address + size <= block.offset:
+                return address  # gap before this block fits
+            address = -(-block_end // size) * size  # round up to alignment
+        if address + size <= self.capacity:
+            return address
         return None
 
     def apply_repack(self, plan: dict[Block, Block]) -> None:

@@ -83,6 +83,17 @@ class PlacementManager:
     def is_placed(self, job_id: str) -> bool:
         return job_id in self._blocks
 
+    def block_of(self, job_id: str) -> Block:
+        """The raw block of a placed job (no derived-placement construction).
+
+        Raises:
+            PlacementError: If the job is not placed.
+        """
+        block = self._blocks.get(job_id)
+        if block is None:
+            raise PlacementError(f"job {job_id!r} is not placed")
+        return block
+
     # ------------------------------------------------------------- mutation
     def place(self, job_id: str, n_gpus: int) -> tuple[JobPlacement, list[str]]:
         """Place a new job on ``n_gpus`` GPUs.

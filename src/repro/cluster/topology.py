@@ -83,7 +83,12 @@ class ClusterSpec:
         """How many distinct servers a GPU set touches."""
         if not gpu_indices:
             raise ConfigurationError("gpu_indices must not be empty")
-        return len({self.node_of(g) for g in gpu_indices})
+        per_node = self.gpus_per_node
+        nodes = {g // per_node for g in gpu_indices}
+        if min(nodes) < 0 or max(nodes) >= self.n_nodes:
+            for g in gpu_indices:  # re-walk for the precise error message
+                self._check_gpu(g)
+        return len(nodes)
 
     def _check_gpu(self, gpu_index: int) -> None:
         if not 0 <= gpu_index < self.total_gpus:

@@ -13,6 +13,8 @@ admitted job (including the newcomer) can still be satisfied.
 from __future__ import annotations
 
 import math
+from collections import OrderedDict
+from collections.abc import Sequence
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -21,6 +23,7 @@ from repro.core.job import Job
 from repro.core.plan import Ledger
 from repro.core.slots import SlotGrid
 from repro.errors import ConfigurationError
+from repro.perf.tables import cache_enabled, planning_tables_for
 from repro.profiles.throughput import ScalingCurve
 
 __all__ = [
@@ -47,6 +50,10 @@ class PlanningJob:
         size_table: ``S[x]`` — GPUs actually used when handed ``x``.
         sizes: Candidate GPU-count caps in increasing order.
         best_effort: Whether the job is exempt from admission control.
+        tables_token: Build token of the memoized planning tables this view
+            was derived from (see :mod:`repro.perf.tables`); ``-1`` for
+            hand-built views.  Fingerprint-based plan caching is skipped
+            whenever any participating job carries ``-1``.
         degraded: Set by the planner when the job's deadline can no longer
             be met (e.g. it was admitted earlier and fell behind).  Degraded
             jobs lose their reservation and are served from leftovers like
@@ -61,18 +68,55 @@ class PlanningJob:
     weights: np.ndarray
     throughput_table: np.ndarray
     size_table: np.ndarray
-    sizes: list[int]
+    sizes: Sequence[int]
     best_effort: bool = False
+    tables_token: int = -1
     degraded: bool = False
     min_share_plan: np.ndarray | None = field(default=None, repr=False)
 
     def progress_of(self, plan: np.ndarray) -> float:
-        """Iterations achieved by a plan before this job's deadline."""
-        return float(np.sum(self.throughput_table[plan] * self.weights))
+        """Iterations achieved by a plan before this job's deadline.
+
+        Slots past the usable window carry zero weight, so restricting the
+        product to the window adds the exact same terms (every excluded
+        term is ``+0.0``) while keeping the arrays short.  The
+        cache-disabled path evaluates the plain full-horizon expression,
+        matching the reference fill's from-scratch discipline.
+        """
+        if not cache_enabled():
+            return float((self.throughput_table[plan] * self.weights).sum())
+        w = self.window(0)
+        return float((self.throughput_table[plan[:w]] * self.weights[:w]).sum())
 
     def gpu_seconds_of(self, plan: np.ndarray) -> float:
         """GPU-time a plan consumes within this job's usable window."""
-        return float(np.sum(plan * self.weights))
+        if not cache_enabled():
+            return float((plan * self.weights).sum())
+        w = self.window(0)
+        return float((plan[:w] * self.weights[:w]).sum())
+
+    def window(self, start_slot: int) -> int:
+        """Length of the usable window from ``start_slot``.
+
+        The window runs up to the job's last nonzero weight — beyond it no
+        slot can contribute progress, so every planning decision is a
+        function of capacity inside the window only.  Memoized per view
+        (the hot loops ask for the same window thousands of times) unless
+        the planning cache is disabled, in which case it is recomputed
+        fresh like everything else under the escape hatch.
+        """
+        if not cache_enabled():
+            nonzero = np.flatnonzero(self.weights[start_slot:])
+            return int(nonzero[-1]) + 1 if nonzero.size else 0
+        windows = self.__dict__.get("_windows")
+        if windows is None:
+            windows = self.__dict__["_windows"] = {}
+        w = windows.get(start_slot)
+        if w is None:
+            nonzero = np.flatnonzero(self.weights[start_slot:])
+            w = int(nonzero[-1]) + 1 if nonzero.size else 0
+            windows[start_slot] = w
+        return w
 
     def next_size_after(self, current: int) -> int | None:
         """Smallest allowed size strictly above ``current`` (None at the top)."""
@@ -80,6 +124,14 @@ class PlanningJob:
             if size > current:
                 return size
         return None
+
+    def sizes_array(self) -> np.ndarray:
+        """``sizes`` as an int64 array, built once per view (hot-loop use)."""
+        arr = self.__dict__.get("_sizes_array")
+        if arr is None:
+            arr = np.asarray(self.sizes, dtype=np.int64)
+            self.__dict__["_sizes_array"] = arr
+        return arr
 
 
 def planning_job(
@@ -111,15 +163,7 @@ def planning_job(
         raise ConfigurationError(
             f"deadline_padding_s must be >= 0, got {deadline_padding_s}"
         )
-    sizes = curve.allowed_sizes(capacity)
-    throughput_table = curve.table(capacity)
-    size_table = np.zeros(capacity + 1, dtype=np.int64)
-    best, best_thr = 0, 0.0
-    allowed = set(sizes)
-    for x in range(1, capacity + 1):
-        if x in allowed and curve.throughput(x) > best_thr:
-            best, best_thr = x, curve.throughput(x)
-        size_table[x] = best
+    tables = planning_tables_for(curve, capacity)
     deadline = job.spec.effective_deadline
     planning_deadline = deadline
     if not math.isinf(deadline) and deadline_padding_s:
@@ -133,10 +177,11 @@ def planning_job(
         remaining_iterations=job.remaining_iterations * (1.0 + safety_margin),
         deadline=planning_deadline,
         weights=grid.weights_until(planning_deadline),
-        throughput_table=throughput_table,
-        size_table=size_table,
-        sizes=sizes,
+        throughput_table=tables.throughput_table,
+        size_table=tables.size_table,
+        sizes=tables.sizes,
         best_effort=job.spec.best_effort,
+        tables_token=tables.token,
     )
 
 
@@ -155,6 +200,17 @@ def progressive_filling(
     rounded down to a size it can actually run at.  The returned plan is
     trimmed after the completion slot so later slots stay free for others.
 
+    Two implementations share this contract: a straightforward reference
+    scan that rebuilds the per-slot contribution cap by cap in a Python
+    loop, and a fast path that evaluates every ``(cap, slot)`` pair in one
+    vectorized pass over the job's usable window.  Both select the first
+    cap whose sequential cumulative progress covers the requirement — the
+    fast path's row-wise ``cumsum`` performs the identical additions in
+    the identical order — so both produce bit-identical plans;
+    :func:`repro.perf.tables.planning_cache_disabled` switches to the
+    reference scan (this is what the equivalence regression and the
+    benchmark's decision digest verify end to end).
+
     Args:
         info: Planning view of the job.
         available: Leftover GPUs per slot *excluding* this job's own plan.
@@ -165,6 +221,102 @@ def progressive_filling(
 
     Returns:
         A full-horizon plan, or ``None`` when no cap satisfies the deadline.
+    """
+    if not cache_enabled():
+        return _progressive_filling_reference(
+            info, available, start_slot=start_slot, head=head
+        )
+    horizon = len(available)
+    plan = np.zeros(horizon, dtype=np.int64)
+    base_progress = 0.0
+    if head is not None:
+        plan[:start_slot] = head[:start_slot]
+        if start_slot == 1:
+            # Algorithm 2's tail refills fix exactly one head slot; the
+            # single product is the same multiplication the vector
+            # expression below performs, minus the array round trip.
+            base_progress = float(info.throughput_table[plan[0]]) * float(
+                info.weights[0]
+            )
+        else:
+            base_progress = float(
+                (
+                    info.throughput_table[plan[:start_slot]]
+                    * info.weights[:start_slot]
+                ).sum()
+            )
+    required = info.remaining_iterations - base_progress
+    if required <= _EPS:
+        return plan
+
+    sizes = info.sizes
+    if not sizes:
+        return None
+    throughput_table = info.throughput_table
+    size_table = info.size_table
+
+    # Everything the fill decides depends only on capacity inside the
+    # *usable window* — the slots up to the last nonzero weight.  Later
+    # slots contribute no progress and are never written (the completion
+    # slot always lands inside the window, because the progress crossing
+    # happens at a slot with a nonzero contribution), so all vector work
+    # below runs on window-length slices: zero-weight tails add exact
+    # zeros to every cumulative sum, so the shortened arrays produce
+    # bit-identical decisions while the horizon may be an order of
+    # magnitude longer than the window.
+    usable = info.window(start_slot)
+    if usable == 0:
+        return None
+    tail_weights = info.weights[start_slot : start_slot + usable]
+    tail_available = np.maximum(available[start_slot : start_slot + usable], 0)
+
+    # Evaluate every (cap, slot) pair in one vectorized pass: row `i` of
+    # `progress` is exactly the cumulative-progress array the reference
+    # scan builds for cap `sizes[i]` (cumsum along an axis performs the
+    # same additions in the same sequential order), so selecting the first
+    # feasible row reproduces the reference's cap choice, completion slot,
+    # and plan bit for bit — without a Python-level loop over caps.
+    threshold = required - _EPS
+    x2d = size_table[np.minimum.outer(info.sizes_array(), tail_available)]
+    progress2d = np.cumsum(throughput_table[x2d] * tail_weights, axis=1)
+    feasible = progress2d[:, -1] >= threshold
+    if not feasible.any():
+        return None
+    row = int(np.argmax(feasible))
+    progress = progress2d[row]
+    x = x2d[row]
+    done = int(np.searchsorted(progress, threshold))
+    plan[start_slot : start_slot + done + 1] = x[: done + 1]
+    x_done = int(x[done])
+    # Shave the completion slot to the smallest size that still finishes
+    # the residual work: the selected cap over-provisions the final slot,
+    # and the spare GPUs may be exactly what a later-deadline job needs.
+    earlier = float(progress[done - 1]) if done > 0 else 0.0
+    residual = required - earlier
+    final_weight = float(tail_weights[done])
+    if final_weight > 0:
+        for size in sizes:
+            if size > x_done:
+                break
+            if throughput_table[size] * final_weight >= residual - _EPS:
+                plan[start_slot + done] = size
+                break
+    return plan
+
+
+def _progressive_filling_reference(
+    info: PlanningJob,
+    available: np.ndarray,
+    *,
+    start_slot: int = 0,
+    head: np.ndarray | None = None,
+) -> np.ndarray | None:
+    """The straightforward Algorithm 1 inner loop: full rebuild per cap.
+
+    This is the pre-fast-path implementation, kept verbatim as the
+    behavioural yardstick: the cache-disabled escape hatch routes here, and
+    the equivalence tests assert the fast scan reproduces its decisions
+    bit for bit.
     """
     horizon = len(available)
     plan = np.zeros(horizon, dtype=np.int64)
@@ -188,10 +340,6 @@ def progressive_filling(
         if progress[-1] >= required - _EPS:
             done = int(np.searchsorted(progress, required - _EPS))
             plan[start_slot : start_slot + done + 1] = x[: done + 1]
-            # Shave the completion slot to the smallest size that still
-            # finishes the residual work: the uniform cap over-provisions
-            # the final slot, and the spare GPUs may be exactly what a
-            # later-deadline job needs.
             earlier = float(progress[done - 1]) if done > 0 else 0.0
             residual = required - earlier
             final_weight = float(tail_weights[done])
@@ -229,14 +377,77 @@ class AdmissionResult:
 class AdmissionController:
     """Algorithm 1: deadline-ordered progressive filling over all jobs.
 
+    The controller memoizes complete ``plan_shares`` fills (soft mode only)
+    keyed by a fingerprint of the participating jobs and the grid: on every
+    scheduling event the policy runs Algorithm 1 two to three times over
+    the identical job set (admission baseline, admission trial, then the
+    allocation pass), and all but the first are replayed from the cache.
+    Fingerprints include each job's planning-table token, so a throughput
+    correction (online profiling) automatically invalidates dependent
+    fills.  The cache is bypassed entirely while
+    :func:`repro.perf.tables.planning_cache_disabled` is active or when any
+    job carries a hand-built table (token ``-1``).
+
     Args:
         capacity: Number of GPUs in the cluster.
     """
+
+    #: Bound on remembered fills; LRU-evicted beyond this.
+    FILL_CACHE_LIMIT = 128
 
     def __init__(self, capacity: int) -> None:
         if capacity < 1:
             raise ConfigurationError(f"capacity must be >= 1, got {capacity}")
         self.capacity = capacity
+        self._fill_cache: OrderedDict[tuple, tuple] = OrderedDict()
+        self.fill_cache_hits = 0
+        self.fill_cache_misses = 0
+
+    # ------------------------------------------------------------- caching
+    def _fingerprint(
+        self, infos: list[PlanningJob], grid: SlotGrid
+    ) -> tuple | None:
+        """Hashable identity of one fill, or ``None`` when uncacheable."""
+        jobs = []
+        for info in infos:
+            if info.tables_token < 0:
+                return None
+            jobs.append(
+                (
+                    info.job_id,
+                    info.remaining_iterations,
+                    info.deadline,
+                    info.best_effort,
+                    info.tables_token,
+                )
+            )
+        return (
+            grid.origin,
+            grid.slot_seconds,
+            grid.horizon,
+            tuple(sorted(jobs)),
+        )
+
+    def _replay(
+        self, infos: list[PlanningJob], grid: SlotGrid, cached: tuple
+    ) -> AdmissionResult:
+        """Reconstruct a fill from the cache, including info side effects."""
+        admitted, plans, infeasible, degraded = cached
+        ledger = Ledger(self.capacity, grid.horizon)
+        out_plans: dict[str, np.ndarray] = {}
+        for info in sorted(infos, key=lambda i: (i.deadline, i.job_id)):
+            plan = plans[info.job_id].copy()
+            info.degraded = info.job_id in degraded
+            info.min_share_plan = plan
+            out_plans[info.job_id] = plan
+            ledger.set_plan(info.job_id, plan, trusted=True)
+        return AdmissionResult(
+            admitted=admitted,
+            plans=out_plans,
+            ledger=ledger,
+            infeasible_job=infeasible,
+            degraded=set(degraded),
+        )
 
     def plan_shares(
         self,
@@ -253,7 +464,39 @@ class AdmissionController:
         its reservation and joins the best-effort leftover queue, so a job
         that was admitted earlier but fell behind (e.g. accumulated scaling
         overheads) cannot poison the guarantees of everyone else.
+
+        Only soft (``stop_on_failure=False``) fills are memoized: the hard
+        mode aborts mid-fill and its partial ledger is not worth replaying.
         """
+        key = None
+        if not stop_on_failure and cache_enabled():
+            key = self._fingerprint(infos, grid)
+            if key is not None:
+                cached = self._fill_cache.get(key)
+                if cached is not None:
+                    self._fill_cache.move_to_end(key)
+                    self.fill_cache_hits += 1
+                    return self._replay(infos, grid, cached)
+                self.fill_cache_misses += 1
+        result = self._fill(infos, grid, stop_on_failure=stop_on_failure)
+        if key is not None:
+            self._fill_cache[key] = (
+                result.admitted,
+                {job_id: plan.copy() for job_id, plan in result.plans.items()},
+                result.infeasible_job,
+                frozenset(result.degraded),
+            )
+            while len(self._fill_cache) > self.FILL_CACHE_LIMIT:
+                self._fill_cache.popitem(last=False)
+        return result
+
+    def _fill(
+        self,
+        infos: list[PlanningJob],
+        grid: SlotGrid,
+        *,
+        stop_on_failure: bool,
+    ) -> AdmissionResult:
         ledger = Ledger(self.capacity, grid.horizon)
         plans: dict[str, np.ndarray] = {}
         infeasible: str | None = None
@@ -279,7 +522,7 @@ class AdmissionController:
                     plan = np.zeros(grid.horizon, dtype=np.int64)
             info.min_share_plan = plan
             plans[info.job_id] = plan
-            ledger.set_plan(info.job_id, plan)
+            ledger.set_plan(info.job_id, plan, trusted=True)
         return AdmissionResult(
             admitted=infeasible is None,
             plans=plans,

@@ -17,7 +17,6 @@ with ties broken shortest-remaining-first to minimise average JCT.
 from __future__ import annotations
 
 import heapq
-import itertools
 import math
 from dataclasses import dataclass
 
@@ -25,13 +24,23 @@ import numpy as np
 
 from repro.core.admission import PlanningJob, progressive_filling
 from repro.core.plan import Ledger
+from repro.perf.tables import cache_enabled
 
 __all__ = ["Upgrade", "allocate_leftover"]
 
 
 @dataclass(frozen=True)
 class Upgrade:
-    """A proposed single-step expansion of one job's slot-0 allocation."""
+    """A proposed single-step expansion of one job's slot-0 allocation.
+
+    ``available`` snapshots the capacity vector (including the job's own
+    plan) an SLO proposal's tail refill was computed against; it is
+    ``None`` for best-effort/degraded proposals, whose plans never reach
+    past slot 0 and therefore depend only on slot-0 capacity.  A popped
+    proposal whose ledger version is stale is *revalidated* against the
+    snapshot instead of being rebuilt from scratch — see
+    :func:`_still_valid`.
+    """
 
     job_id: str
     plan: np.ndarray
@@ -39,6 +48,11 @@ class Upgrade:
     priority: float
     tiebreak: float
     ledger_version: int
+    available: np.ndarray | None = None
+    #: GPU-time of ``plan`` (SLO proposals only).  After this upgrade is
+    #: applied it becomes the job's *current* cost, so the follow-up
+    #: proposal reuses it instead of recomputing the identical product.
+    new_cost: float = 0.0
 
 
 def _gpu_seconds_to_completion(info: PlanningJob, n_gpus: int, slot_seconds: float) -> float:
@@ -53,9 +67,14 @@ def _propose(
     info: PlanningJob,
     ledger: Ledger,
     slot_seconds: float,
+    old_cost: float | None = None,
 ) -> Upgrade | None:
-    """Build the next upgrade for one job, or ``None`` if it cannot grow."""
-    current = ledger.plan_of(info.job_id)
+    """Build the next upgrade for one job, or ``None`` if it cannot grow.
+
+    ``old_cost`` short-circuits the GPU-time of the job's current plan when
+    the caller already knows it (the cost of the upgrade it just applied).
+    """
+    current = ledger.plan_view(info.job_id)
     current_size = int(current[0])
     next_size = info.next_size_after(current_size)
     if next_size is None:
@@ -69,6 +88,7 @@ def _propose(
         return None
 
     horizon = ledger.horizon
+    snapshot: np.ndarray | None = None
     if info.best_effort or info.degraded:
         # Degraded SLO jobs (deadline already unmeetable) are served exactly
         # like best-effort jobs: leftovers only, finish as early as possible.
@@ -90,10 +110,22 @@ def _propose(
         )
         if new_plan is None:
             return None
-        old_cost = info.gpu_seconds_of(current)
+        if old_cost is None:
+            old_cost = info.gpu_seconds_of(current)
         new_cost = info.gpu_seconds_of(new_plan)
         priority = (old_cost - new_cost) / added
         tiebreak = 0.0
+        snapshot = available
+        return Upgrade(
+            job_id=info.job_id,
+            plan=new_plan,
+            added_gpus=added,
+            priority=priority,
+            tiebreak=tiebreak,
+            ledger_version=ledger.version,
+            available=snapshot,
+            new_cost=new_cost,
+        )
     return Upgrade(
         job_id=info.job_id,
         plan=new_plan,
@@ -101,7 +133,47 @@ def _propose(
         priority=priority,
         tiebreak=tiebreak,
         ledger_version=ledger.version,
+        available=snapshot,
     )
+
+
+def _still_valid(upgrade: Upgrade, info: PlanningJob, ledger: Ledger) -> bool:
+    """Whether a stale-versioned proposal is still exactly what a rebuild
+    would produce.
+
+    A proposal depends only on the proposing job's own registered plan
+    (unchanged — each job has at most one proposal in flight, so its plan
+    can only have moved by applying *this* proposal) and on the capacity
+    left for it.  Slot-0 feasibility reduces to ``added <= available[0]``;
+    an SLO proposal's tail refill additionally depends on the leftover
+    capacity per slot, but only *within the job's usable window* (slots
+    with nonzero weight — progress and the written plan never reach past
+    it) and only *clamped at the job's largest runnable size* (the fill
+    takes ``min(cap, available)`` with ``cap <= top``, so capacity above
+    ``top`` is indistinguishable from ``top``).  When the clamped windowed
+    capacity vector is unchanged, the rebuilt proposal is bit-identical
+    (same plan, same priority), so the popped one can be applied directly —
+    this turns Algorithm 2 from O(upgrades x jobs) refills into
+    O(upgrades) refills plus cheap short-vector comparisons.
+    """
+    if upgrade.added_gpus > ledger.available_at(0):
+        return False
+    if upgrade.available is None:
+        return True
+    usable = info.window(1)
+    if usable == 0:
+        return True
+    top = info.sizes[-1] if info.sizes else 0
+    current = ledger.plan_view(upgrade.job_id)
+    stop = 1 + usable
+    then = np.minimum(np.maximum(upgrade.available[1:stop], 0), top)
+    now = np.minimum(
+        np.maximum(
+            ledger.available()[1:stop] + current[1:stop], 0
+        ),
+        top,
+    )
+    return bool(np.array_equal(then, now))
 
 
 def allocate_leftover(
@@ -124,26 +196,38 @@ def allocate_leftover(
         actually executed before the next scheduling event).
     """
     by_id = {info.job_id: info for info in infos}
-    counter = itertools.count()
-    heap: list[tuple[float, float, int, Upgrade]] = []
+    # Ties on (priority, tiebreak) are broken by job id, NOT insertion
+    # order: the order must be a property of the proposals themselves so
+    # that revalidating a stale proposal (fast path) and rebuilding it
+    # from scratch (cache-disabled path) pop jobs in the identical order.
+    heap: list[tuple[float, float, str, Upgrade]] = []
 
-    def push(info: PlanningJob) -> None:
-        upgrade = _propose(info, ledger, slot_seconds)
+    def push(info: PlanningJob, old_cost: float | None = None) -> None:
+        upgrade = _propose(info, ledger, slot_seconds, old_cost)
         if upgrade is not None:
             heapq.heappush(
-                heap, (-upgrade.priority, upgrade.tiebreak, next(counter), upgrade)
+                heap, (-upgrade.priority, upgrade.tiebreak, upgrade.job_id, upgrade)
             )
 
     for info in infos:
         push(info)
 
-    while heap and ledger.available()[0] > 0:
+    revalidate = cache_enabled()
+    while heap and ledger.available_at(0) > 0:
         _, _, _, upgrade = heapq.heappop(heap)
         info = by_id[upgrade.job_id]
-        if upgrade.ledger_version != ledger.version:
-            push(info)  # stale proposal: capacity changed since it was built
+        if upgrade.ledger_version != ledger.version and not (
+            revalidate and _still_valid(upgrade, info, ledger)
+        ):
+            push(info)  # genuinely stale: capacity it relied on is gone
             continue
-        ledger.set_plan(info.job_id, upgrade.plan)
-        push(info)
+        ledger.set_plan(info.job_id, upgrade.plan, trusted=True)
+        # The applied plan is now the job's current one, so its cost can
+        # carry into the follow-up proposal (the SLO branch would
+        # recompute the identical product; best-effort proposals never
+        # read it).  The carry is a memo, so the cache-disabled path
+        # recomputes instead.
+        carry = revalidate and upgrade.available is not None
+        push(info, upgrade.new_cost if carry else None)
 
-    return {info.job_id: int(ledger.plan_of(info.job_id)[0]) for info in infos}
+    return {info.job_id: int(ledger.plan_view(info.job_id)[0]) for info in infos}

@@ -13,6 +13,7 @@ from __future__ import annotations
 import enum
 import math
 from dataclasses import dataclass, field
+from functools import cached_property
 
 from repro.errors import ConfigurationError, SchedulingError
 
@@ -86,12 +87,12 @@ class JobSpec:
         if not self.user:
             raise ConfigurationError("user must be non-empty")
 
-    @property
+    @cached_property
     def best_effort(self) -> bool:
         """Whether the job has no deadline (Section 4.4)."""
         return self.deadline is None or math.isinf(self.deadline)
 
-    @property
+    @cached_property
     def effective_deadline(self) -> float:
         """The deadline as a float, with best-effort mapped to ``inf``."""
         return math.inf if self.best_effort else float(self.deadline)

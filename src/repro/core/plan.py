@@ -40,6 +40,8 @@ class Ledger:
         self.version = 0  # bumped on every mutation; used for staleness checks
         self._used = np.zeros(horizon, dtype=np.int64)
         self._plans: dict[str, np.ndarray] = {}
+        self._available_cache: np.ndarray | None = None
+        self._available_version = -1
 
     # ----------------------------------------------------------- inspection
     @property
@@ -50,13 +52,33 @@ class Ledger:
         return view
 
     def available(self) -> np.ndarray:
-        """GPUs still unclaimed per slot."""
-        return self.capacity - self._used
+        """GPUs still unclaimed per slot (read-only; cached per version)."""
+        if self._available_version != self.version:
+            cache = self.capacity - self._used
+            cache.flags.writeable = False
+            self._available_cache = cache
+            self._available_version = self.version
+        return self._available_cache
+
+    def available_at(self, slot: int) -> int:
+        """GPUs still unclaimed in one slot (no array allocation)."""
+        return self.capacity - int(self._used[slot])
 
     def plan_of(self, job_id: str) -> np.ndarray:
         """The registered plan of a job (copy)."""
         try:
             return self._plans[job_id].copy()
+        except KeyError:
+            raise SchedulingError(f"no plan registered for job {job_id!r}") from None
+
+    def plan_view(self, job_id: str) -> np.ndarray:
+        """The registered plan of a job (read-only, no copy).
+
+        Stored plans are frozen at registration time, so this hands out
+        the stored array itself — no per-call view construction.
+        """
+        try:
+            return self._plans[job_id]
         except KeyError:
             raise SchedulingError(f"no plan registered for job {job_id!r}") from None
 
@@ -68,21 +90,35 @@ class Ledger:
         return sorted(self._plans)
 
     # ------------------------------------------------------------- mutation
-    def set_plan(self, job_id: str, plan: np.ndarray) -> None:
-        """Register or replace a job's plan, enforcing capacity."""
-        plan = self._validated(plan)
+    def set_plan(self, job_id: str, plan: np.ndarray, *, trusted: bool = False) -> None:
+        """Register or replace a job's plan, enforcing capacity.
+
+        ``trusted=True`` skips the shape/dtype/capacity validation — the
+        planners use it for plans that progressive filling already bounded
+        by the available capacity, which removes three O(horizon) passes
+        from the hottest loop in Algorithm 2.  A trusted plan is also
+        adopted without a defensive copy and frozen in place (untrusted
+        plans are copied first, so the caller's array stays writable);
+        freezing enforces the no-mutation contract and lets
+        :meth:`plan_view` return stored arrays directly.  External callers
+        should leave ``trusted`` off.
+        """
+        if not trusted:
+            plan = self._validated(plan)
         previous = self._plans.get(job_id)
         trial = self._used + plan
         if previous is not None:
             trial -= previous
-        if np.any(trial > self.capacity):
+        if not trusted and np.any(trial > self.capacity):
             slot = int(np.argmax(trial > self.capacity))
             raise SchedulingError(
                 f"plan for {job_id!r} overflows capacity at slot {slot}: "
                 f"{int(trial[slot])} > {self.capacity}"
             )
         self._used = trial
-        self._plans[job_id] = plan.copy()
+        stored = plan if trusted else plan.copy()
+        stored.flags.writeable = False
+        self._plans[job_id] = stored
         self.version += 1
 
     def remove_plan(self, job_id: str) -> None:

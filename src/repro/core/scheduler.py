@@ -11,6 +11,7 @@ served from leftovers (Section 4.4).
 from __future__ import annotations
 
 import math
+from collections import OrderedDict
 
 from repro.core.admission import AdmissionController, PlanningJob, planning_job
 from repro.core.allocation import allocate_leftover
@@ -18,6 +19,7 @@ from repro.core.job import Job
 from repro.core.operator import OperatorPolicy
 from repro.core.slots import SlotGrid
 from repro.errors import ConfigurationError
+from repro.perf.tables import cache_enabled, curve_revision
 from repro.sim.interface import SchedulerPolicy
 
 __all__ = ["ElasticFlowPolicy"]
@@ -97,6 +99,16 @@ class ElasticFlowPolicy(SchedulerPolicy):
         self.planning_throughput = planning_throughput
         self.failure_reserve_gpus = failure_reserve_gpus
         self.operator_policy = operator_policy
+        # One controller per planning capacity (capacity changes only on
+        # node failure/repair), so its memoized fills survive across
+        # scheduling events — see AdmissionController's caching contract.
+        self._controllers: dict[int, AdmissionController] = {}
+        # Planning views built during one event are rebuilt identically by
+        # the admission pass and the allocation pass (same grid, same
+        # remaining work), so they are memoized under the global cache
+        # switch.  Keys carry the curve revision: an online-profiling
+        # correction invalidates every dependent view.
+        self._info_cache: OrderedDict[tuple, PlanningJob] = OrderedDict()
 
     # ------------------------------------------------------------ interface
     def _planning_capacity(self) -> int:
@@ -123,7 +135,7 @@ class ElasticFlowPolicy(SchedulerPolicy):
         if self._planning_capacity() < 1:
             return False  # total outage: nothing can be guaranteed
         grid = self._grid(now, active + [job])
-        controller = AdmissionController(self._planning_capacity())
+        controller = self._controller(self._planning_capacity())
         candidate = self._info(job, grid)
         admitted = [self._info(j, grid) for j in active if not j.spec.best_effort]
         result = controller.try_admit(candidate, admitted, grid)
@@ -146,7 +158,7 @@ class ElasticFlowPolicy(SchedulerPolicy):
         if self._planning_capacity() < 1:
             return {job.job_id: 0 for job in active}
         grid = self._grid(now, active)
-        controller = AdmissionController(self._planning_capacity())
+        controller = self._controller(self._planning_capacity())
         infos = [self._info(job, grid) for job in active]
         result = controller.plan_shares(infos, grid, stop_on_failure=False)
         decisions = allocate_leftover(infos, result.ledger, grid.slot_seconds)
@@ -195,6 +207,13 @@ class ElasticFlowPolicy(SchedulerPolicy):
         return decisions
 
     # -------------------------------------------------------------- helpers
+    def _controller(self, capacity: int) -> AdmissionController:
+        controller = self._controllers.get(capacity)
+        if controller is None:
+            controller = AdmissionController(capacity)
+            self._controllers[capacity] = controller
+        return controller
+
     def _grid(self, now: float, jobs: list[Job]) -> SlotGrid:
         """Planning grid covering every finite deadline from ``now``.
 
@@ -220,12 +239,47 @@ class ElasticFlowPolicy(SchedulerPolicy):
             )
         return self.context.curve_for(job)
 
+    #: Bound on memoized planning views; LRU-evicted beyond this.
+    INFO_CACHE_LIMIT = 512
+
     def _info(self, job: Job, grid: SlotGrid) -> PlanningJob:
-        return planning_job(
-            job,
-            self._planning_curve(job),
-            grid,
+        curve = self._planning_curve(job)
+        if not cache_enabled():
+            return planning_job(
+                job,
+                curve,
+                grid,
+                self.context.total_gpus,
+                safety_margin=self.safety_margin,
+                deadline_padding_s=self.deadline_padding_s,
+            )
+        spec = job.spec
+        key = (
+            job.job_id,
+            job.remaining_iterations,
+            spec.effective_deadline,
+            spec.best_effort,
+            spec.model_name,
+            spec.global_batch_size,
+            curve_revision(curve),
+            grid.origin,
+            grid.slot_seconds,
+            grid.horizon,
             self.context.total_gpus,
-            safety_margin=self.safety_margin,
-            deadline_padding_s=self.deadline_padding_s,
         )
+        info = self._info_cache.get(key)
+        if info is None:
+            info = planning_job(
+                job,
+                curve,
+                grid,
+                self.context.total_gpus,
+                safety_margin=self.safety_margin,
+                deadline_padding_s=self.deadline_padding_s,
+            )
+            self._info_cache[key] = info
+            while len(self._info_cache) > self.INFO_CACHE_LIMIT:
+                self._info_cache.popitem(last=False)
+        else:
+            self._info_cache.move_to_end(key)
+        return info

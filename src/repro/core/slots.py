@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from functools import cached_property
 
 import numpy as np
 
@@ -59,6 +60,14 @@ class SlotGrid:
         index = int((time - self.origin) // self.slot_seconds)
         return min(index, self.horizon - 1)
 
+    @cached_property
+    def _starts(self) -> np.ndarray:
+        """Absolute start time of every slot (cached: one grid serves every
+        job planned during a scheduling event)."""
+        starts = self.origin + np.arange(self.horizon) * self.slot_seconds
+        starts.flags.writeable = False
+        return starts
+
     def weights_until(self, deadline: float) -> np.ndarray:
         """Usable seconds per slot for a job due at ``deadline``.
 
@@ -68,8 +77,7 @@ class SlotGrid:
         """
         if math.isinf(deadline):
             return np.full(self.horizon, self.slot_seconds, dtype=np.float64)
-        starts = self.origin + np.arange(self.horizon) * self.slot_seconds
-        return np.clip(deadline - starts, 0.0, self.slot_seconds)
+        return np.clip(deadline - self._starts, 0.0, self.slot_seconds)
 
     @staticmethod
     def for_jobs(

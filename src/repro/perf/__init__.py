@@ -1,0 +1,36 @@
+"""Performance infrastructure for the scheduling hot loop.
+
+- :mod:`repro.perf.tables` — memoized per-curve planning tables with
+  explicit invalidation (consumed by ``repro.core.admission``).
+- :mod:`repro.perf.bench` — the benchmark harness behind
+  ``python -m repro.perf``; records the perf trajectory in
+  ``BENCH_core.json``.
+
+Only the table machinery is re-exported here: the bench harness pulls in
+the whole simulator stack and is imported lazily by ``__main__`` so that
+``repro.core`` can depend on this package without a cycle.
+"""
+
+from repro.perf.tables import (
+    PlanningTables,
+    cache_enabled,
+    cache_stats,
+    compute_planning_tables,
+    invalidate_planning_tables,
+    planning_cache_disabled,
+    planning_tables_for,
+    reset_cache,
+    set_cache_enabled,
+)
+
+__all__ = [
+    "PlanningTables",
+    "cache_enabled",
+    "cache_stats",
+    "compute_planning_tables",
+    "invalidate_planning_tables",
+    "planning_cache_disabled",
+    "planning_tables_for",
+    "reset_cache",
+    "set_cache_enabled",
+]

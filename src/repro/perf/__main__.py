@@ -1,0 +1,8 @@
+"""``python -m repro.perf`` — run the scheduling-hot-loop benchmarks."""
+
+import sys
+
+from repro.perf.bench import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,272 @@
+"""The scheduling-hot-loop benchmark harness (``python -m repro.perf``).
+
+Times the three layers the fast-path work targets — admission control,
+allocation, and the end-to-end discrete-event simulation — and writes the
+numbers to ``BENCH_core.json`` so every PR leaves a recorded perf
+trajectory.  The end-to-end benchmark runs the identical workload twice,
+once with the planning caches on and once through the
+:func:`repro.perf.tables.planning_cache_disabled` escape hatch, reporting
+the speedup *and* verifying that both runs made byte-identical scheduling
+decisions (same admissions, same per-job outcomes).
+
+Usage::
+
+    python -m repro.perf             # full benchmark (2000-job trace)
+    python -m repro.perf --quick     # CI smoke (200-job trace)
+    python -m repro.perf -o out.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from typing import Any
+
+import numpy as np
+
+from repro.cluster.topology import ClusterSpec
+from repro.core.admission import planning_job
+from repro.core.scheduler import ElasticFlowPolicy
+from repro.perf.tables import cache_stats, planning_cache_disabled, reset_cache
+from repro.profiles.throughput import ThroughputModel
+from repro.sim.engine import Simulator
+from repro.sim.events import Event
+from repro.sim.metrics import SimulationResult
+from repro.traces.synthetic import ClusterTraceConfig, generate_trace
+from repro.traces.workload import build_jobs
+
+__all__ = ["run_benchmarks", "main"]
+
+#: The Philly-like end-to-end configuration (ISSUE: 2000-job benchmark trace).
+FULL_JOBS = 2000
+QUICK_JOBS = 200
+BENCH_CLUSTER_GPUS = 1024
+BENCH_SLOT_SECONDS = 600.0
+DEFAULT_OUTPUT = "BENCH_core.json"
+
+
+class _TimedSimulator(Simulator):
+    """A simulator that records the wall-clock latency of every event."""
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.event_latencies: list[float] = []
+
+    def _dispatch(self, event: Event) -> None:
+        start = time.perf_counter()
+        super()._dispatch(event)
+        self.event_latencies.append(time.perf_counter() - start)
+
+
+def _percentiles_ms(latencies: list[float]) -> dict[str, float]:
+    if not latencies:
+        return {"p50_ms": 0.0, "p95_ms": 0.0}
+    arr = np.asarray(latencies) * 1000.0
+    return {
+        "p50_ms": float(np.percentile(arr, 50)),
+        "p95_ms": float(np.percentile(arr, 95)),
+    }
+
+
+def _decision_digest(result: SimulationResult) -> list[tuple]:
+    """Everything that must match between cached and uncached runs."""
+    return sorted(
+        (
+            o.job_id,
+            o.status.value,
+            o.admitted,
+            o.completion_time,
+            o.scale_events,
+        )
+        for o in result.outcomes
+    )
+
+
+def _benchmark_workload(n_jobs: int, seed: int):
+    config = ClusterTraceConfig(
+        "bench-philly",
+        BENCH_CLUSTER_GPUS,
+        n_jobs,
+        target_load=1.1,
+        duration_median_s=3000.0,
+        duration_sigma=1.2,
+    )
+    trace = generate_trace(config, seed=seed)
+    throughput = ThroughputModel()
+    specs = build_jobs(trace, throughput, seed=seed)
+    cluster = ClusterSpec(n_nodes=BENCH_CLUSTER_GPUS // 8, gpus_per_node=8)
+    return cluster, specs, throughput
+
+
+def _policy() -> ElasticFlowPolicy:
+    # The ExperimentConfig defaults: the protection knobs every figure uses.
+    return ElasticFlowPolicy(
+        safety_margin=0.03, deadline_padding_s=60.0, stability_threshold=0.3
+    )
+
+
+def _run_sim(n_jobs: int, seed: int) -> tuple[dict[str, Any], SimulationResult]:
+    cluster, specs, throughput = _benchmark_workload(n_jobs, seed)
+    sim = _TimedSimulator(
+        cluster,
+        _policy(),
+        specs,
+        throughput=throughput,
+        slot_seconds=BENCH_SLOT_SECONDS,
+        record_timeline=False,
+    )
+    start = time.perf_counter()
+    result = sim.run()
+    wall = time.perf_counter() - start
+    metrics: dict[str, Any] = {
+        "wall_s": wall,
+        "events": result.events_processed,
+        "events_per_sec": result.events_processed / wall if wall > 0 else 0.0,
+        **_percentiles_ms(sim.event_latencies),
+    }
+    return metrics, result
+
+
+def bench_end_to_end(n_jobs: int, seed: int) -> dict[str, Any]:
+    """Run the benchmark trace cached and uncached; verify equivalence."""
+    reset_cache()
+    cached_metrics, cached_result = _run_sim(n_jobs, seed)
+    cached_metrics["cache"] = cache_stats()
+    with planning_cache_disabled():
+        uncached_metrics, uncached_result = _run_sim(n_jobs, seed)
+    speedup = (
+        uncached_metrics["wall_s"] / cached_metrics["wall_s"]
+        if cached_metrics["wall_s"] > 0
+        else float("inf")
+    )
+    return {
+        "n_jobs": n_jobs,
+        "cluster_gpus": BENCH_CLUSTER_GPUS,
+        "cached": cached_metrics,
+        "uncached": uncached_metrics,
+        "speedup": speedup,
+        "decisions_match": _decision_digest(cached_result)
+        == _decision_digest(uncached_result),
+    }
+
+
+def bench_admission(n_candidates: int, seed: int) -> dict[str, Any]:
+    """Time the policy's arrival-time admission path over a job stream."""
+    from repro.core.job import Job
+    from repro.sim.interface import PolicyContext
+
+    cluster, specs, throughput = _benchmark_workload(n_candidates, seed)
+    policy = _policy()
+    policy.bind(
+        PolicyContext(
+            cluster=cluster, throughput=throughput, slot_seconds=BENCH_SLOT_SECONDS
+        )
+    )
+    reset_cache()
+    active: list[Job] = []
+    latencies: list[float] = []
+    for spec in specs:
+        job = Job(spec=spec)
+        start = time.perf_counter()
+        kept = policy.admit(job, active, spec.submit_time)
+        latencies.append(time.perf_counter() - start)
+        if kept and len(active) < 64:
+            job.mark_admitted(spec.submit_time)
+            active.append(job)
+    total = sum(latencies)
+    return {
+        "candidates": len(latencies),
+        "ops_per_sec": len(latencies) / total if total > 0 else 0.0,
+        **_percentiles_ms(latencies),
+    }
+
+
+def bench_allocation(n_jobs: int, rounds: int, seed: int) -> dict[str, Any]:
+    """Time full allocate() passes over a fixed active set."""
+    from repro.core.job import Job
+    from repro.sim.interface import PolicyContext
+
+    cluster, specs, throughput = _benchmark_workload(n_jobs, seed)
+    policy = _policy()
+    policy.bind(
+        PolicyContext(
+            cluster=cluster, throughput=throughput, slot_seconds=BENCH_SLOT_SECONDS
+        )
+    )
+    reset_cache()
+    base = max(spec.submit_time for spec in specs[:48])
+    active = []
+    for spec in specs[:48]:
+        job = Job(spec=spec)
+        job.mark_admitted(spec.submit_time)
+        active.append(job)
+    latencies: list[float] = []
+    for round_index in range(rounds):
+        # Advance "now" each round so every pass replans from scratch, as a
+        # periodic replan event would.
+        now = base + round_index * 1.0
+        start = time.perf_counter()
+        policy.allocate(active, now)
+        latencies.append(time.perf_counter() - start)
+    total = sum(latencies)
+    return {
+        "active_jobs": len(active),
+        "rounds": rounds,
+        "allocs_per_sec": rounds / total if total > 0 else 0.0,
+        **_percentiles_ms(latencies),
+    }
+
+
+def run_benchmarks(*, quick: bool = False, seed: int = 0) -> dict[str, Any]:
+    """Run the full harness and return the report dictionary."""
+    n_jobs = QUICK_JOBS if quick else FULL_JOBS
+    report = {
+        "schema": 1,
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "quick": quick,
+        "seed": seed,
+        "admission": bench_admission(100 if quick else 400, seed),
+        "allocation": bench_allocation(n_jobs, 20 if quick else 60, seed),
+        "end_to_end": bench_end_to_end(n_jobs, seed),
+    }
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.perf",
+        description="Benchmark the scheduling hot loop and record the results.",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small trace for CI smoke runs",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "-o",
+        "--output",
+        default=DEFAULT_OUTPUT,
+        help=f"report path (default: {DEFAULT_OUTPUT})",
+    )
+    args = parser.parse_args(argv)
+    report = run_benchmarks(quick=args.quick, seed=args.seed)
+    with open(args.output, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    e2e = report["end_to_end"]
+    print(
+        f"end-to-end ({e2e['n_jobs']} jobs): "
+        f"{e2e['cached']['wall_s']:.2f}s cached vs "
+        f"{e2e['uncached']['wall_s']:.2f}s uncached "
+        f"({e2e['speedup']:.2f}x, decisions_match={e2e['decisions_match']})"
+    )
+    print(
+        f"admission: {report['admission']['ops_per_sec']:.1f} ops/s | "
+        f"allocation: {report['allocation']['allocs_per_sec']:.1f} allocs/s | "
+        f"events: {e2e['cached']['events_per_sec']:.1f}/s "
+        f"(p50 {e2e['cached']['p50_ms']:.2f} ms, p95 {e2e['cached']['p95_ms']:.2f} ms)"
+    )
+    print(f"report written to {args.output}")
+    return 0

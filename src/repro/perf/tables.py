@@ -1,0 +1,190 @@
+"""Memoized planning tables for the scheduling hot loop.
+
+``planning_job`` historically rebuilt two O(capacity) lookup tables — the
+effective-throughput table ``T[x]`` and the best-runnable-size table
+``S[x]`` — for *every job on every scheduling event*, each entry costing a
+Python-level ``curve.throughput(x)`` call.  Those tables depend only on the
+scaling curve and the table width, so this module caches them per curve
+instance and hands planning a shared read-only view.
+
+Contract (see ``docs/performance.md``):
+
+- Tables are keyed by ``(curve identity, capacity)``.  A curve whose
+  throughput can change over time (e.g. the live-corrected curves of
+  :class:`repro.profiles.online.OnlineThroughputModel`) **must** call
+  :func:`invalidate_planning_tables` whenever an observation lands; the
+  online model does this automatically.
+- Every table set carries a monotonically increasing ``token``.  Downstream
+  memoisation (the admission baseline cache) fingerprints jobs by this
+  token, so a rebuilt table automatically invalidates every dependent
+  cached plan.
+- :func:`planning_cache_disabled` is the correctness escape hatch: inside
+  the context every lookup recomputes from the curve, bypassing and not
+  populating the store.  Scheduling decisions must be identical either way
+  (enforced by ``tests/test_perf_equivalence.py``).
+
+The module is dependency-light on purpose (numpy only): both ``repro.core``
+and ``repro.profiles`` import it without creating a cycle.
+"""
+
+from __future__ import annotations
+
+import itertools
+from contextlib import contextmanager
+from dataclasses import dataclass
+from weakref import WeakKeyDictionary
+
+import numpy as np
+
+__all__ = [
+    "PlanningTables",
+    "compute_planning_tables",
+    "planning_tables_for",
+    "invalidate_planning_tables",
+    "curve_revision",
+    "cache_enabled",
+    "set_cache_enabled",
+    "planning_cache_disabled",
+    "cache_stats",
+    "reset_cache",
+]
+
+
+@dataclass(frozen=True)
+class PlanningTables:
+    """The per-curve lookup tables the planning algorithms consume.
+
+    Attributes:
+        sizes: Candidate GPU-count caps in increasing order.
+        throughput_table: ``T[x]`` — effective iterations/sec at ``x`` GPUs
+            (monotone non-decreasing, ``T[0] == 0``).  Read-only.
+        size_table: ``S[x]`` — GPUs actually used when handed ``x``.
+            Read-only.
+        token: Monotone build counter; two lookups returning the same token
+            are guaranteed to hold identical tables.  Fresh computations
+            (cache disabled, or a post-invalidation rebuild) always receive
+            a new token, so stale fingerprints can never collide.
+    """
+
+    sizes: tuple[int, ...]
+    throughput_table: np.ndarray
+    size_table: np.ndarray
+    token: int
+
+
+_token_counter = itertools.count()
+_store: "WeakKeyDictionary[object, dict[int, PlanningTables]]" = WeakKeyDictionary()
+_revisions: "WeakKeyDictionary[object, int]" = WeakKeyDictionary()
+_enabled: bool = True
+_stats = {"hits": 0, "misses": 0, "bypasses": 0, "invalidations": 0}
+
+
+def compute_planning_tables(curve, capacity: int) -> PlanningTables:
+    """Build the tables from scratch (always; never consults the store).
+
+    Matches the historical inline computation bit-for-bit: ``T[x]`` is the
+    running maximum of ``curve.throughput`` over allowed sizes ``<= x`` and
+    ``S[x]`` is the size achieving it (first size on ties).
+    """
+    sizes = tuple(curve.allowed_sizes(capacity))
+    throughput_table = np.zeros(capacity + 1, dtype=np.float64)
+    size_table = np.zeros(capacity + 1, dtype=np.int64)
+    allowed = set(sizes)
+    best_size, best_thr = 0, 0.0
+    for x in range(1, capacity + 1):
+        if x in allowed:
+            thr = curve.throughput(x)
+            if thr > best_thr:
+                best_size, best_thr = x, thr
+        throughput_table[x] = best_thr
+        size_table[x] = best_size
+    throughput_table.flags.writeable = False
+    size_table.flags.writeable = False
+    return PlanningTables(
+        sizes=sizes,
+        throughput_table=throughput_table,
+        size_table=size_table,
+        token=next(_token_counter),
+    )
+
+
+def planning_tables_for(curve, capacity: int) -> PlanningTables:
+    """Memoized planning tables for one ``(curve, capacity)`` pair."""
+    if not _enabled:
+        _stats["bypasses"] += 1
+        return compute_planning_tables(curve, capacity)
+    per_curve = _store.get(curve)
+    if per_curve is None:
+        per_curve = {}
+        _store[curve] = per_curve
+    tables = per_curve.get(capacity)
+    if tables is None:
+        _stats["misses"] += 1
+        tables = compute_planning_tables(curve, capacity)
+        per_curve[capacity] = tables
+    else:
+        _stats["hits"] += 1
+    return tables
+
+
+def invalidate_planning_tables(curve) -> None:
+    """Drop every cached table of one curve (all capacities).
+
+    Call this whenever the curve's ``throughput`` answers may have changed;
+    the next lookup rebuilds with a fresh token, which also invalidates any
+    downstream plan fingerprints.  The curve's *revision* is bumped even if
+    no table was cached, so revision-keyed memos elsewhere (e.g. the
+    simulator's per-placement rate memo) always see the change.
+    """
+    _revisions[curve] = _revisions.get(curve, 0) + 1
+    if _store.pop(curve, None) is not None:
+        _stats["invalidations"] += 1
+
+
+def curve_revision(curve) -> int:
+    """Monotone per-curve invalidation counter (0 until first invalidation).
+
+    Include this in the key of any memo derived from a curve's throughput:
+    the counter changes exactly when :func:`invalidate_planning_tables`
+    reports the curve's answers may have moved.
+    """
+    return _revisions.get(curve, 0)
+
+
+def cache_enabled() -> bool:
+    """Whether memoisation is currently on."""
+    return _enabled
+
+
+def set_cache_enabled(enabled: bool) -> bool:
+    """Flip the global cache switch; returns the previous setting."""
+    global _enabled
+    previous = _enabled
+    _enabled = bool(enabled)
+    return previous
+
+
+@contextmanager
+def planning_cache_disabled():
+    """Context manager: recompute everything from the curves, no memo.
+
+    This is the escape hatch the decision-equivalence tests (and any
+    debugging session that suspects a stale cache) run under.
+    """
+    previous = set_cache_enabled(False)
+    try:
+        yield
+    finally:
+        set_cache_enabled(previous)
+
+
+def cache_stats() -> dict[str, int]:
+    """Hit/miss/bypass/invalidation counters (copies; for tests & bench)."""
+    return dict(_stats)
+
+
+def reset_cache() -> None:
+    """Forget every cached table and zero the counters."""
+    _store.clear()
+    for key in _stats:
+        _stats[key] = 0

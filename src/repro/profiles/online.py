@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import ConfigurationError
+from repro.perf.tables import invalidate_planning_tables
 from repro.profiles.throughput import Placement, ScalingCurve, ThroughputModel
 
 __all__ = ["OnlineThroughputModel", "ScaledThroughputModel"]
@@ -85,15 +86,28 @@ class OnlineThroughputModel:
         self.prior = prior
         self.alpha = alpha
         self._corrections: dict[tuple[str, int], dict[int, _Correction]] = {}
+        self._curves: dict[tuple[str, int], _CorrectedCurve] = {}
         self.observations = 0
 
     def _corrections_for(self, model_name: str, batch: int) -> dict[int, _Correction]:
         return self._corrections.setdefault((model_name, batch), {})
 
     def curve(self, model_name: str, global_batch: int) -> ScalingCurve:
-        """A live-corrected planning curve (never cached — it learns)."""
-        base = self.prior.curve(model_name, global_batch)
-        return _CorrectedCurve(base, self._corrections_for(model_name, global_batch))
+        """The live-corrected planning curve for one configuration.
+
+        The curve object is cached per configuration but its answers are
+        always live: it reads the shared correction state on every call.
+        Returning a stable object is what lets the planning-table memo
+        (:mod:`repro.perf.tables`) key by curve identity; :meth:`observe`
+        invalidates those tables whenever the corrections move.
+        """
+        key = (model_name, global_batch)
+        curve = self._curves.get(key)
+        if curve is None:
+            base = self.prior.curve(model_name, global_batch)
+            curve = _CorrectedCurve(base, self._corrections_for(model_name, global_batch))
+            self._curves[key] = curve
+        return curve
 
     def observe(
         self,
@@ -127,6 +141,12 @@ class OnlineThroughputModel:
             observed_rate / predicted, self.alpha
         )
         self.observations += 1
+        # A correction shifts every size of this configuration's curve (the
+        # unobserved sizes borrow the average factor), so any memoized
+        # planning tables derived from it are now stale.
+        cached = self._curves.get((model_name, global_batch))
+        if cached is not None:
+            invalidate_planning_tables(cached)
 
     def correction_factor(self, model_name: str, global_batch: int, size: int) -> float:
         """Current correction at one size (1.0 before any observation)."""
@@ -149,12 +169,18 @@ class ScaledThroughputModel:
         self.base = base
         self.factor = factor
         self._bias: dict[tuple[str, int], dict[int, _Correction]] = {}
+        self._curves: dict[tuple[str, int], _CorrectedCurve] = {}
 
     def curve(self, model_name: str, global_batch: int) -> ScalingCurve:
         key = (model_name, global_batch)
-        if key not in self._bias:
+        curve = self._curves.get(key)
+        if curve is None:
             fixed = _Correction()
             fixed.update(self.factor, alpha=1.0)
             # One shared pseudo-observation biases every size uniformly.
             self._bias[key] = {0: fixed}
-        return _CorrectedCurve(self.base.curve(model_name, global_batch), self._bias[key])
+            # The bias never changes, so the cached curve (and any planning
+            # tables memoized from it) stays valid for the model's lifetime.
+            curve = _CorrectedCurve(self.base.curve(model_name, global_batch), self._bias[key])
+            self._curves[key] = curve
+        return curve

@@ -11,6 +11,7 @@ progress exactly between events.
 
 from __future__ import annotations
 
+import bisect
 import heapq
 import itertools
 
@@ -18,6 +19,7 @@ from repro.cluster.placement import PlacementManager
 from repro.cluster.topology import ClusterSpec
 from repro.core.job import Job, JobSpec, JobStatus
 from repro.errors import PlacementError, SchedulingError, SimulationError
+from repro.perf.tables import cache_enabled, curve_revision
 from repro.profiles.throughput import Placement, ThroughputModel
 from repro.sim.events import Event, EventKind
 from repro.sim.executor import ElasticExecutor
@@ -46,6 +48,12 @@ class Simulator:
         executor: Overhead model for elastic scaling; defaults to the
             calibrated PyTorch checkpoint/restore model.
         record_timeline: Keep per-event cluster samples (Figs 7 and 10).
+        record_efficiency: Compute the per-sample cluster-efficiency sum
+            (Eq. 8, one scaling-curve lookup per running job per event).
+            Only Fig 10 reads it; sweeps that only need outcomes can turn
+            it off and keep the rest of the timeline.  Ignored when
+            ``record_timeline`` is off — that path never touches the
+            speedup curves at all.
         max_events: Safety valve against pathological policies.
         failures: Optional node-outage schedule to replay (Section 4.4's
             "node failures" extension).  A failing node evicts its jobs;
@@ -66,6 +74,7 @@ class Simulator:
         slot_seconds: float = 300.0,
         executor: ElasticExecutor | None = None,
         record_timeline: bool = True,
+        record_efficiency: bool = True,
         max_events: int = 2_000_000,
         failures: FailureSchedule | None = None,
         observation_hook=None,
@@ -89,6 +98,9 @@ class Simulator:
         policy.bind(self.context)
 
         self.jobs: dict[str, Job] = {}
+        # Kept sorted by (submit_time, job_id) — the initial sort fixes the
+        # arrival-event sequence numbers (tie-break determinism) and
+        # ``submit`` maintains the order with an insort.
         self._specs = sorted(specs, key=lambda s: (s.submit_time, s.job_id))
         self._spec_by_id = {spec.job_id: spec for spec in self._specs}
         self._placement = PlacementManager(cluster)
@@ -100,7 +112,23 @@ class Simulator:
         self._events_processed = 0
         self._submitted = 0
         self._admitted = 0
+        # Jobs still needing scheduling attention, in admission order
+        # (which equals arrival order).  Maintained at every status
+        # transition so the per-event loops never scan completed jobs.
+        self._active: dict[str, Job] = {}
+        # Versioned-event bookkeeping: superseded COMPLETION/REPLAN events
+        # are counted and periodically compacted out of the heap so it
+        # cannot grow monotonically over a long trace.
+        self._live_versioned = 0
+        self._stale_versioned = 0
+        # Memoized placement-dependent rates: a job's throughput is a pure
+        # function of (curve, size, nodes spanned), so re-deriving it for
+        # every advance of every running job is wasted work.  Keys carry
+        # the curve's invalidation revision (see repro.perf.tables), so an
+        # online-profiling correction transparently invalidates the entry.
+        self._rate_memo: dict[tuple[str, int, int, int], float] = {}
         self.timeline = Timeline() if record_timeline else None
+        self._record_efficiency = record_efficiency
         for spec in self._specs:
             self._push(Event(spec.submit_time, EventKind.ARRIVAL, next(self._seq), spec.job_id))
         for window in self.failures.windows:
@@ -129,7 +157,10 @@ class Simulator:
 
         Supports the interactive serverless front end: jobs may be
         submitted between :meth:`run_until` calls as long as their
-        ``submit_time`` has not already passed.
+        ``submit_time`` has not already passed.  ``self._specs`` stays
+        sorted by (submit_time, job_id); note that event tie-breaking for
+        equal submit times still follows submission-call order for late
+        submissions (their events get later sequence numbers).
 
         Raises:
             SimulationError: On a duplicate id or a submission in the past.
@@ -142,7 +173,7 @@ class Simulator:
                 f"(simulation time is already {self._now})"
             )
         self._spec_by_id[spec.job_id] = spec
-        self._specs.append(spec)
+        bisect.insort(self._specs, spec, key=lambda s: (s.submit_time, s.job_id))
         self._push(
             Event(spec.submit_time, EventKind.ARRIVAL, next(self._seq), spec.job_id)
         )
@@ -181,27 +212,68 @@ class Simulator:
             if until is not None and self._heap[0].time > until:
                 break
             event = heapq.heappop(self._heap)
+            if event.kind is EventKind.COMPLETION or event.kind is EventKind.REPLAN:
+                if event.version == self._alloc_version:
+                    self._live_versioned -= 1
+                else:
+                    self._stale_versioned -= 1
             self._events_processed += 1
             if self._events_processed > self.max_events:
                 raise SimulationError(
                     f"exceeded {self.max_events} events; the policy is likely "
                     f"starving a job"
                 )
-            self._advance_to(event.time)
-            if event.kind is EventKind.ARRIVAL:
-                self._handle_arrival(event)
-            elif event.kind is EventKind.COMPLETION:
-                self._handle_completion(event)
-            elif event.kind is EventKind.NODE_FAILURE:
-                self._handle_node_failure(event)
-            elif event.kind is EventKind.NODE_REPAIR:
-                self._handle_node_repair(event)
-            else:
-                self._handle_replan(event)
+            self._dispatch(event)
+
+    def _dispatch(self, event: Event) -> None:
+        """Advance time to one event and apply it.
+
+        Split out of :meth:`_drain` so instrumentation (the perf harness's
+        per-event latency probe) can wrap exactly one event's work.
+        """
+        self._advance_to(event.time)
+        if event.kind is EventKind.ARRIVAL:
+            self._handle_arrival(event)
+        elif event.kind is EventKind.COMPLETION:
+            self._handle_completion(event)
+        elif event.kind is EventKind.NODE_FAILURE:
+            self._handle_node_failure(event)
+        elif event.kind is EventKind.NODE_REPAIR:
+            self._handle_node_repair(event)
+        else:
+            self._handle_replan(event)
 
     # -------------------------------------------------------------- events
     def _push(self, event: Event) -> None:
         heapq.heappush(self._heap, event)
+        if event.kind is EventKind.COMPLETION or event.kind is EventKind.REPLAN:
+            if event.version == self._alloc_version:
+                self._live_versioned += 1
+            else:  # pragma: no cover - versioned events are pushed fresh
+                self._stale_versioned += 1
+
+    def _compact_heap(self) -> None:
+        """Drop superseded versioned events once they dominate the heap.
+
+        Every reallocation stamps a fresh version and orphans all earlier
+        COMPLETION/REPLAN projections; they would otherwise sit in the heap
+        until their (possibly far-future) timestamps pop.  Compaction keeps
+        the heap proportional to the *live* event population, which keeps
+        both push cost and memory flat over arbitrarily long traces.
+        """
+        if self._stale_versioned < 64 or 2 * self._stale_versioned < len(self._heap):
+            return
+        version = self._alloc_version
+        self._heap = [
+            event
+            for event in self._heap
+            if not (
+                (event.kind is EventKind.COMPLETION or event.kind is EventKind.REPLAN)
+                and event.version != version
+            )
+        ]
+        heapq.heapify(self._heap)
+        self._stale_versioned = 0
 
     def _handle_arrival(self, event: Event) -> None:
         spec = self._spec_by_id[event.job_id]
@@ -211,6 +283,7 @@ class Simulator:
         keep = self.policy.admit(job, self._active_jobs(), self._now)
         if keep:
             job.mark_admitted(self._now)
+            self._active[job.job_id] = job
             self._admitted += 1
             self._reallocate()
         else:
@@ -232,6 +305,7 @@ class Simulator:
         if self._placement.is_placed(job.job_id):
             self._placement.release(job.job_id)
         job.mark_completed(self._now)
+        self._active.pop(job.job_id, None)
         self._reallocate()
 
     def _handle_node_failure(self, event: Event) -> None:
@@ -273,7 +347,7 @@ class Simulator:
             )
         window = time - self._last_advance
         if window > 0:
-            for job in self.jobs.values():
+            for job in self._active.values():
                 if job.status is JobStatus.RUNNING and job.n_gpus > 0:
                     rate = self._throughput_of(job)
                     job.advance(window, rate, time)
@@ -285,12 +359,24 @@ class Simulator:
     def _throughput_of(self, job: Job) -> float:
         """Iterations/sec of a running job under its actual placement."""
         curve = self.context.curve_for(job)
-        size = curve.best_size(job.n_gpus)
+        # Buddy blocks are contiguous aligned index ranges, so the span of
+        # the first `size` GPUs is pure arithmetic — no index-set walk.
+        block = self._placement.block_of(job.job_id)
+        if cache_enabled():
+            key = (job.job_id, job.n_gpus, block.offset, curve_revision(curve))
+            rate = self._rate_memo.get(key)
+            if rate is None:
+                rate = self._compute_rate(curve, job.n_gpus, block.offset)
+                self._rate_memo[key] = rate
+            return rate
+        return self._compute_rate(curve, job.n_gpus, block.offset)
+
+    def _compute_rate(self, curve, n_gpus: int, offset: int) -> float:
+        size = curve.best_size(n_gpus)
         if size == 0:
             return 0.0
-        placement = self._placement.placement_of(job.job_id)
-        indices = placement.gpu_indices[:size]
-        span = self.cluster.nodes_spanned(indices)
+        per_node = self.cluster.gpus_per_node
+        span = (offset + size - 1) // per_node - offset // per_node + 1
         return curve.throughput(size, Placement(size, span))
 
     def _speedup_of(self, job: Job) -> float:
@@ -301,11 +387,7 @@ class Simulator:
 
     # ---------------------------------------------------------- allocation
     def _active_jobs(self) -> list[Job]:
-        return [
-            job
-            for job in self.jobs.values()
-            if job.is_active
-        ]
+        return list(self._active.values())
 
     def _reallocate(self) -> None:
         now = self._now
@@ -317,6 +399,10 @@ class Simulator:
         self._validate_decisions(decisions, active)
         self._alloc_version += 1
         version = self._alloc_version
+        # Every projection pushed before this point is now superseded.
+        self._stale_versioned += self._live_versioned
+        self._live_versioned = 0
+        self._compact_heap()
 
         active_by_id = {job.job_id: job for job in active}
         changed: set[str] = set()
@@ -425,13 +511,17 @@ class Simulator:
     # ------------------------------------------------------------- samples
     def _record_sample(self) -> None:
         if self.timeline is None:
-            return
+            return  # no timeline: no sample, and no speedup lookups at all
         running = [
             job
-            for job in self.jobs.values()
+            for job in self._active.values()
             if job.status is JobStatus.RUNNING and job.n_gpus > 0
         ]
-        efficiency = sum(self._speedup_of(job) for job in running)
+        efficiency = (
+            sum(self._speedup_of(job) for job in running)
+            if self._record_efficiency
+            else 0.0
+        )
         self.timeline.record(
             TimelineSample(
                 time=self._now,

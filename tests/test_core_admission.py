@@ -206,7 +206,7 @@ class TestPlanningJobFactory:
         assert info.remaining_iterations == 1000
         assert info.throughput_table[1] == pytest.approx(curve.throughput(1))
         assert info.size_table[3] == 2  # floor to runnable power of two
-        assert info.sizes == [1, 2, 4, 8, 16]
+        assert tuple(info.sizes) == (1, 2, 4, 8, 16)
 
     def test_safety_margin_inflates_work(self):
         grid = SlotGrid(origin=0.0, slot_seconds=60.0, horizon=10)

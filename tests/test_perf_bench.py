@@ -1,0 +1,55 @@
+"""Smoke tests for the perf harness (python -m repro.perf)."""
+
+import json
+
+import pytest
+
+from repro.perf import bench
+
+
+@pytest.fixture
+def tiny_bench(monkeypatch):
+    """Shrink the benchmark trace so the smoke run stays fast."""
+    monkeypatch.setattr(bench, "QUICK_JOBS", 30)
+    return bench
+
+
+def test_main_writes_report(tmp_path, tiny_bench, capsys):
+    out = tmp_path / "BENCH_core.json"
+    code = tiny_bench.main(["--quick", "--seed", "5", "-o", str(out)])
+    assert code == 0
+    report = json.loads(out.read_text())
+    assert report["schema"] == 1
+    assert report["quick"] is True
+    assert report["seed"] == 5
+
+    e2e = report["end_to_end"]
+    for key in ("n_jobs", "cluster_gpus", "cached", "uncached", "speedup"):
+        assert key in e2e
+    assert e2e["decisions_match"] is True
+    for side in ("cached", "uncached"):
+        metrics = e2e[side]
+        assert metrics["wall_s"] > 0
+        assert metrics["events"] > 0
+        assert metrics["events_per_sec"] > 0
+        assert "p50_ms" in metrics and "p95_ms" in metrics
+    cache = e2e["cached"]["cache"]
+    assert cache["hits"] > 0
+
+    admission = report["admission"]
+    assert admission["candidates"] > 0
+    assert admission["ops_per_sec"] > 0
+
+    allocation = report["allocation"]
+    assert allocation["rounds"] > 0
+    assert allocation["allocs_per_sec"] > 0
+
+    printed = capsys.readouterr().out
+    assert "end-to-end" in printed
+
+
+def test_decision_digest_orders_outcomes(tiny_bench):
+    metrics, result = bench._run_sim(12, seed=1)
+    digest = bench._decision_digest(result)
+    assert digest == sorted(digest)
+    assert len(digest) == 12

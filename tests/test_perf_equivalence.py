@@ -1,0 +1,159 @@
+"""Decision-equivalence regression: the fast path must change nothing.
+
+Two layers of evidence:
+
+- A hypothesis sweep over randomized planning instances asserting the
+  vectorized fill and the reference scan return bit-identical plans.
+- A seeded end-to-end trace simulated twice — planning caches on, then
+  under :func:`planning_cache_disabled` — asserting identical outcomes
+  job for job (admission, completion time, scale events).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.admission import (
+    _progressive_filling_reference,
+    progressive_filling,
+)
+from repro.core.scheduler import ElasticFlowPolicy
+from repro.core.slots import SlotGrid
+from repro.cluster.topology import ClusterSpec
+from repro.perf.tables import planning_cache_disabled, reset_cache
+from repro.profiles import ThroughputModel
+from repro.sim.engine import Simulator
+from repro.traces.synthetic import ClusterTraceConfig, generate_trace
+from repro.traces.workload import build_jobs
+
+from conftest import synthetic_planning_job
+
+
+# --------------------------------------------------------------- unit level
+@st.composite
+def fill_instances(draw):
+    horizon = draw(st.integers(min_value=1, max_value=12))
+    grid = SlotGrid(origin=0.0, slot_seconds=1.0, horizon=horizon)
+    capacity = draw(st.sampled_from([1, 2, 4, 8]))
+    n_sizes = draw(st.integers(min_value=1, max_value=3))
+    sizes = sorted(
+        draw(
+            st.lists(
+                st.sampled_from([1, 2, 3, 4, 6, 8]),
+                min_size=n_sizes,
+                max_size=n_sizes,
+                unique=True,
+            )
+        )
+    )
+    sizes = [s for s in sizes if s <= capacity] or [1]
+    thr = {}
+    last = 0.0
+    for s in sizes:
+        last += draw(st.floats(min_value=0.1, max_value=2.0))
+        thr[s] = last
+    remaining = draw(st.floats(min_value=0.0, max_value=30.0))
+    deadline = draw(st.floats(min_value=0.5, max_value=float(horizon)))
+    info = synthetic_planning_job("j", remaining, deadline, grid, capacity, thr)
+    # Availability may legitimately include zeros and (defensively) negatives.
+    available = np.array(
+        draw(
+            st.lists(
+                st.integers(min_value=-1, max_value=capacity),
+                min_size=horizon,
+                max_size=horizon,
+            )
+        ),
+        dtype=np.int64,
+    )
+    start_slot = draw(st.integers(min_value=0, max_value=min(1, horizon - 1)))
+    head = None
+    if start_slot == 1:
+        head = np.zeros(horizon, dtype=np.int64)
+        head[0] = draw(st.sampled_from([0] + sizes))
+    return info, available, start_slot, head
+
+
+class TestFillEquivalence:
+    @settings(max_examples=300, deadline=None)
+    @given(fill_instances())
+    def test_fast_fill_matches_reference_bit_for_bit(self, instance):
+        info, available, start_slot, head = instance
+        fast = progressive_filling(
+            info, available, start_slot=start_slot, head=head
+        )
+        reference = _progressive_filling_reference(
+            info, available, start_slot=start_slot, head=head
+        )
+        if reference is None:
+            assert fast is None
+        else:
+            assert fast is not None
+            assert np.array_equal(fast, reference)
+
+    def test_interior_zero_weights_are_respected(self):
+        """Hand-built views may carry zero-weight slots *inside* the
+        window; the fast path's window must span them, not stop early."""
+        grid = SlotGrid(origin=0.0, slot_seconds=1.0, horizon=6)
+        info = synthetic_planning_job("j", 3.0, 6.0, grid, 4, {1: 1.0})
+        info.weights = info.weights.copy()
+        info.weights[2] = 0.0  # a dead slot inside the usable window
+        available = np.full(6, 4, dtype=np.int64)
+        fast = progressive_filling(info, available)
+        reference = _progressive_filling_reference(info, available)
+        assert fast is not None and reference is not None
+        assert np.array_equal(fast, reference)
+
+
+# --------------------------------------------------------------- end to end
+def _simulate(specs, cluster, throughput):
+    sim = Simulator(
+        cluster,
+        ElasticFlowPolicy(
+            safety_margin=0.03, deadline_padding_s=60.0, stability_threshold=0.3
+        ),
+        specs,
+        throughput=throughput,
+        slot_seconds=600.0,
+        record_timeline=False,
+    )
+    return sim.run()
+
+
+def _digest(result):
+    return sorted(
+        (
+            o.job_id,
+            o.status.value,
+            o.admitted,
+            o.completion_time,
+            o.scale_events,
+        )
+        for o in result.outcomes
+    )
+
+
+@pytest.mark.parametrize("seed", [3, 11])
+def test_trace_decisions_identical_with_and_without_cache(seed):
+    """A seeded trace must produce byte-identical scheduling outcomes with
+    every memo enabled and under the cache-disabled escape hatch."""
+    config = ClusterTraceConfig(
+        "equivalence",
+        64,
+        120,
+        target_load=1.1,
+        duration_median_s=2000.0,
+        duration_sigma=1.2,
+    )
+    trace = generate_trace(config, seed=seed)
+    throughput = ThroughputModel()
+    specs = build_jobs(trace, throughput, seed=seed)
+    cluster = ClusterSpec(n_nodes=8, gpus_per_node=8)
+
+    reset_cache()
+    cached = _simulate(specs, cluster, throughput)
+    with planning_cache_disabled():
+        uncached = _simulate(specs, cluster, throughput)
+
+    assert _digest(cached) == _digest(uncached)

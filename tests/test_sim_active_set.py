@@ -1,0 +1,114 @@
+"""Tests for the event engine's active set, heap hygiene, and submit order."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.topology import ClusterSpec
+from repro.core.job import JobSpec, JobStatus
+from repro.core.scheduler import ElasticFlowPolicy
+from repro.errors import SimulationError
+from repro.sim.engine import Simulator
+
+
+def _spec(job_id, submit, deadline=None, iterations=200):
+    return JobSpec(
+        job_id=job_id,
+        model_name="resnet50",
+        global_batch_size=128,
+        max_iterations=iterations,
+        submit_time=submit,
+        deadline=deadline,
+    )
+
+
+def _sim(specs, **kwargs):
+    return Simulator(
+        ClusterSpec(n_nodes=2, gpus_per_node=4),
+        ElasticFlowPolicy(),
+        specs,
+        slot_seconds=60.0,
+        **kwargs,
+    )
+
+
+class TestActiveSet:
+    def test_active_set_tracks_status_transitions(self):
+        sim = _sim([_spec("a", 0.0), _spec("b", 5.0)])
+        assert sim._active == {}
+        sim.run_until(6.0)
+        active_ids = set(sim._active)
+        assert active_ids == {
+            j.job_id for j in sim.jobs.values() if j.is_active
+        }
+        sim.run()
+        assert sim._active == {}
+        assert all(
+            job.status in (JobStatus.COMPLETED, JobStatus.DROPPED)
+            for job in sim.jobs.values()
+        )
+
+    def test_dropped_jobs_never_enter_active_set(self):
+        # An impossible deadline forces a drop at admission time.
+        sim = _sim([_spec("tight", 0.0, deadline=0.5, iterations=10**9)])
+        result = sim.run()
+        assert result.outcomes[0].status is JobStatus.DROPPED
+        assert sim._active == {}
+
+
+class TestSubmitOrdering:
+    def test_late_submission_keeps_specs_sorted(self):
+        sim = _sim([_spec("b", 10.0), _spec("a", 0.0)])
+        sim.run_until(1.0)
+        sim.submit(_spec("c", 5.0))
+        keys = [(s.submit_time, s.job_id) for s in sim._specs]
+        assert keys == sorted(keys)
+
+    def test_submit_in_the_past_rejected(self):
+        sim = _sim([_spec("a", 0.0)])
+        sim.run_until(5.0)
+        with pytest.raises(SimulationError):
+            sim.submit(_spec("late", 1.0))
+
+    def test_duplicate_submit_rejected(self):
+        sim = _sim([_spec("a", 0.0)])
+        with pytest.raises(SimulationError):
+            sim.submit(_spec("a", 10.0))
+
+
+class TestHeapCompaction:
+    def test_stale_events_are_compacted(self):
+        """A long stream of replans must not grow the heap monotonically:
+        after the run the stale counter is bounded by the compaction rule."""
+        specs = [_spec(f"j{i}", float(i)) for i in range(40)]
+        sim = _sim(specs)
+        sim.run()
+        assert sim._stale_versioned < 64 or (
+            2 * sim._stale_versioned < len(sim._heap)
+        )
+
+    def test_compaction_preserves_outcomes(self):
+        """Compaction is bookkeeping only — same outcomes as a fresh run
+        computed without any intermediate run_until checkpoints."""
+        specs = [_spec(f"j{i}", float(i % 7)) for i in range(20)]
+        a = _sim(specs).run()
+        sim = _sim(specs)
+        for t in (2.0, 5.0, 9.0):
+            sim.run_until(t)
+        b = sim.run()
+        digest = lambda r: sorted(
+            (o.job_id, o.status.value, o.completion_time) for o in r.outcomes
+        )
+        assert digest(a) == digest(b)
+
+
+class TestEfficiencyGate:
+    def test_disabling_efficiency_recording_changes_no_outcome(self):
+        specs = [_spec(f"j{i}", float(i)) for i in range(12)]
+        with_eff = _sim(specs, record_efficiency=True).run()
+        without_eff = _sim(
+            specs, record_timeline=False, record_efficiency=False
+        ).run()
+        digest = lambda r: sorted(
+            (o.job_id, o.status.value, o.completion_time) for o in r.outcomes
+        )
+        assert digest(with_eff) == digest(without_eff)
