@@ -1,0 +1,29 @@
+"""AST-based static analysis for the ElasticFlow reproduction.
+
+A purpose-built linter (no third-party lint engine) enforcing the
+invariants the test suite cannot see: determinism of scheduling decisions,
+coherence between mutations and the planning-table invalidation registry,
+float/power-of-two numeric hygiene, simulation I/O discipline, and error
+chaining.  Run it with ``python -m repro.analysis``; the rule catalog
+lives in ``docs/static-analysis.md``.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.registry import Rule, all_rules, get_rule, register
+from repro.analysis.report import AnalysisReport
+from repro.analysis.runner import run_analysis
+
+__all__ = [
+    "AnalysisReport",
+    "Baseline",
+    "Finding",
+    "Rule",
+    "Severity",
+    "all_rules",
+    "get_rule",
+    "register",
+    "run_analysis",
+]

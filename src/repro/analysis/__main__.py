@@ -1,0 +1,122 @@
+"""Command-line entry point: ``python -m repro.analysis``.
+
+Exit codes: 0 — clean (no new gating findings); 1 — new findings;
+2 — usage or configuration error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.analysis.registry import all_rules
+from repro.analysis.runner import run_analysis
+from repro.errors import AnalysisError
+
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_USAGE = 2
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description=(
+            "AST-based determinism and cache-coherence linter for the "
+            "ElasticFlow reproduction (see docs/static-analysis.md)."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help="files or directories to analyse (default: the repro package)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("human", "json"),
+        default="human",
+        help="report format (default: human)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help="baseline file (default: analysis-baseline.json at repo root)",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="accept all current findings into the baseline and exit 0",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+    parser.add_argument(
+        "--bench-out",
+        type=Path,
+        default=None,
+        help="also write a JSON timing record (files, rules, seconds)",
+    )
+    return parser
+
+
+def _list_rules() -> str:
+    lines = []
+    for rule_cls in all_rules():
+        lines.append(
+            f"{rule_cls.rule_id}  [{rule_cls.severity.value:7s}] "
+            f"{rule_cls.title}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print(_list_rules())
+        return EXIT_CLEAN
+
+    try:
+        report = run_analysis(
+            args.paths or None,
+            baseline_path=args.baseline,
+            update_baseline=args.update_baseline,
+        )
+    except AnalysisError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+
+    if args.format == "json":
+        print(report.to_json())
+    else:
+        print(report.format_human())
+
+    if args.bench_out is not None:
+        args.bench_out.write_text(
+            json.dumps(
+                {
+                    "benchmark": "repro.analysis full-tree lint",
+                    "files_analyzed": report.files_analyzed,
+                    "rules_run": report.rules_run,
+                    "duration_seconds": round(report.duration_seconds, 4),
+                    "budget_seconds": 10.0,
+                    "within_budget": report.duration_seconds < 10.0,
+                },
+                indent=2,
+            )
+            + "\n",
+            encoding="utf-8",
+        )
+
+    return EXIT_CLEAN if report.ok else EXIT_FINDINGS
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

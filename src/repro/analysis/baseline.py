@@ -1,0 +1,95 @@
+"""The committed findings baseline.
+
+The baseline is the set of *accepted* findings: fingerprints of defects
+that predate a rule (or are justified but not worth an inline comment).
+``python -m repro.analysis`` fails only on findings **not** in the
+baseline, so the gate blocks regressions without demanding a big-bang
+cleanup when a rule is introduced.  The file is committed at the repo
+root (``analysis-baseline.json``) and updated deliberately with
+``--update-baseline``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.findings import Finding
+from repro.errors import AnalysisError
+
+__all__ = ["Baseline", "DEFAULT_BASELINE_NAME"]
+
+DEFAULT_BASELINE_NAME = "analysis-baseline.json"
+
+_FORMAT_VERSION = 1
+
+
+@dataclass
+class Baseline:
+    """Accepted-findings ledger keyed by fingerprint.
+
+    Attributes:
+        entries: fingerprint -> descriptive entry (rule, path, snippet),
+            kept purely so humans can audit the file; matching uses only
+            the fingerprint key.
+        path: Where the baseline was loaded from (``None`` for empty).
+    """
+
+    entries: dict[str, dict[str, str]] = field(default_factory=dict)
+    path: Path | None = None
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Read a baseline file.
+
+        Raises:
+            AnalysisError: When the file exists but is not a valid
+                baseline document.
+        """
+        if not path.exists():
+            return cls(path=path)
+        try:
+            document = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise AnalysisError(f"cannot read baseline {path}: {exc}") from exc
+        if not isinstance(document, dict) or "findings" not in document:
+            raise AnalysisError(
+                f"baseline {path} is not a baseline document "
+                f"(missing 'findings' key)"
+            )
+        raw = document["findings"]
+        if not isinstance(raw, dict):
+            raise AnalysisError(f"baseline {path}: 'findings' must be an object")
+        entries = {
+            str(fingerprint): dict(meta) if isinstance(meta, dict) else {}
+            for fingerprint, meta in raw.items()
+        }
+        return cls(entries=entries, path=path)
+
+    def covers(self, finding: Finding) -> bool:
+        """Whether a finding is already accepted."""
+        return finding.fingerprint in self.entries
+
+    def save(self, path: Path, findings: list[Finding]) -> None:
+        """Write a fresh baseline accepting exactly ``findings``."""
+        entries = {
+            f.fingerprint: {
+                "rule": f.rule_id,
+                "path": f.path,
+                "snippet": f.snippet,
+            }
+            for f in sorted(findings)
+        }
+        document = {
+            "version": _FORMAT_VERSION,
+            "comment": (
+                "Accepted static-analysis findings. Regenerate deliberately "
+                "with: python -m repro.analysis --update-baseline"
+            ),
+            "findings": entries,
+        }
+        path.write_text(
+            json.dumps(document, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )

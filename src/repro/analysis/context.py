@@ -1,0 +1,135 @@
+"""Per-file analysis context shared by every rule."""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.suppressions import Suppression, parse_suppressions
+from repro.errors import AnalysisError
+
+__all__ = ["FileContext"]
+
+#: Directive letting fixture files masquerade as scoped modules:
+#: ``# lint-module: repro.core.something`` on any line.
+_MODULE_DIRECTIVE = "# lint-module:"
+
+
+@dataclass
+class FileContext:
+    """Everything a rule needs to know about one source file.
+
+    Attributes:
+        path: Filesystem path of the file.
+        display_path: Path used in findings (repo-relative when possible).
+        module: Dotted module name (e.g. ``"repro.core.admission"``);
+            overridable by a ``# lint-module:`` directive for fixtures.
+        source: Raw file contents.
+        lines: Source split into lines (1-based access via ``line(n)``).
+        tree: Parsed AST.
+        suppressions: Parsed ``# lint: disable=...`` comments by line.
+    """
+
+    path: Path
+    display_path: str
+    module: str
+    source: str
+    lines: list[str]
+    tree: ast.Module
+    suppressions: dict[int, Suppression] = field(default_factory=dict)
+
+    @classmethod
+    def load(
+        cls, path: Path, *, module: str | None = None, display_path: str | None = None
+    ) -> "FileContext":
+        """Parse one file, honouring its ``# lint-module:`` directive.
+
+        Raises:
+            AnalysisError: When the file cannot be read or parsed.
+        """
+        try:
+            source = path.read_text(encoding="utf-8")
+        except OSError as exc:
+            raise AnalysisError(f"cannot read {path}: {exc}") from exc
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError as exc:
+            raise AnalysisError(f"cannot parse {path}: {exc}") from exc
+        lines = source.splitlines()
+        if module is None:
+            module = _module_of(path)
+        for text in lines[:30]:
+            stripped = text.strip()
+            if stripped.startswith(_MODULE_DIRECTIVE):
+                module = stripped[len(_MODULE_DIRECTIVE) :].strip()
+                break
+        return cls(
+            path=path,
+            display_path=display_path or str(path),
+            module=module,
+            source=source,
+            lines=lines,
+            tree=tree,
+            suppressions=parse_suppressions(lines),
+        )
+
+    def line(self, number: int) -> str:
+        """1-based source line (empty string past the end)."""
+        if 1 <= number <= len(self.lines):
+            return self.lines[number - 1]
+        return ""
+
+    def in_package(self, *prefixes: str) -> bool:
+        """Whether this module sits under any of the dotted prefixes."""
+        return any(
+            self.module == prefix or self.module.startswith(prefix + ".")
+            for prefix in prefixes
+        )
+
+    def finding(
+        self,
+        node: ast.AST,
+        rule_id: str,
+        message: str,
+        *,
+        severity: Severity = Severity.ERROR,
+    ) -> Finding:
+        """Build a finding anchored at one AST node."""
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        end_line = getattr(node, "end_lineno", None) or line
+        return Finding(
+            path=self.display_path,
+            line=line,
+            col=col,
+            rule_id=rule_id,
+            message=message,
+            severity=severity,
+            end_line=end_line,
+            snippet=self.line(line).strip(),
+        )
+
+    def suppression_for(self, finding: Finding) -> Suppression | None:
+        """The suppression covering a finding, if any.
+
+        A suppression applies on the finding's own line or the line
+        directly above it (for lines too long to host a comment).
+        """
+        for line in (finding.line, finding.line - 1):
+            suppression = self.suppressions.get(line)
+            if suppression is not None and suppression.covers(finding.rule_id):
+                return suppression
+        return None
+
+
+def _module_of(path: Path) -> str:
+    """Dotted module name derived from the path's ``repro`` ancestry."""
+    parts = list(path.with_suffix("").parts)
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    for index in range(len(parts) - 1, -1, -1):
+        if parts[index] == "repro":
+            return ".".join(parts[index:])
+    return path.stem

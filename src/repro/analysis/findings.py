@@ -1,0 +1,87 @@
+"""The findings model: what a rule reports and how it is identified.
+
+A finding pins one defect to a ``file:line`` span.  Findings carry a
+*fingerprint* — a stable hash of the rule, the module, and the normalised
+source line — so the committed baseline keeps matching across unrelated
+edits that merely shift line numbers.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from enum import Enum
+
+__all__ = ["Severity", "Finding"]
+
+
+class Severity(str, Enum):
+    """How bad a finding is; ``ERROR`` findings gate the build."""
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source span.
+
+    Attributes:
+        path: Path of the offending file, repo-relative when possible.
+        line: 1-based line of the violation.
+        col: 0-based column of the violation.
+        rule_id: Identifier of the rule that fired (e.g. ``"DET001"``).
+        message: Human explanation of what is wrong and how to fix it.
+        severity: Gate level; only :attr:`Severity.ERROR` fails the build.
+        end_line: Last line of the span (defaults to ``line``).
+        snippet: The stripped source line, for reports and fingerprints.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    message: str
+    severity: Severity = Severity.ERROR
+    end_line: int = 0
+    snippet: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        if self.end_line < self.line:
+            object.__setattr__(self, "end_line", self.line)
+
+    @property
+    def fingerprint(self) -> str:
+        """Stable identity for baseline matching.
+
+        Deliberately excludes the line *number*: the triple of rule,
+        path, and normalised line text survives code motion.  Two
+        identical offending lines in one file share a fingerprint, which
+        errs on the forgiving side for baselines.
+        """
+        payload = "\x1f".join(
+            (self.rule_id, self.path, " ".join(self.snippet.split()))
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-ready representation (used by ``--format json``)."""
+        return {
+            "rule": self.rule_id,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "end_line": self.end_line,
+            "severity": self.severity.value,
+            "message": self.message,
+            "snippet": self.snippet,
+            "fingerprint": self.fingerprint,
+        }
+
+    def format_human(self) -> str:
+        """One-line ``path:line:col rule message`` rendering."""
+        return (
+            f"{self.path}:{self.line}:{self.col + 1}: "
+            f"{self.rule_id} [{self.severity.value}] {self.message}"
+        )

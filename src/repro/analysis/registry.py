@@ -1,0 +1,124 @@
+"""Rule base class and the rule registry.
+
+Every rule is a class decorated with :func:`register`.  Rules run in two
+phases over the whole file set: a *collect* pass (whole-program facts, e.g.
+which classes declare coherent fields) followed by a *check* pass that
+yields findings per file.  Rules without cross-file state implement only
+``check``.
+
+Adding a rule (see ``docs/static-analysis.md``):
+
+1. subclass :class:`Rule`, set ``rule_id``/``title``/``severity``/``scope``
+   and write the defect description in the class docstring (it becomes the
+   published catalog entry);
+2. decorate with ``@register``;
+3. add a positive and a negative fixture under ``tests/analysis_fixtures/``.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable, Iterator
+
+from repro.analysis.context import FileContext
+from repro.analysis.findings import Finding, Severity
+from repro.errors import AnalysisError
+
+__all__ = ["Rule", "register", "all_rules", "get_rule", "walk_scope"]
+
+
+class Rule:
+    """One static-analysis rule.
+
+    Class attributes:
+        rule_id: Unique identifier, ``<FAMILY><NNN>`` (e.g. ``"DET001"``).
+        title: Short human name shown in ``--list-rules``.
+        severity: Default severity of the rule's findings.
+        scope: Dotted module prefixes the rule applies to; empty means
+            every analysed module.
+    """
+
+    rule_id: str = ""
+    title: str = ""
+    severity: Severity = Severity.ERROR
+    scope: tuple[str, ...] = ()
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        """Whether this rule runs over one file (scope prefix match)."""
+        if not self.scope:
+            return True
+        return ctx.in_package(*self.scope)
+
+    def collect(self, ctx: FileContext) -> None:
+        """Phase 1: gather whole-program facts.  Default: nothing."""
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        """Phase 2: yield findings for one file."""
+        raise NotImplementedError
+
+    @classmethod
+    def doc(cls) -> str:
+        """The rule's published documentation (its class docstring)."""
+        return (cls.__doc__ or "").strip()
+
+
+_REGISTRY: dict[str, type[Rule]] = {}
+
+
+def register(rule_cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    rule_id = rule_cls.rule_id
+    if not rule_id:
+        raise AnalysisError(f"rule {rule_cls.__name__} has no rule_id")
+    if rule_id in _REGISTRY and _REGISTRY[rule_id] is not rule_cls:
+        raise AnalysisError(f"duplicate rule id {rule_id!r}")
+    _REGISTRY[rule_id] = rule_cls
+    return rule_cls
+
+
+def all_rules() -> list[type[Rule]]:
+    """Every registered rule class, ordered by rule id."""
+    _load_builtin_rules()
+    return [_REGISTRY[rule_id] for rule_id in sorted(_REGISTRY)]
+
+
+def get_rule(rule_id: str) -> type[Rule]:
+    """Look up one rule class.
+
+    Raises:
+        AnalysisError: For an unknown rule id.
+    """
+    _load_builtin_rules()
+    try:
+        return _REGISTRY[rule_id.upper()]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise AnalysisError(
+            f"unknown rule {rule_id!r}; known rules: {known}"
+        ) from None
+
+
+def _load_builtin_rules() -> None:
+    """Import the rule modules so their ``@register`` calls run."""
+    from repro.analysis import rules  # noqa: F401  (import for side effect)
+
+
+def walk_scope(node: ast.AST) -> Iterator[ast.AST]:
+    """``ast.walk`` that does not descend into nested function/class defs.
+
+    Statement-level analyses (e.g. "does this statement perform a call")
+    must not credit calls that only happen inside a nested ``def`` or
+    ``lambda`` — those run later, if ever.
+    """
+    stack = [node]
+    first = True
+    while stack:
+        current = stack.pop()
+        if not first and isinstance(
+            current,
+            (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda),
+        ):
+            continue
+        first = False
+        yield current
+        stack.extend(ast.iter_child_nodes(current))

@@ -1,0 +1,74 @@
+"""Analysis run results and their two renderings (human text / JSON)."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.analysis.findings import Finding, Severity
+
+__all__ = ["AnalysisReport"]
+
+
+@dataclass
+class AnalysisReport:
+    """Outcome of one analysis run.
+
+    Attributes:
+        findings: New findings — not suppressed, not baselined.  These
+            gate the build.
+        baselined: Findings matched by the committed baseline.
+        suppressed: Findings silenced by justified inline suppressions.
+        files_analyzed: Number of files parsed and checked.
+        rules_run: Number of rules that ran.
+        duration_seconds: Wall time of the run.
+    """
+
+    findings: list[Finding] = field(default_factory=list)
+    baselined: list[Finding] = field(default_factory=list)
+    suppressed: list[Finding] = field(default_factory=list)
+    files_analyzed: int = 0
+    rules_run: int = 0
+    duration_seconds: float = 0.0
+
+    @property
+    def gating_findings(self) -> list[Finding]:
+        """New findings at ERROR severity — the ones that fail the run."""
+        return [f for f in self.findings if f.severity is Severity.ERROR]
+
+    @property
+    def ok(self) -> bool:
+        return not self.gating_findings
+
+    def to_json(self) -> str:
+        document = {
+            "ok": self.ok,
+            "files_analyzed": self.files_analyzed,
+            "rules_run": self.rules_run,
+            "duration_seconds": round(self.duration_seconds, 4),
+            "counts": {
+                "new": len(self.findings),
+                "gating": len(self.gating_findings),
+                "baselined": len(self.baselined),
+                "suppressed": len(self.suppressed),
+            },
+            "findings": [f.to_dict() for f in sorted(self.findings)],
+        }
+        return json.dumps(document, indent=2)
+
+    def format_human(self) -> str:
+        out: list[str] = []
+        for finding in sorted(self.findings):
+            out.append(finding.format_human())
+        summary = (
+            f"{len(self.findings)} new finding(s) "
+            f"({len(self.gating_findings)} gating), "
+            f"{len(self.baselined)} baselined, "
+            f"{len(self.suppressed)} suppressed; "
+            f"{self.files_analyzed} file(s), {self.rules_run} rule(s), "
+            f"{self.duration_seconds:.2f}s"
+        )
+        if out:
+            out.append("")
+        out.append(summary)
+        return "\n".join(out)

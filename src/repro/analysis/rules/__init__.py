@@ -1,0 +1,26 @@
+"""Built-in rule modules.
+
+Importing this package registers every built-in rule (each module's
+``@register`` decorators run at import).  The runner imports it through
+:func:`repro.analysis.registry.all_rules`; nothing else should need to.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.rules import (  # noqa: F401  (imports register rules)
+    cache_coherence,
+    determinism,
+    errors_hygiene,
+    numeric_hygiene,
+    sim_discipline,
+    suppression_hygiene,
+)
+
+__all__ = [
+    "cache_coherence",
+    "determinism",
+    "errors_hygiene",
+    "numeric_hygiene",
+    "sim_discipline",
+    "suppression_hygiene",
+]

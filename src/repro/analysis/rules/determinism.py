@@ -1,0 +1,276 @@
+"""Determinism rules (DET).
+
+The scheduler's correctness contract (see ``docs/performance.md``) requires
+byte-identical decisions across runs and across the memoisation escape
+hatch.  Wall-clock reads, unseeded RNG, and hash-ordered iteration are the
+three ways that contract silently dies; these rules ban them from the
+decision-making packages.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from repro.analysis.context import FileContext
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.registry import Rule, register
+
+__all__ = ["NondeterministicCallRule", "UnorderedIterationRule"]
+
+#: Packages whose code makes or replays scheduling decisions.
+_DECISION_SCOPE = ("repro.core", "repro.sim", "repro.perf", "repro.baselines")
+
+#: Dotted call paths that read ambient nondeterministic state.  The perf
+#: harness's ``time.perf_counter`` is deliberately absent: measuring how
+#: long a decision took is fine, feeding a clock *into* a decision is not.
+_FORBIDDEN_CALLS: dict[str, str] = {
+    "time.time": "wall-clock read",
+    "time.time_ns": "wall-clock read",
+    "time.monotonic": "wall-clock read",
+    "time.monotonic_ns": "wall-clock read",
+    "datetime.now": "wall-clock read",
+    "datetime.utcnow": "wall-clock read",
+    "datetime.today": "wall-clock read",
+    "date.today": "wall-clock read",
+    "uuid.uuid1": "nondeterministic id",
+    "uuid.uuid4": "nondeterministic id",
+}
+
+#: ``random`` module functions that touch the global (unseeded) RNG.
+_RANDOM_GLOBALS = {
+    "random", "randint", "randrange", "uniform", "choice", "choices",
+    "shuffle", "sample", "gauss", "normalvariate", "lognormvariate",
+    "expovariate", "betavariate", "gammavariate", "triangular", "vonmisesvariate",
+    "paretovariate", "weibullvariate", "getrandbits", "seed",
+}
+
+#: ``numpy.random`` module-level functions backed by the global RNG state.
+_NUMPY_RANDOM_GLOBALS = {
+    "rand", "randn", "randint", "random", "random_sample", "ranf",
+    "sample", "choice", "shuffle", "permutation", "uniform", "normal",
+    "lognormal", "poisson", "exponential", "beta", "gamma", "binomial",
+    "seed", "standard_normal", "bytes",
+}
+
+
+def _dotted(node: ast.AST) -> str | None:
+    """Best-effort dotted path of a call target (``a.b.c`` -> ``"a.b.c"``)."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+@register
+class NondeterministicCallRule(Rule):
+    """DET001 — no ambient nondeterminism in scheduling decisions.
+
+    Inside ``repro.core``, ``repro.sim``, ``repro.perf`` and
+    ``repro.baselines``, code must not call ``time.time`` (or any
+    wall-clock/monotonic read), ``datetime.now``-style constructors,
+    ``uuid.uuid1``/``uuid4``, the global ``random`` module functions, the
+    module-level ``numpy.random`` functions (global RNG state), or
+    ``numpy.random.default_rng()`` without an explicit seed.  Simulation
+    time comes from the event engine; randomness must be threaded through
+    an explicitly seeded ``numpy.random.Generator``.
+    """
+
+    rule_id = "DET001"
+    title = "ambient nondeterminism in a decision path"
+    severity = Severity.ERROR
+    scope = _DECISION_SCOPE
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = _dotted(node.func)
+            if dotted is None:
+                continue
+            message = self._offence(dotted, node)
+            if message is not None:
+                yield ctx.finding(node, self.rule_id, message)
+
+    def _offence(self, dotted: str, node: ast.Call) -> str | None:
+        tail2 = ".".join(dotted.split(".")[-2:])
+        if tail2 in _FORBIDDEN_CALLS:
+            kind = _FORBIDDEN_CALLS[tail2]
+            return (
+                f"{kind} `{dotted}(...)` in a decision path; use simulation "
+                f"time / deterministic ids instead"
+            )
+        parts = dotted.split(".")
+        if len(parts) == 2 and parts[0] == "random" and parts[1] in _RANDOM_GLOBALS:
+            return (
+                f"global-RNG call `{dotted}(...)`; thread an explicitly "
+                f"seeded numpy.random.Generator instead"
+            )
+        if (
+            len(parts) >= 2
+            and parts[-2] == "random"
+            and parts[0] in ("np", "numpy")
+            and parts[-1] in _NUMPY_RANDOM_GLOBALS
+        ):
+            return (
+                f"numpy global-RNG call `{dotted}(...)`; thread an "
+                f"explicitly seeded numpy.random.Generator instead"
+            )
+        if parts[-1] == "default_rng" and not node.args and not node.keywords:
+            return (
+                "`default_rng()` without a seed is entropy-seeded; pass an "
+                "explicit seed or accept a Generator from the caller"
+            )
+        return None
+
+
+#: Consumers whose result depends on element *order* — feeding them a set
+#: bakes hash order into a decision.
+_ORDER_SENSITIVE_CONSUMERS = {"list", "tuple", "sum", "enumerate", "iter"}
+#: Consumers that are order-insensitive and therefore safe on sets.
+_ORDER_FREE_CONSUMERS = {
+    "len", "min", "max", "any", "all", "sorted", "set", "frozenset", "bool",
+}
+
+
+class _SetTracker(ast.NodeVisitor):
+    """Single-scope inference of which local names are set-typed."""
+
+    def __init__(self) -> None:
+        self.set_names: set[str] = set()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        pass  # nested scopes track their own names
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        pass
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        pass
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        pass
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if _is_set_expr(node.value, self.set_names):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    self.set_names.add(target.id)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if isinstance(node.target, ast.Name) and _annotation_is_set(node.annotation):
+            self.set_names.add(node.target.id)
+        self.generic_visit(node)
+
+
+def _annotation_is_set(annotation: ast.AST) -> bool:
+    if isinstance(annotation, ast.Name):
+        return annotation.id in ("set", "frozenset")
+    if isinstance(annotation, ast.Subscript):
+        return _annotation_is_set(annotation.value)
+    if isinstance(annotation, ast.Constant) and isinstance(annotation.value, str):
+        text = annotation.value.strip()
+        return text.startswith("set[") or text.startswith("frozenset[")
+    return False
+
+
+def _is_set_expr(node: ast.AST, set_names: set[str]) -> bool:
+    """Whether an expression is statically known to produce a set."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        if node.func.id in ("set", "frozenset"):
+            return True
+    if isinstance(node, ast.Name):
+        return node.id in set_names
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+    ):
+        # Set algebra produces sets; only claim it when a side is known.
+        return _is_set_expr(node.left, set_names) or _is_set_expr(
+            node.right, set_names
+        )
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+        if node.func.attr in (
+            "intersection", "union", "difference", "symmetric_difference",
+        ):
+            return _is_set_expr(node.func.value, set_names)
+    return False
+
+
+@register
+class UnorderedIterationRule(Rule):
+    """DET002 — no hash-ordered iteration feeding scheduling decisions.
+
+    Inside the decision packages, ``for`` loops, comprehensions, and
+    order-sensitive consumers (``list``/``tuple``/``sum``/``enumerate``)
+    must not iterate a set-typed expression directly: set iteration order
+    follows the hash seed, not the data.  Wrap the set in ``sorted(...)``
+    (order-free reductions — ``len``/``min``/``max``/``any``/``all`` — and
+    membership tests are fine).  Dicts keep insertion order and are exempt;
+    what is banned is the *set*, whose order no code controls.
+    """
+
+    rule_id = "DET002"
+    title = "hash-ordered set iteration in a decision path"
+    severity = Severity.ERROR
+    scope = _DECISION_SCOPE
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        for scope_node in self._scopes(ctx.tree):
+            tracker = _SetTracker()
+            for stmt in getattr(scope_node, "body", []):
+                tracker.visit(stmt)
+            yield from self._check_scope(ctx, scope_node, tracker.set_names)
+
+    def _scopes(self, tree: ast.Module) -> list[ast.AST]:
+        scopes: list[ast.AST] = [tree]
+        scopes.extend(
+            node
+            for node in ast.walk(tree)
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        )
+        return scopes
+
+    def _check_scope(
+        self, ctx: FileContext, scope_node: ast.AST, set_names: set[str]
+    ) -> Iterable[Finding]:
+        from repro.analysis.registry import walk_scope
+
+        for node in walk_scope(scope_node):
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                if _is_set_expr(node.iter, set_names):
+                    yield ctx.finding(
+                        node.iter,
+                        self.rule_id,
+                        "iterating a set in a decision path bakes hash order "
+                        "into the outcome; wrap it in sorted(...)",
+                    )
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+                for generator in node.generators:
+                    if _is_set_expr(generator.iter, set_names):
+                        yield ctx.finding(
+                            generator.iter,
+                            self.rule_id,
+                            "comprehension over a set in a decision path; "
+                            "wrap the set in sorted(...)",
+                        )
+            elif isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+                name = node.func.id
+                if (
+                    name in _ORDER_SENSITIVE_CONSUMERS
+                    and name not in _ORDER_FREE_CONSUMERS
+                    and node.args
+                    and _is_set_expr(node.args[0], set_names)
+                ):
+                    yield ctx.finding(
+                        node,
+                        self.rule_id,
+                        f"`{name}(...)` over a set is hash-ordered; wrap the "
+                        f"set in sorted(...) first",
+                    )

@@ -1,0 +1,95 @@
+"""Error-handling hygiene rules (ERR).
+
+The reproduction's debugging loop is "read the traceback, find the seed
+state" — a swallowed exception or a chain-broken re-raise deletes exactly
+the context that loop needs.  These rules apply repo-wide.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from repro.analysis.context import FileContext
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.registry import Rule, register
+
+__all__ = ["BareExceptRule", "UnchainedRaiseRule"]
+
+
+@register
+class BareExceptRule(Rule):
+    """ERR001 — no bare ``except:`` clauses.
+
+    A bare ``except:`` catches ``KeyboardInterrupt`` and ``SystemExit``
+    along with everything else, turning Ctrl-C into silent corruption.
+    Catch a concrete exception type — at minimum ``Exception``; library
+    code should catch :class:`repro.errors.ReproError` subclasses.
+    """
+
+    rule_id = "ERR001"
+    title = "bare except clause"
+    severity = Severity.ERROR
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ExceptHandler) and node.type is None:
+                yield ctx.finding(
+                    node,
+                    self.rule_id,
+                    "bare `except:` swallows KeyboardInterrupt/SystemExit; "
+                    "catch a concrete exception type",
+                )
+
+
+@register
+class UnchainedRaiseRule(Rule):
+    """ERR002 — re-raises inside ``except`` blocks keep the causal chain.
+
+    A ``raise NewError(...)`` inside an ``except`` handler without
+    ``from e`` (or an explicit ``from None``) severs the traceback from
+    the original failure.  Translate exceptions with
+    ``raise ReproError(...) from e``, or suppress the chain deliberately
+    with ``from None``; a bare ``raise`` (re-raising the caught object)
+    is always fine.
+    """
+
+    rule_id = "ERR002"
+    title = "exception re-raised without `from`"
+    severity = Severity.ERROR
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            for stmt in node.body:
+                yield from self._check_handler_block(ctx, stmt)
+
+    def _check_handler_block(
+        self, ctx: FileContext, stmt: ast.stmt
+    ) -> Iterable[Finding]:
+        stack: list[ast.AST] = [stmt]
+        while stack:
+            node = stack.pop()
+            if isinstance(
+                node,
+                (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda),
+            ) and node is not stmt:
+                continue  # deferred code runs outside this handler
+            if isinstance(node, ast.Try):
+                # A nested try introduces its own handlers; its raises are
+                # judged against the inner handlers, not this one.
+                continue
+            if (
+                isinstance(node, ast.Raise)
+                and node.exc is not None
+                and node.cause is None
+            ):
+                yield ctx.finding(
+                    node,
+                    self.rule_id,
+                    "raise inside an except handler without `from`; use "
+                    "`raise ... from e` (or `from None` to suppress "
+                    "deliberately)",
+                )
+            stack.extend(ast.iter_child_nodes(node))

@@ -1,0 +1,173 @@
+"""Numeric-hygiene rules (NH).
+
+Scheduling quantities are floats produced by arithmetic (times, deadlines,
+throughputs, slot weights): exact comparison between them depends on
+rounding order, which the memoisation layer is explicitly allowed to
+change.  GPU counts are powers of two everywhere (buddy allocation), and
+hand-rolled bit tricks for them have historically drifted apart between
+modules.  Both idioms now have one home: :mod:`repro.numeric`.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from repro.analysis.context import FileContext
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.registry import Rule, register
+
+__all__ = ["FloatEqualityRule", "PowerOfTwoHandRollRule"]
+
+#: Identifier fragments that mark a value as float-typed scheduling
+#: arithmetic.  Both comparison operands must match for NH001 to fire,
+#: which keeps integer-flag comparisons (``usable == 0``) out of scope.
+_FLOAT_LEXICON = {
+    "time", "times", "deadline", "deadlines", "weight", "weights",
+    "throughput", "thr", "rate", "rates", "duration", "durations",
+    "seconds", "secs", "load", "lambda", "factor", "priority", "cost",
+    "progress", "efficiency", "speedup", "margin", "alpha", "eps",
+    "stall", "overhead", "span", "elapsed", "latency",
+}
+
+#: The one module allowed to spell the bit tricks out.
+_NUMERIC_HOME = "repro.numeric"
+
+
+def _identifier_tokens(name: str) -> set[str]:
+    return set(name.lower().replace("-", "_").split("_"))
+
+
+def _is_floatish(node: ast.AST) -> bool:
+    """Whether an expression is heuristically float-typed arithmetic."""
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, float)
+    if isinstance(node, ast.Name):
+        return bool(_identifier_tokens(node.id) & _FLOAT_LEXICON)
+    if isinstance(node, ast.Attribute):
+        return bool(_identifier_tokens(node.attr) & _FLOAT_LEXICON)
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name) and func.id == "float":
+            return True
+        if isinstance(func, ast.Attribute):
+            return bool(_identifier_tokens(func.attr) & _FLOAT_LEXICON)
+        return False
+    if isinstance(node, ast.Subscript):
+        return _is_floatish(node.value)
+    if isinstance(node, ast.UnaryOp):
+        return _is_floatish(node.operand)
+    if isinstance(node, ast.BinOp):
+        return _is_floatish(node.left) or _is_floatish(node.right)
+    return False
+
+
+@register
+class FloatEqualityRule(Rule):
+    """NH001 — no ``==``/``!=`` between float-typed scheduling expressions.
+
+    When *both* operands of an equality comparison look like float
+    scheduling arithmetic (time/deadline/throughput/weight/... names,
+    float literals, ``float(...)`` casts), the comparison must go through
+    :func:`repro.numeric.feq`/:func:`repro.numeric.fne` with the shared
+    epsilon.  Exact float equality silently depends on evaluation order,
+    which the planning fast paths are free to change.
+    """
+
+    rule_id = "NH001"
+    title = "exact equality between float scheduling expressions"
+    severity = Severity.ERROR
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        if ctx.module == _NUMERIC_HOME:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for op, left, right in zip(node.ops, operands, operands[1:]):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                if _is_floatish(left) and _is_floatish(right):
+                    helper = "feq" if isinstance(op, ast.Eq) else "fne"
+                    yield ctx.finding(
+                        node,
+                        self.rule_id,
+                        f"exact float comparison between "
+                        f"`{ast.unparse(left)}` and `{ast.unparse(right)}`; "
+                        f"use repro.numeric.{helper}(...)",
+                    )
+
+
+@register
+class PowerOfTwoHandRollRule(Rule):
+    """NH002 — GPU counts flow through the shared power-of-two helpers.
+
+    The idioms ``value & (value - 1)`` (power-of-two test),
+    ``1 << (value.bit_length() - 1)`` (floor to a power of two), and
+    ``1 << int(math.log2(value))`` must not be hand-rolled outside
+    :mod:`repro.numeric`; call :func:`repro.numeric.is_power_of_two`,
+    :func:`repro.numeric.floor_power_of_two`, or
+    :func:`repro.numeric.next_power_of_two` instead, so every GPU-count
+    computation shares one definition (and one set of edge cases).
+    """
+
+    rule_id = "NH002"
+    title = "hand-rolled power-of-two bit trick"
+    severity = Severity.ERROR
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        if ctx.module == _NUMERIC_HOME:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.BinOp):
+                continue
+            if self._is_and_minus_one(node):
+                yield ctx.finding(
+                    node,
+                    self.rule_id,
+                    "hand-rolled `x & (x - 1)` power-of-two test; use "
+                    "repro.numeric.is_power_of_two(x)",
+                )
+            elif self._is_shift_hand_roll(node):
+                yield ctx.finding(
+                    node,
+                    self.rule_id,
+                    "hand-rolled power-of-two construction; use "
+                    "repro.numeric.floor_power_of_two / next_power_of_two",
+                )
+
+    @staticmethod
+    def _is_and_minus_one(node: ast.BinOp) -> bool:
+        """Matches ``<expr> & (<expr> - 1)`` with a textually equal expr."""
+        if not isinstance(node.op, ast.BitAnd):
+            return False
+        for one, other in ((node.left, node.right), (node.right, node.left)):
+            if (
+                isinstance(other, ast.BinOp)
+                and isinstance(other.op, ast.Sub)
+                and isinstance(other.right, ast.Constant)
+                and other.right.value == 1
+                and ast.dump(other.left) == ast.dump(one)
+            ):
+                return True
+        return False
+
+    @staticmethod
+    def _is_shift_hand_roll(node: ast.BinOp) -> bool:
+        """Matches ``1 << (bit_length/log2 arithmetic)``."""
+        if not isinstance(node.op, ast.LShift):
+            return False
+        if not (isinstance(node.left, ast.Constant) and node.left.value == 1):
+            return False
+        for inner in ast.walk(node.right):
+            if isinstance(inner, ast.Call):
+                func = inner.func
+                if isinstance(func, ast.Attribute) and func.attr in (
+                    "bit_length",
+                    "log2",
+                ):
+                    return True
+                if isinstance(func, ast.Name) and func.id == "log2":
+                    return True
+        return False

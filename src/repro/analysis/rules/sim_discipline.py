@@ -1,0 +1,115 @@
+"""Simulation-discipline rules (SIM).
+
+The discrete-event engine models hours of cluster time in milliseconds of
+wall time, and replays must be exact.  Real I/O inside the simulation —
+sleeping, touching the filesystem, opening sockets — breaks both
+properties at once: it couples simulated time to the host and makes the
+run depend on ambient machine state.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from repro.analysis.context import FileContext
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.registry import Rule, register
+
+__all__ = ["SimulationIORule"]
+
+#: Dotted tails (last two components) of real-I/O calls.
+_IO_CALL_TAILS: dict[str, str] = {
+    "time.sleep": "real sleep",
+    "os.system": "subprocess spawn",
+    "os.popen": "subprocess spawn",
+    "subprocess.run": "subprocess spawn",
+    "subprocess.call": "subprocess spawn",
+    "subprocess.check_call": "subprocess spawn",
+    "subprocess.check_output": "subprocess spawn",
+    "subprocess.Popen": "subprocess spawn",
+    "socket.socket": "network I/O",
+    "socket.create_connection": "network I/O",
+    "requests.get": "network I/O",
+    "requests.post": "network I/O",
+    "urllib.urlopen": "network I/O",
+    "request.urlopen": "network I/O",
+}
+
+#: Method names on ``pathlib.Path``-like receivers that hit the disk.
+_PATH_IO_METHODS = {
+    "read_text", "read_bytes", "write_text", "write_bytes",
+    "open", "mkdir", "unlink", "touch", "rmdir", "rename",
+}
+
+
+def _dotted(node: ast.AST) -> str | None:
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+@register
+class SimulationIORule(Rule):
+    """SIM001 — no real sleep, file, or network I/O inside the simulator.
+
+    Inside ``repro.sim``, code must not call ``time.sleep``, ``open``,
+    ``pathlib`` read/write methods, ``os.system``/``subprocess``, or
+    socket/HTTP entry points.  Simulated time advances only through the
+    event engine, and all inputs/outputs cross the simulation boundary as
+    in-memory objects (traces in, recorder samples out).  Persistence
+    belongs to the callers in ``experiments/``.
+    """
+
+    rule_id = "SIM001"
+    title = "real I/O inside the simulation"
+    severity = Severity.ERROR
+    scope = ("repro.sim",)
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            message = self._offence(node)
+            if message is not None:
+                yield ctx.finding(node, self.rule_id, message)
+
+    def _offence(self, node: ast.Call) -> str | None:
+        func = node.func
+        if isinstance(func, ast.Name):
+            if func.id == "open":
+                return (
+                    "`open(...)` inside the simulation; pass data in memory "
+                    "and let experiments/ own persistence"
+                )
+            return None
+        dotted = _dotted(func)
+        if dotted is not None:
+            tail2 = ".".join(dotted.split(".")[-2:])
+            if tail2 in _IO_CALL_TAILS:
+                kind = _IO_CALL_TAILS[tail2]
+                return (
+                    f"{kind} `{dotted}(...)` inside the simulation; the "
+                    f"event engine must stay free of real I/O"
+                )
+        if isinstance(func, ast.Attribute) and func.attr in _PATH_IO_METHODS:
+            receiver = _dotted(func.value)
+            # `open` as a bare attribute is too common (file-like objects);
+            # only flag the unambiguous Path-style read_/write_ methods plus
+            # filesystem mutations when the receiver itself suggests a path.
+            if func.attr in ("read_text", "read_bytes", "write_text", "write_bytes"):
+                return (
+                    f"filesystem access `.{func.attr}(...)` inside the "
+                    f"simulation; move persistence out of repro.sim"
+                )
+            if receiver is not None and "path" in receiver.lower():
+                return (
+                    f"filesystem access `{receiver}.{func.attr}(...)` inside "
+                    f"the simulation; move persistence out of repro.sim"
+                )
+        return None

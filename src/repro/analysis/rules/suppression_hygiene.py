@@ -1,0 +1,52 @@
+"""Suppression-hygiene rules (SUP).
+
+Suppressions are the linter's escape hatch; this family keeps the hatch
+honest.  It works over the parsed suppression comments rather than the
+AST, but uses the same rule interface as everything else.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.analysis.context import FileContext
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.registry import Rule, register
+
+__all__ = ["UnjustifiedSuppressionRule"]
+
+
+@register
+class UnjustifiedSuppressionRule(Rule):
+    """SUP001 — every suppression carries a written justification.
+
+    A ``# lint: disable=RULE`` comment must end with
+    ``-- <why this is safe here>``.  The justification lives in the same
+    diff that silences the finding, so review happens exactly once, where
+    the context is.  A suppression without one is itself a finding.
+    """
+
+    rule_id = "SUP001"
+    title = "suppression without justification"
+    severity = Severity.ERROR
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        for line, suppression in sorted(ctx.suppressions.items()):
+            if suppression.reason:
+                continue
+            silenced = (
+                "all rules" if suppression.all_rules
+                else ", ".join(sorted(suppression.rule_ids))
+            )
+            yield Finding(
+                path=ctx.display_path,
+                line=line,
+                col=0,
+                rule_id=self.rule_id,
+                message=(
+                    f"suppression of {silenced} has no justification; append "
+                    f"`-- <why this is safe here>`"
+                ),
+                severity=self.severity,
+                snippet=ctx.line(line).strip(),
+            )

@@ -1,0 +1,151 @@
+"""Drives one analysis run: discover, collect, check, gate.
+
+The runner is deliberately boring: enumerate files, run every registered
+rule's collect phase, run every check phase, then partition findings into
+suppressed / baselined / new.  All policy lives in the rules and in the
+baseline file.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+from repro.analysis.baseline import DEFAULT_BASELINE_NAME, Baseline
+from repro.analysis.context import FileContext
+from repro.analysis.findings import Finding
+from repro.analysis.registry import Rule, all_rules
+from repro.analysis.report import AnalysisReport
+from repro.errors import AnalysisError
+
+__all__ = ["run_analysis", "discover_files", "default_root", "find_baseline"]
+
+#: Rule whose findings police the suppression comments themselves; they
+#: must not be silenceable by the very comment they complain about.
+_UNSUPPRESSABLE = {"SUP001"}
+
+
+def default_root() -> Path:
+    """The ``repro`` package directory — the default analysis target."""
+    return Path(__file__).resolve().parents[1]
+
+
+def discover_files(paths: list[Path] | None = None) -> list[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files.
+
+    Raises:
+        AnalysisError: When an explicit path does not exist.
+    """
+    if not paths:
+        paths = [default_root()]
+    files: set[Path] = set()
+    for path in paths:
+        path = path.resolve()
+        if path.is_dir():
+            files.update(p for p in path.rglob("*.py"))
+        elif path.is_file():
+            files.add(path)
+        else:
+            raise AnalysisError(f"no such file or directory: {path}")
+    return sorted(files)
+
+
+def find_baseline(explicit: Path | None = None) -> Path:
+    """Locate the baseline file.
+
+    Order: an explicit ``--baseline`` path, ``analysis-baseline.json`` in
+    the current directory, then next to the repo root inferred from the
+    package location (``src/repro`` -> repo root).  Falls back to the
+    cwd path (which :meth:`Baseline.load` treats as empty if absent).
+    """
+    if explicit is not None:
+        return explicit
+    candidates = [
+        Path.cwd() / DEFAULT_BASELINE_NAME,
+        default_root().parents[1] / DEFAULT_BASELINE_NAME,
+    ]
+    for candidate in candidates:
+        if candidate.exists():
+            return candidate
+    return candidates[0]
+
+
+def _display_path(path: Path) -> str:
+    try:
+        return str(path.relative_to(Path.cwd()))
+    except ValueError:
+        return str(path)
+
+
+def run_analysis(
+    paths: list[Path] | None = None,
+    *,
+    baseline_path: Path | None = None,
+    update_baseline: bool = False,
+) -> AnalysisReport:
+    """Run every registered rule over the file set.
+
+    Args:
+        paths: Files/directories to analyse; defaults to the installed
+            ``repro`` package tree.
+        baseline_path: Explicit baseline file (default: see
+            :func:`find_baseline`).
+        update_baseline: Accept all current findings into the baseline
+            instead of reporting them as new.
+
+    Returns:
+        The populated :class:`AnalysisReport`.
+    """
+    start = time.perf_counter()
+
+    from repro.analysis.rules.cache_coherence import reset_declarations
+
+    reset_declarations()
+
+    rules: list[Rule] = [rule_cls() for rule_cls in all_rules()]
+    files = discover_files(paths)
+    contexts = [
+        FileContext.load(path, display_path=_display_path(path))
+        for path in files
+    ]
+
+    for rule in rules:
+        for ctx in contexts:
+            if rule.applies_to(ctx):
+                rule.collect(ctx)
+
+    resolved_baseline = find_baseline(baseline_path)
+    baseline = Baseline.load(resolved_baseline)
+
+    new: list[Finding] = []
+    baselined: list[Finding] = []
+    suppressed: list[Finding] = []
+    for ctx in contexts:
+        for rule in rules:
+            if not rule.applies_to(ctx):
+                continue
+            for finding in rule.check(ctx):
+                if finding.rule_id not in _UNSUPPRESSABLE:
+                    suppression = ctx.suppression_for(finding)
+                    if suppression is not None and suppression.reason:
+                        suppression.used = True
+                        suppressed.append(finding)
+                        continue
+                if baseline.covers(finding):
+                    baselined.append(finding)
+                    continue
+                new.append(finding)
+
+    if update_baseline:
+        baseline.save(resolved_baseline, new + baselined)
+        baselined = sorted(baselined + new)
+        new = []
+
+    return AnalysisReport(
+        findings=sorted(new),
+        baselined=sorted(baselined),
+        suppressed=sorted(suppressed),
+        files_analyzed=len(contexts),
+        rules_run=len(rules),
+        duration_seconds=time.perf_counter() - start,
+    )

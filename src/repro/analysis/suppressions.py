@@ -1,0 +1,67 @@
+"""Inline suppression parsing.
+
+A finding can be silenced at its source line (or the line directly above)
+with a justified suppression comment::
+
+    rate = time.time()  # lint: disable=DET001 -- wall clock feeds logs only
+
+The justification after ``--`` is mandatory: a suppression without one is
+itself reported (rule SUP001), so every silenced finding carries its
+reasoning in the diff that introduced it.  ``disable=all`` silences every
+rule on the line (same justification requirement).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+__all__ = ["Suppression", "parse_suppressions"]
+
+_PATTERN = re.compile(
+    r"#\s*lint:\s*disable=(?P<rules>[A-Za-z0-9_,\s]+?|all)"
+    r"(?:\s*--\s*(?P<reason>.*?))?\s*$"
+)
+
+
+@dataclass
+class Suppression:
+    """One ``# lint: disable=...`` comment.
+
+    Attributes:
+        line: 1-based line the comment sits on.
+        rule_ids: Rules silenced (empty set with ``all_rules`` for ``all``).
+        reason: Justification text after ``--`` (empty when missing).
+        all_rules: Whether the comment silences every rule.
+        used: Set by the runner when a finding actually matched.
+    """
+
+    line: int
+    rule_ids: frozenset[str]
+    reason: str
+    all_rules: bool = False
+    used: bool = field(default=False, compare=False)
+
+    def covers(self, rule_id: str) -> bool:
+        return self.all_rules or rule_id in self.rule_ids
+
+
+def parse_suppressions(lines: list[str]) -> dict[int, Suppression]:
+    """Extract suppressions from source lines, keyed by 1-based line."""
+    out: dict[int, Suppression] = {}
+    for index, text in enumerate(lines, start=1):
+        match = _PATTERN.search(text)
+        if match is None:
+            continue
+        raw = match.group("rules").strip()
+        reason = (match.group("reason") or "").strip()
+        if raw == "all":
+            out[index] = Suppression(
+                line=index, rule_ids=frozenset(), reason=reason, all_rules=True
+            )
+        else:
+            rules = frozenset(
+                part.strip().upper() for part in raw.split(",") if part.strip()
+            )
+            out[index] = Suppression(line=index, rule_ids=rules, reason=reason)
+    return out

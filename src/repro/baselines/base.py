@@ -3,16 +3,12 @@
 from __future__ import annotations
 
 from repro.core.job import Job
+from repro.numeric import floor_power_of_two
 from repro.sim.interface import SchedulerPolicy
 
+# ``floor_power_of_two`` moved to :mod:`repro.numeric`; re-exported here
+# because baseline policies were its original import site.
 __all__ = ["floor_power_of_two", "QueueBasedPolicy"]
-
-
-def floor_power_of_two(value: int) -> int:
-    """Largest power of two not exceeding ``value`` (0 for value < 1)."""
-    if value < 1:
-        return 0
-    return 1 << (value.bit_length() - 1)
 
 
 class QueueBasedPolicy(SchedulerPolicy):

@@ -14,12 +14,9 @@ from bisect import insort
 from dataclasses import dataclass
 
 from repro.errors import AllocationError, ConfigurationError
+from repro.numeric import floor_power_of_two, is_power_of_two
 
 __all__ = ["Block", "BuddyAllocator"]
-
-
-def _is_power_of_two(value: int) -> bool:
-    return value >= 1 and value & (value - 1) == 0
 
 
 @dataclass(frozen=True, order=True)
@@ -30,7 +27,7 @@ class Block:
     size: int
 
     def __post_init__(self) -> None:
-        if not _is_power_of_two(self.size):
+        if not is_power_of_two(self.size):
             raise ConfigurationError(f"block size must be a power of two: {self.size}")
         if self.offset < 0 or self.offset % self.size:
             raise ConfigurationError(
@@ -57,7 +54,7 @@ class BuddyAllocator:
     """
 
     def __init__(self, capacity: int) -> None:
-        if not _is_power_of_two(capacity):
+        if not is_power_of_two(capacity):
             raise ConfigurationError(
                 f"capacity must be a power of two, got {capacity}"
             )
@@ -87,7 +84,7 @@ class BuddyAllocator:
 
     def can_allocate(self, size: int) -> bool:
         """Whether a block of ``size`` can be carved out *without* migration."""
-        if not _is_power_of_two(size):
+        if not is_power_of_two(size):
             return False
         return any(s >= size and offsets for s, offsets in self._free.items())
 
@@ -99,7 +96,7 @@ class BuddyAllocator:
             AllocationError: When no free block is large enough (the caller
                 may defragment via :meth:`repack_plan` and retry).
         """
-        if not _is_power_of_two(size):
+        if not is_power_of_two(size):
             raise ConfigurationError(f"size must be a power of two, got {size}")
         if size > self.capacity:
             raise AllocationError(
@@ -199,7 +196,7 @@ class BuddyAllocator:
         """
         if block not in self._allocated:
             raise AllocationError(f"block {block} is not allocated")
-        if not _is_power_of_two(new_size) or new_size >= block.size:
+        if not is_power_of_two(new_size) or new_size >= block.size:
             raise AllocationError(
                 f"cannot shrink {block} to {new_size}: need a smaller power of two"
             )
@@ -310,7 +307,7 @@ class BuddyAllocator:
                 size = length
             while size > length:
                 size //= 2
-            largest = 1 << (length.bit_length() - 1)
+            largest = floor_power_of_two(length)
             size = min(size, largest)
             self._free.setdefault(size, set()).add(start)
             start += size

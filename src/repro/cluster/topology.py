@@ -14,6 +14,7 @@ import enum
 from dataclasses import dataclass, field
 
 from repro.errors import ConfigurationError
+from repro.numeric import is_power_of_two
 
 __all__ = ["TopologyLevel", "ClusterSpec", "TopologyNode", "build_topology"]
 
@@ -57,7 +58,7 @@ class ClusterSpec:
             ("gpus_per_pcie_group", self.gpus_per_pcie_group),
             ("nodes_per_rack", self.nodes_per_rack),
         ):
-            if value < 1 or value & (value - 1):
+            if not is_power_of_two(value):
                 raise ConfigurationError(
                     f"{label} must be a positive power of two, got {value}"
                 )

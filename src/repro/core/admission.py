@@ -23,6 +23,8 @@ from repro.core.job import Job
 from repro.core.plan import Ledger
 from repro.core.slots import SlotGrid
 from repro.errors import ConfigurationError
+from repro.numeric import EPS
+from repro.perf.coherence import coherent
 from repro.perf.tables import cache_enabled, planning_tables_for
 from repro.profiles.throughput import ScalingCurve
 
@@ -34,12 +36,28 @@ __all__ = [
     "AdmissionController",
 ]
 
-_EPS = 1e-9
+_EPS = EPS  # the shared numeric tolerance (repro.numeric)
 
 
+@coherent(
+    remaining_iterations="frozen",
+    deadline="frozen",
+    weights="frozen",
+    throughput_table="frozen",
+    size_table="frozen",
+    sizes="frozen",
+    best_effort="frozen",
+    tables_token="frozen",
+)
 @dataclass
 class PlanningJob:
     """Everything the planning algorithms need to know about one job.
+
+    The planning inputs are declared *frozen* coherent state: downstream
+    fill fingerprints hash them via ``tables_token``, so mutating any of
+    them after construction would silently desynchronise cached plans.
+    Build a fresh view instead (``planning_job``).  Only ``degraded`` and
+    ``min_share_plan`` are mutable working state.
 
     Attributes:
         job_id: The job's identifier.

@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.core.admission import PlanningJob, progressive_filling
 from repro.core.plan import Ledger
+from repro.perf.coherence import mutates
 from repro.perf.tables import cache_enabled
 
 __all__ = ["Upgrade", "allocate_leftover"]
@@ -176,6 +177,7 @@ def _still_valid(upgrade: Upgrade, info: PlanningJob, ledger: Ledger) -> bool:
     return bool(np.array_equal(then, now))
 
 
+@mutates("Ledger._plans", "Ledger._used")
 def allocate_leftover(
     infos: list[PlanningJob],
     ledger: Ledger,

@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from functools import cached_property
 
 from repro.errors import ConfigurationError, SchedulingError
+from repro.numeric import is_power_of_two
 
 __all__ = ["JobStatus", "JobSpec", "Job"]
 
@@ -79,7 +80,7 @@ class JobSpec:
                 f"deadline {self.deadline} must be after submit_time "
                 f"{self.submit_time}"
             )
-        if self.requested_gpus < 1 or self.requested_gpus & (self.requested_gpus - 1):
+        if not is_power_of_two(self.requested_gpus):
             raise ConfigurationError(
                 f"requested_gpus must be a positive power of two, "
                 f"got {self.requested_gpus}"

@@ -11,6 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import ConfigurationError, SchedulingError
+from repro.perf.coherence import coherent, invalidates, mutates
 
 __all__ = ["Ledger", "zero_plan"]
 
@@ -22,8 +23,14 @@ def zero_plan(horizon: int) -> np.ndarray:
     return np.zeros(horizon, dtype=np.int64)
 
 
+@coherent(_used="ledger_version", _plans="ledger_version")
 class Ledger:
     """GPU occupancy bookkeeping across all planned jobs.
+
+    ``_used`` and ``_plans`` are coherent state: ``version`` (bumped by
+    :meth:`_bump_version`) is what the availability cache and admission
+    staleness checks key on, so every mutation must go through a declared
+    mutator that reaches the bump (statically enforced — rules CC001/CC002).
 
     Args:
         capacity: Total GPUs in the cluster.
@@ -90,6 +97,12 @@ class Ledger:
         return sorted(self._plans)
 
     # ------------------------------------------------------------- mutation
+    @invalidates("ledger_version")
+    def _bump_version(self) -> None:
+        """Mark every version-keyed derivation of the ledger stale."""
+        self.version += 1
+
+    @mutates("_used", "_plans")
     def set_plan(self, job_id: str, plan: np.ndarray, *, trusted: bool = False) -> None:
         """Register or replace a job's plan, enforcing capacity.
 
@@ -119,21 +132,23 @@ class Ledger:
         stored = plan if trusted else plan.copy()
         stored.flags.writeable = False
         self._plans[job_id] = stored
-        self.version += 1
+        self._bump_version()
 
+    @mutates("_used", "_plans")
     def remove_plan(self, job_id: str) -> None:
         """Drop a job's plan, releasing its claimed GPUs."""
         plan = self._plans.pop(job_id, None)
         if plan is None:
             raise SchedulingError(f"no plan registered for job {job_id!r}")
         self._used -= plan
-        self.version += 1
+        self._bump_version()
 
+    @mutates("_used", "_plans")
     def clear(self) -> None:
         """Forget every plan."""
         self._plans.clear()
         self._used[:] = 0
-        self.version += 1
+        self._bump_version()
 
     # -------------------------------------------------------------- helpers
     def _validated(self, plan: np.ndarray) -> np.ndarray:

@@ -19,12 +19,14 @@ from repro.core.job import Job
 from repro.core.operator import OperatorPolicy
 from repro.core.slots import SlotGrid
 from repro.errors import ConfigurationError
+from repro.perf.coherence import keyed
 from repro.perf.tables import cache_enabled, curve_revision
 from repro.sim.interface import SchedulerPolicy
 
 __all__ = ["ElasticFlowPolicy"]
 
 
+@keyed(_info_cache="curve_revision")
 class ElasticFlowPolicy(SchedulerPolicy):
     """Deadline-driven serverless scheduling with elastic scaling.
 

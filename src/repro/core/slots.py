@@ -16,6 +16,7 @@ from functools import cached_property
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.numeric import EPS
 
 __all__ = ["SlotGrid"]
 
@@ -52,12 +53,18 @@ class SlotGrid:
         return self.origin + index * self.slot_seconds
 
     def slot_of(self, time: float) -> int:
-        """Index of the slot containing ``time`` (clamped to the horizon)."""
-        if time < self.origin:
+        """Index of the slot containing ``time`` (clamped to the horizon).
+
+        Tolerates ``time`` landing within the shared epsilon *before* the
+        origin: grids are anchored at "now" and event times reach here
+        through float arithmetic, so an exact ``<`` check would reject the
+        very instant the grid was built for.
+        """
+        if time < self.origin - EPS:
             raise ConfigurationError(
                 f"time {time} precedes the grid origin {self.origin}"
             )
-        index = int((time - self.origin) // self.slot_seconds)
+        index = int(max(0.0, time - self.origin) // self.slot_seconds)
         return min(index, self.horizon - 1)
 
     @cached_property

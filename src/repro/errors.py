@@ -17,6 +17,7 @@ __all__ = [
     "SchedulingError",
     "SimulationError",
     "TraceError",
+    "AnalysisError",
 ]
 
 
@@ -50,3 +51,12 @@ class SimulationError(ReproError):
 
 class TraceError(ReproError, ValueError):
     """A workload trace is malformed or violates its schema."""
+
+
+class AnalysisError(ReproError):
+    """The static analyser was misconfigured or hit an unreadable input.
+
+    Raised for usage errors (unknown rule ids, unparseable files, a
+    corrupt baseline) — never for findings, which are data, not
+    exceptions.
+    """

@@ -1,0 +1,64 @@
+"""Shared numeric-hygiene helpers.
+
+Two families of bugs kept re-appearing in scheduler code and are now policed
+by the static analyser (``python -m repro.analysis``, rules NH001/NH002):
+
+- **Float equality.**  Times, deadlines, throughputs, and slot weights are
+  all floats produced by arithmetic; comparing them with ``==``/``!=``
+  silently depends on rounding.  :func:`feq`/:func:`fne` are the sanctioned
+  epsilon comparisons, and :data:`EPS` is the single shared tolerance the
+  planning algorithms use for feasibility slack.
+- **Hand-rolled power-of-two bit tricks.**  GPU counts in this system are
+  powers of two everywhere (buddy allocation), and the ``value & (value-1)``
+  / ``1 << bit_length()-1`` idioms were independently re-implemented in six
+  modules.  They live here once, with names.
+
+This module must stay dependency-free (stdlib only): everything from
+``repro.cluster.buddy`` to ``repro.traces.schema`` imports it.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "EPS",
+    "feq",
+    "fne",
+    "is_power_of_two",
+    "floor_power_of_two",
+    "next_power_of_two",
+]
+
+#: Absolute tolerance used by the planning algorithms for feasibility slack
+#: (progress requirements, deadline boundaries).  One shared constant so a
+#: plan deemed feasible by admission control is never re-judged infeasible
+#: by allocation over a rounding ulp.
+EPS: float = 1e-9
+
+
+def feq(a: float, b: float, *, eps: float = EPS) -> bool:
+    """Whether two floats are equal to within ``eps`` (absolute)."""
+    return abs(a - b) <= eps
+
+
+def fne(a: float, b: float, *, eps: float = EPS) -> bool:
+    """Whether two floats differ by more than ``eps`` (absolute)."""
+    return abs(a - b) > eps
+
+
+def is_power_of_two(value: int) -> bool:
+    """Whether ``value`` is a positive power of two."""
+    return value >= 1 and value & (value - 1) == 0
+
+
+def floor_power_of_two(value: int) -> int:
+    """Largest power of two not exceeding ``value`` (0 for ``value < 1``)."""
+    if value < 1:
+        return 0
+    return 1 << (value.bit_length() - 1)
+
+
+def next_power_of_two(value: int) -> int:
+    """Smallest power of two not below ``value`` (1 for ``value < 1``)."""
+    if value < 1:
+        return 1
+    return 1 << (value - 1).bit_length()

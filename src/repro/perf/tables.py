@@ -36,6 +36,8 @@ from weakref import WeakKeyDictionary
 
 import numpy as np
 
+from repro.perf.coherence import invalidates
+
 __all__ = [
     "PlanningTables",
     "compute_planning_tables",
@@ -127,6 +129,7 @@ def planning_tables_for(curve, capacity: int) -> PlanningTables:
     return tables
 
 
+@invalidates("planning_tables")
 def invalidate_planning_tables(curve) -> None:
     """Drop every cached table of one curve (all capacities).
 
@@ -183,6 +186,7 @@ def cache_stats() -> dict[str, int]:
     return dict(_stats)
 
 
+@invalidates("planning_tables")
 def reset_cache() -> None:
     """Forget every cached table and zero the counters."""
     _store.clear()

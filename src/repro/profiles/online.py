@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import ConfigurationError
+from repro.perf.coherence import coherent, mutates
 from repro.perf.tables import invalidate_planning_tables
 from repro.profiles.throughput import Placement, ScalingCurve, ThroughputModel
 
@@ -67,6 +68,7 @@ class _CorrectedCurve(ScalingCurve):
         return self._base.throughput(n_gpus, placement) * self._factor_for(n_gpus)
 
 
+@coherent(_corrections="planning_tables")
 class OnlineThroughputModel:
     """A planning model that learns corrections from runtime observations.
 
@@ -90,6 +92,7 @@ class OnlineThroughputModel:
         self.observations = 0
 
     def _corrections_for(self, model_name: str, batch: int) -> dict[int, _Correction]:
+        # lint: disable=CC002 -- lazy container init; an empty dict changes no curve answer
         return self._corrections.setdefault((model_name, batch), {})
 
     def curve(self, model_name: str, global_batch: int) -> ScalingCurve:
@@ -109,6 +112,7 @@ class OnlineThroughputModel:
             self._curves[key] = curve
         return curve
 
+    @mutates("_corrections")
     def observe(
         self,
         model_name: str,
@@ -143,10 +147,10 @@ class OnlineThroughputModel:
         self.observations += 1
         # A correction shifts every size of this configuration's curve (the
         # unobserved sizes borrow the average factor), so any memoized
-        # planning tables derived from it are now stale.
-        cached = self._curves.get((model_name, global_batch))
-        if cached is not None:
-            invalidate_planning_tables(cached)
+        # planning tables derived from it are now stale.  Invalidate
+        # unconditionally: `curve()` returns the cached corrected curve or
+        # creates it, so the hook runs on every path through this mutator.
+        invalidate_planning_tables(self.curve(model_name, global_batch))
 
     def correction_factor(self, model_name: str, global_batch: int, size: int) -> float:
         """Current correction at one size (1.0 before any observation)."""

@@ -19,6 +19,8 @@ from repro.cluster.placement import PlacementManager
 from repro.cluster.topology import ClusterSpec
 from repro.core.job import Job, JobSpec, JobStatus
 from repro.errors import PlacementError, SchedulingError, SimulationError
+from repro.numeric import EPS, is_power_of_two
+from repro.perf.coherence import coherent, invalidates, keyed, mutates
 from repro.perf.tables import cache_enabled, curve_revision
 from repro.profiles.throughput import Placement, ThroughputModel
 from repro.sim.events import Event, EventKind
@@ -33,6 +35,8 @@ __all__ = ["Simulator"]
 _COMPLETION_EPS = 1e-3  # iterations of slack when declaring completion
 
 
+@coherent(_alloc_version="event_projections")
+@keyed(_rate_memo="curve_revision")
 class Simulator:
     """Replays a workload against one scheduler policy.
 
@@ -252,6 +256,22 @@ class Simulator:
             else:  # pragma: no cover - versioned events are pushed fresh
                 self._stale_versioned += 1
 
+    @mutates("_alloc_version")
+    @invalidates("event_projections")
+    def _retire_projections(self) -> None:
+        """Supersede every queued COMPLETION/REPLAN projection.
+
+        This is the invalidation point for ``_alloc_version``-dependent
+        state: projections carry the version they were computed under, so
+        bumping it orphans all of them at once.  The orphans are
+        reclassified as stale and compacted out of the heap once they
+        dominate it.
+        """
+        self._alloc_version += 1
+        self._stale_versioned += self._live_versioned
+        self._live_versioned = 0
+        self._compact_heap()
+
     def _compact_heap(self) -> None:
         """Drop superseded versioned events once they dominate the heap.
 
@@ -341,7 +361,7 @@ class Simulator:
 
     # ------------------------------------------------------------ progress
     def _advance_to(self, time: float) -> None:
-        if time < self._now - 1e-9:
+        if time < self._now - EPS:
             raise SimulationError(
                 f"time went backwards: {time} < {self._now}"
             )
@@ -397,12 +417,9 @@ class Simulator:
             return
         decisions = self.policy.allocate(active, now)
         self._validate_decisions(decisions, active)
-        self._alloc_version += 1
-        version = self._alloc_version
         # Every projection pushed before this point is now superseded.
-        self._stale_versioned += self._live_versioned
-        self._live_versioned = 0
-        self._compact_heap()
+        self._retire_projections()
+        version = self._alloc_version
 
         active_by_id = {job.job_id: job for job in active}
         changed: set[str] = set()
@@ -494,7 +511,7 @@ class Simulator:
                 raise SchedulingError(
                     f"policy {self.policy.name!r} allocated {count} GPUs"
                 )
-            if count and count & (count - 1):
+            if count and not is_power_of_two(count):
                 # Buddy placement only ever hosts power-of-two blocks; an
                 # odd count indicates a policy bug, not a soft preference.
                 raise SchedulingError(

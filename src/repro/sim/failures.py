@@ -88,14 +88,24 @@ class NodeFailureModel:
         self.mttr_s = mttr_hours * 3600.0
 
     def sample(
-        self, n_nodes: int, horizon_s: float, seed: int = 0
+        self,
+        n_nodes: int,
+        horizon_s: float,
+        seed: int = 0,
+        *,
+        rng: np.random.Generator | None = None,
     ) -> FailureSchedule:
-        """Draw a failure schedule for ``n_nodes`` over ``horizon_s``."""
+        """Draw a failure schedule for ``n_nodes`` over ``horizon_s``.
+
+        An explicit ``rng`` takes precedence over ``seed`` so callers can
+        thread one generator through a whole experiment.
+        """
         if n_nodes < 1:
             raise ConfigurationError(f"n_nodes must be >= 1, got {n_nodes}")
         if horizon_s <= 0:
             raise ConfigurationError(f"horizon_s must be > 0, got {horizon_s}")
-        rng = np.random.default_rng(seed)
+        if rng is None:
+            rng = np.random.default_rng(seed)
         windows: list[FailureWindow] = []
         for node in range(n_nodes):
             clock = float(rng.exponential(self.mtbf_s))

@@ -12,6 +12,7 @@ import bisect
 from dataclasses import dataclass, field
 
 from repro.errors import ConfigurationError
+from repro.numeric import feq
 
 __all__ = ["TimelineSample", "Timeline"]
 
@@ -56,7 +57,7 @@ class Timeline:
                 f"samples must be time-ordered: {sample.time} < "
                 f"{self._samples[-1].time}"
             )
-        if self._samples and sample.time == self._samples[-1].time:
+        if self._samples and feq(sample.time, self._samples[-1].time):
             self._samples[-1] = sample
         else:
             self._samples.append(sample)

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import TraceError
+from repro.numeric import feq
 from repro.traces.schema import TraceJob
 
 __all__ = ["DeadlineAssigner"]
@@ -43,7 +44,7 @@ class DeadlineAssigner:
 
     def draw(self, rng: np.random.Generator) -> float:
         """One tightness factor."""
-        if self.lambda_min == self.lambda_max:
+        if feq(self.lambda_min, self.lambda_max):
             return self.lambda_min
         return float(rng.uniform(self.lambda_min, self.lambda_max))
 

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.errors import TraceError
+from repro.numeric import is_power_of_two
 
 __all__ = ["TraceJob", "Trace"]
 
@@ -37,7 +38,7 @@ class TraceJob:
             raise TraceError("job_id must be non-empty")
         if self.submit_time < 0:
             raise TraceError(f"submit_time must be >= 0, got {self.submit_time}")
-        if self.n_gpus < 1 or self.n_gpus & (self.n_gpus - 1):
+        if not is_power_of_two(self.n_gpus):
             raise TraceError(
                 f"n_gpus must be a positive power of two, got {self.n_gpus}"
             )

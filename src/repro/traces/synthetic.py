@@ -26,6 +26,7 @@ from dataclasses import dataclass, field, replace
 import numpy as np
 
 from repro.errors import TraceError
+from repro.numeric import floor_power_of_two, is_power_of_two
 from repro.traces.schema import Trace, TraceJob
 
 __all__ = ["ClusterTraceConfig", "PRODUCTION_CLUSTERS", "generate_trace"]
@@ -74,7 +75,7 @@ class ClusterTraceConfig:
     n_bursts: int = 2
 
     def __post_init__(self) -> None:
-        if self.cluster_gpus < 1 or self.cluster_gpus & (self.cluster_gpus - 1):
+        if not is_power_of_two(self.cluster_gpus):
             raise TraceError(
                 f"cluster_gpus must be a power of two, got {self.cluster_gpus}"
             )
@@ -91,7 +92,7 @@ class ClusterTraceConfig:
         if not self.gpu_weights:
             raise TraceError("gpu_weights must not be empty")
         for size in self.gpu_weights:
-            if size < 1 or size & (size - 1):
+            if not is_power_of_two(size):
                 raise TraceError(f"gpu_weights key {size} is not a power of two")
         if not 0 <= self.burst_fraction < 1:
             raise TraceError(
@@ -109,7 +110,7 @@ class ClusterTraceConfig:
         """
         if not 0 < factor <= 1:
             raise TraceError(f"scale factor must be in (0, 1], got {factor}")
-        gpus = max(16, 1 << int(math.log2(max(16, self.cluster_gpus * factor))))
+        gpus = max(16, floor_power_of_two(int(max(16, self.cluster_gpus * factor))))
         ratio = gpus / self.cluster_gpus
         jobs = max(10, int(round(self.n_jobs * ratio)))
         capped_weights = {
@@ -151,9 +152,22 @@ PRODUCTION_CLUSTERS: tuple[ClusterTraceConfig, ...] = (
 )
 
 
-def generate_trace(config: ClusterTraceConfig, seed: int = 0) -> Trace:
-    """Generate a deterministic synthetic trace for one configuration."""
-    rng = np.random.default_rng(seed)
+def generate_trace(
+    config: ClusterTraceConfig,
+    seed: int = 0,
+    *,
+    rng: np.random.Generator | None = None,
+) -> Trace:
+    """Generate a deterministic synthetic trace for one configuration.
+
+    Args:
+        config: The cluster configuration to realise.
+        seed: Seed for the generator created when ``rng`` is not given.
+        rng: Explicit generator, for callers that thread one RNG through a
+            whole experiment (``seed`` is ignored in that case).
+    """
+    if rng is None:
+        rng = np.random.default_rng(seed)
     sizes_pool = sorted(config.gpu_weights)
     weights = np.array([config.gpu_weights[s] for s in sizes_pool], dtype=float)
     weights /= weights.sum()

@@ -27,6 +27,7 @@ def build_jobs(
     throughput: ThroughputModel,
     *,
     seed: int = 0,
+    rng: np.random.Generator | None = None,
     deadlines: DeadlineAssigner | None = None,
     best_effort_fraction: float = 0.0,
     model_pool: tuple[tuple[str, int], ...] = TABLE1_SETTINGS,
@@ -40,6 +41,8 @@ def build_jobs(
             paper's profile-then-simulate methodology).
         seed: Seed for model assignment, deadline tightness, and the
             best-effort lottery.
+        rng: Explicit generator for callers threading one RNG through a
+            whole experiment (``seed`` is ignored in that case).
         deadlines: Tightness distribution; defaults to U[0.5, 1.5].
         best_effort_fraction: Fraction of jobs submitted without a deadline
             (Section 6.5's SLO/best-effort mix).
@@ -57,7 +60,8 @@ def build_jobs(
     if not model_pool:
         raise TraceError("model_pool must not be empty")
     assigner = deadlines or DeadlineAssigner()
-    rng = np.random.default_rng(seed)
+    if rng is None:
+        rng = np.random.default_rng(seed)
     specs: list[JobSpec] = []
     for row in trace.jobs:
         model_name, batch = model_pool[int(rng.integers(len(model_pool)))]

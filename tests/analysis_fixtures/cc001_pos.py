@@ -1,0 +1,17 @@
+# lint-module: repro.perf.fixture_cc001
+"""Positive CC001: declared mutator never calls the invalidation hook."""
+from repro.perf.coherence import coherent, invalidates, mutates
+
+
+@coherent(_data="cc001_dep")
+class HolderOne:
+    def __init__(self):
+        self._data = {}
+
+    @invalidates("cc001_dep")
+    def _invalidate(self):
+        pass
+
+    @mutates("_data")
+    def put(self, key, value):  # <- finding
+        self._data[key] = value

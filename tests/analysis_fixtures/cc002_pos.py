@@ -1,0 +1,16 @@
+# lint-module: repro.perf.fixture_cc002
+"""Positive CC002: coherent field mutated outside any declared mutator."""
+from repro.perf.coherence import coherent, invalidates
+
+
+@coherent(_data="cc002_dep")
+class HolderTwo:
+    def __init__(self):
+        self._data = {}
+
+    @invalidates("cc002_dep")
+    def _invalidate(self):
+        pass
+
+    def sneaky(self, key, value):
+        self._data[key] = value  # <- finding

@@ -1,0 +1,22 @@
+# lint-module: repro.perf.fixture_cc003_neg
+"""Negative CC003: callers go through the owning class's declared mutator."""
+from repro.perf.coherence import coherent, invalidates, mutates
+
+
+@coherent(_plans="cc003_neg_dep")
+class OwnerThreeNeg:
+    def __init__(self):
+        self._plans = {}
+
+    @invalidates("cc003_neg_dep")
+    def _bump(self):
+        pass
+
+    @mutates("_plans")
+    def set_item(self, key, value):
+        self._plans[key] = value
+        self._bump()
+
+
+def outside(owner: OwnerThreeNeg) -> None:
+    owner.set_item("x", 1)

@@ -1,0 +1,22 @@
+# lint-module: repro.perf.fixture_cc003
+"""Positive CC003: foreign mutation of another object's coherent field."""
+from repro.perf.coherence import coherent, invalidates, mutates
+
+
+@coherent(_plans="cc003_dep")
+class OwnerThree:
+    def __init__(self):
+        self._plans = {}
+
+    @invalidates("cc003_dep")
+    def _bump(self):
+        pass
+
+    @mutates("_plans")
+    def set_item(self, key, value):
+        self._plans[key] = value
+        self._bump()
+
+
+def outside(owner: OwnerThree) -> None:
+    owner._plans["x"] = 1  # <- finding

@@ -1,0 +1,23 @@
+# lint-module: repro.perf.fixture_cc004_neg
+"""Negative CC004: the declaring function drives the declared mutator."""
+from repro.perf.coherence import coherent, invalidates, mutates
+
+
+@coherent(_plans="cc004_neg_dep")
+class OwnerFourNeg:
+    def __init__(self):
+        self._plans = {}
+
+    @invalidates("cc004_neg_dep")
+    def _bump(self):
+        pass
+
+    @mutates("_plans")
+    def set_item(self, key, value):
+        self._plans[key] = value
+        self._bump()
+
+
+@mutates("OwnerFourNeg._plans")
+def driver(owner: OwnerFourNeg) -> None:
+    owner.set_item("x", 1)

@@ -1,0 +1,23 @@
+# lint-module: repro.perf.fixture_cc004
+"""Positive CC004: cross-class @mutates declaration never exercised."""
+from repro.perf.coherence import coherent, invalidates, mutates
+
+
+@coherent(_plans="cc004_dep")
+class OwnerFour:
+    def __init__(self):
+        self._plans = {}
+
+    @invalidates("cc004_dep")
+    def _bump(self):
+        pass
+
+    @mutates("_plans")
+    def set_item(self, key, value):
+        self._plans[key] = value
+        self._bump()
+
+
+@mutates("OwnerFour._plans")
+def stale(owner: OwnerFour) -> None:  # <- finding
+    return None

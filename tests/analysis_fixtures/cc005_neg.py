@@ -1,0 +1,21 @@
+# lint-module: repro.perf.fixture_cc005_neg
+"""Negative CC005: the memo key carries the revision."""
+from repro.perf.coherence import keyed
+
+
+def revision_of(key) -> int:
+    return 0
+
+
+@keyed(_memo="revision_of")
+class CacheFiveNeg:
+    def __init__(self):
+        self._memo = {}
+
+    def lookup(self, key):
+        memo_key = (key, revision_of(key))
+        value = self._memo.get(memo_key)
+        if value is None:
+            value = str(key)
+            self._memo[memo_key] = value
+        return value

@@ -1,0 +1,18 @@
+# lint-module: repro.perf.fixture_cc005
+"""Positive CC005: revision-keyed memo written without its key function."""
+from repro.perf.coherence import keyed
+
+
+def revision_of(key) -> int:
+    return 0
+
+
+@keyed(_memo="revision_of")
+class CacheFive:
+    def __init__(self):
+        self._memo = {}
+
+    def lookup(self, key):  # <- finding
+        value = str(key)
+        self._memo[key] = value
+        return value

@@ -1,0 +1,8 @@
+# lint-module: repro.core.fixture_det001_neg
+"""Negative DET001: explicitly seeded generator is allowed."""
+import numpy as np
+
+
+def decide(seed: int) -> float:
+    rng = np.random.default_rng(seed)
+    return float(rng.uniform(0.0, 1.0))

@@ -1,0 +1,7 @@
+# lint-module: repro.core.fixture_det001
+"""Positive DET001: wall-clock read inside a decision path."""
+import time
+
+
+def decide() -> float:
+    return time.time()  # <- finding

@@ -1,0 +1,11 @@
+# lint-module: repro.sim.fixture_det002_neg
+"""Negative DET002: sorted() and order-free reductions over sets are fine."""
+
+
+def order(job_ids: list[str]) -> list[str]:
+    pending = set(job_ids)
+    count = len(pending)
+    out = []
+    for job_id in sorted(pending):
+        out.append(job_id)
+    return out[:count]

@@ -1,0 +1,10 @@
+# lint-module: repro.sim.fixture_det002
+"""Positive DET002: iterating a set bakes hash order into a decision."""
+
+
+def order(job_ids: list[str]) -> list[str]:
+    pending = set(job_ids)
+    out = []
+    for job_id in pending:  # <- finding
+        out.append(job_id)
+    return out

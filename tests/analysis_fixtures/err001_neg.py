@@ -1,0 +1,9 @@
+# lint-module: repro.fixture_err001_neg
+"""Negative ERR001: a concrete exception type is caught."""
+
+
+def load(value: str) -> int:
+    try:
+        return int(value)
+    except ValueError:
+        return 0

@@ -1,0 +1,9 @@
+# lint-module: repro.fixture_err001
+"""Positive ERR001: bare except clause."""
+
+
+def load(value: str) -> int:
+    try:
+        return int(value)
+    except:  # <- finding
+        return 0

@@ -1,0 +1,9 @@
+# lint-module: repro.fixture_err002_neg
+"""Negative ERR002: translation keeps the chain with `from`."""
+
+
+def convert(value: str) -> int:
+    try:
+        return int(value)
+    except ValueError as exc:
+        raise RuntimeError(f"bad value {value!r}") from exc

@@ -1,0 +1,9 @@
+# lint-module: repro.fixture_err002
+"""Positive ERR002: re-raise inside a handler severs the causal chain."""
+
+
+def convert(value: str) -> int:
+    try:
+        return int(value)
+    except ValueError:
+        raise RuntimeError(f"bad value {value!r}")  # <- finding

@@ -1,0 +1,7 @@
+# lint-module: repro.fixture_nh001_neg
+"""Negative NH001: epsilon comparison through the shared helper."""
+from repro.numeric import feq
+
+
+def same_deadline(deadline_a: float, deadline_b: float) -> bool:
+    return feq(deadline_a, deadline_b)

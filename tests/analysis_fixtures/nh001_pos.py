@@ -1,0 +1,6 @@
+# lint-module: repro.fixture_nh001
+"""Positive NH001: exact equality between float scheduling quantities."""
+
+
+def same_deadline(deadline_a: float, deadline_b: float) -> bool:
+    return deadline_a == deadline_b  # <- finding

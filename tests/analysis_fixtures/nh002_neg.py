@@ -1,0 +1,7 @@
+# lint-module: repro.fixture_nh002_neg
+"""Negative NH002: GPU counts go through the shared helpers."""
+from repro.numeric import is_power_of_two
+
+
+def check(count: int) -> bool:
+    return is_power_of_two(count)

@@ -1,0 +1,6 @@
+# lint-module: repro.fixture_nh002
+"""Positive NH002: hand-rolled power-of-two bit trick."""
+
+
+def check(count: int) -> bool:
+    return count >= 1 and count & (count - 1) == 0  # <- finding

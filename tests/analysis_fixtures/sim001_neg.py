@@ -1,0 +1,6 @@
+# lint-module: repro.sim.fixture_sim001_neg
+"""Negative SIM001: simulated time comes from the event, not the host."""
+
+
+def handle_event(samples: list, now: float) -> None:
+    samples.append(now)

@@ -1,0 +1,7 @@
+# lint-module: repro.sim.fixture_sim001
+"""Positive SIM001: real sleep inside the simulation."""
+import time
+
+
+def handle_event() -> None:
+    time.sleep(0.1)  # <- finding

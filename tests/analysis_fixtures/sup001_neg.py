@@ -1,0 +1,6 @@
+# lint-module: repro.fixture_sup001_neg
+"""Negative SUP001: the suppression carries its written justification."""
+
+
+def helper(weight: float, rate: float) -> bool:
+    return weight == rate  # lint: disable=NH001 -- fixture exercises a justified suppression

@@ -1,0 +1,6 @@
+# lint-module: repro.fixture_sup001
+"""Positive SUP001: a suppression comment without a justification."""
+
+
+def helper(value: int) -> int:
+    return value + 1  # lint: disable=NH001

@@ -1,0 +1,73 @@
+"""Tests for the shared numeric-hygiene helpers (repro.numeric)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.numeric import (
+    EPS,
+    feq,
+    floor_power_of_two,
+    fne,
+    is_power_of_two,
+    next_power_of_two,
+)
+
+
+def test_eps_is_the_planning_tolerance() -> None:
+    assert EPS == pytest.approx(1e-9)
+
+
+def test_feq_fne_are_complements() -> None:
+    assert feq(1.0, 1.0)
+    assert feq(1.0, 1.0 + EPS / 2)
+    assert not feq(1.0, 1.0 + 3 * EPS)
+    assert fne(1.0, 1.0 + 3 * EPS)
+    assert not fne(1.0, 1.0 + EPS / 2)
+    # The classic accumulation case exact equality gets wrong:
+    assert 0.1 + 0.2 != 0.3
+    assert feq(0.1 + 0.2, 0.3)
+
+
+def test_feq_accepts_a_custom_epsilon() -> None:
+    assert feq(1.0, 1.5, eps=0.5)
+    assert fne(1.0, 1.5, eps=0.4)
+
+
+@pytest.mark.parametrize("value", [1, 2, 4, 8, 64, 1024, 2**30])
+def test_powers_of_two_are_recognised(value: int) -> None:
+    assert is_power_of_two(value)
+
+
+@pytest.mark.parametrize("value", [-4, -1, 0, 3, 6, 12, 1023, 1025])
+def test_non_powers_are_rejected(value: int) -> None:
+    assert not is_power_of_two(value)
+
+
+def test_floor_power_of_two() -> None:
+    assert floor_power_of_two(-3) == 0
+    assert floor_power_of_two(0) == 0
+    assert floor_power_of_two(1) == 1
+    assert floor_power_of_two(5) == 4
+    assert floor_power_of_two(8) == 8
+    assert floor_power_of_two(1023) == 512
+
+
+def test_next_power_of_two() -> None:
+    assert next_power_of_two(-3) == 1
+    assert next_power_of_two(0) == 1
+    assert next_power_of_two(1) == 1
+    assert next_power_of_two(5) == 8
+    assert next_power_of_two(8) == 8
+    assert next_power_of_two(1025) == 2048
+
+
+@pytest.mark.parametrize("value", range(1, 300))
+def test_floor_and_next_bracket_every_value(value: int) -> None:
+    lo, hi = floor_power_of_two(value), next_power_of_two(value)
+    assert is_power_of_two(lo) and is_power_of_two(hi)
+    assert lo <= value <= hi
+    if is_power_of_two(value):
+        assert lo == hi == value
+    else:
+        assert hi == 2 * lo
