@@ -12,6 +12,7 @@ from repro.analysis.rules import (  # noqa: F401  (imports register rules)
     determinism,
     errors_hygiene,
     numeric_hygiene,
+    parallelism,
     sim_discipline,
     suppression_hygiene,
 )
@@ -21,6 +22,7 @@ __all__ = [
     "determinism",
     "errors_hygiene",
     "numeric_hygiene",
+    "parallelism",
     "sim_discipline",
     "suppression_hygiene",
 ]

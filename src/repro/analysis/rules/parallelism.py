@@ -1,0 +1,96 @@
+"""Parallel-safety rules (PAR).
+
+The fan-out engine's determinism contract (see ``docs/performance.md``)
+holds because a spawn worker rebuilds everything it needs from the
+picklable :class:`~repro.parallel.spec.RunSpec` — results can only depend
+on the spec.  Module-level *mutable* state breaks that reasoning twice
+over: accumulated in the parent, it never reaches spawn workers (fresh
+interpreters), so serial and parallel runs read different values; mutated
+in a worker, it silently vanishes when the process exits.  Either way the
+bug is invisible on ``workers=1``.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from repro.analysis.context import FileContext
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.registry import Rule, register
+
+__all__ = ["ModuleLevelMutableStateRule"]
+
+#: Packages imported by the spawn-worker entrypoint
+#: (``repro.parallel.engine._execute_spec``).
+_WORKER_SCOPE = ("repro.parallel", "repro.experiments")
+
+#: Constructors whose result is a mutable container.
+_MUTABLE_CONSTRUCTORS = {
+    "list", "dict", "set", "bytearray", "defaultdict", "Counter", "deque",
+    "OrderedDict",
+}
+
+
+def _is_mutable_expr(node: ast.AST) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set)):
+        return True
+    if isinstance(node, (ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        name = None
+        if isinstance(func, ast.Name):
+            name = func.id
+        elif isinstance(func, ast.Attribute):
+            name = func.attr
+        return name in _MUTABLE_CONSTRUCTORS
+    return False
+
+
+@register
+class ModuleLevelMutableStateRule(Rule):
+    """PAR001 — no module-level mutable state in worker-reachable code.
+
+    Inside ``repro.parallel`` and ``repro.experiments`` (the packages the
+    spawn-worker entrypoint imports), module-level names must not be bound
+    to mutable containers — list/dict/set/bytearray displays,
+    comprehensions, or constructor calls (``list()``, ``defaultdict`` and
+    friends).  A spawn worker starts from a fresh interpreter, so such
+    state silently diverges between the serial and parallel paths and
+    breaks the engine's bit-identical contract.  Keep accumulating state
+    on instances (e.g. ``RunCache.stats``) or thread it through the
+    ``RunSpec``; module-level *constants* belong in immutable containers
+    (tuples, frozensets, ``MappingProxyType``).  Dunder names such as
+    ``__all__`` are exempt by convention.
+    """
+
+    rule_id = "PAR001"
+    title = "module-level mutable state in worker-reachable code"
+    severity = Severity.ERROR
+    scope = _WORKER_SCOPE
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        for stmt in ctx.tree.body:
+            if isinstance(stmt, ast.Assign):
+                targets = stmt.targets
+                value = stmt.value
+            elif isinstance(stmt, ast.AnnAssign):
+                targets = [stmt.target]
+                value = stmt.value
+            else:
+                continue
+            if value is None or not _is_mutable_expr(value):
+                continue
+            for target in targets:
+                name = target.id if isinstance(target, ast.Name) else None
+                if name is not None and name.startswith("__") and name.endswith("__"):
+                    continue
+                label = name or "this binding"
+                yield ctx.finding(
+                    stmt,
+                    self.rule_id,
+                    f"module-level mutable container `{label}` is invisible "
+                    f"to spawn workers; use an immutable constant or move the "
+                    f"state onto an instance",
+                )

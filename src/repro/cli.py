@@ -8,8 +8,13 @@ Subcommands::
     repro compare --policies a,b,c ...      # one workload, many schedulers
     repro experiment fig6a                  # regenerate a paper artifact
     repro make-trace --out trace.json ...   # synthesise a workload trace
+    repro cache [--wipe]                    # inspect/clear the run cache
 
-Every command is deterministic given ``--seed``.
+Every command is deterministic given ``--seed`` — including under
+``--workers auto``, which only changes wall-clock time, never a number.
+``--cache`` persists completed runs under ``.repro-cache/`` (or
+``$REPRO_CACHE_DIR``) keyed by a content fingerprint of the full run
+configuration, so repeated and overlapping experiments are free.
 """
 
 from __future__ import annotations
@@ -64,6 +69,10 @@ def build_parser() -> argparse.ArgumentParser:
         ],
     )
     experiment.add_argument("--seed", type=int, default=0)
+    _parallel_arguments(experiment)
+
+    cache = commands.add_parser("cache", help="inspect or wipe the run cache")
+    cache.add_argument("--wipe", action="store_true", help="delete every entry")
 
     stats = commands.add_parser("trace-stats", help="summarise a trace file")
     stats.add_argument("path", help=".json or .csv trace file")
@@ -86,6 +95,20 @@ def _workload_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--slot-seconds", type=float, default=600.0)
     parser.add_argument(
         "--no-overheads", action="store_true", help="disable scaling overheads"
+    )
+    _parallel_arguments(parser)
+
+
+def _parallel_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers",
+        default="1",
+        help="fan-out width: a positive integer or 'auto' (one per core)",
+    )
+    parser.add_argument(
+        "--cache",
+        action="store_true",
+        help="persist/reuse results in .repro-cache (or $REPRO_CACHE_DIR)",
     )
 
 
@@ -129,16 +152,31 @@ def _config_from(args: argparse.Namespace):
     )
 
 
+def _cache_from(args: argparse.Namespace):
+    from repro.parallel.cache import RunCache
+
+    return RunCache() if getattr(args, "cache", False) else None
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
-    from repro.experiments.harness import run_policies, testbed_workload
+    from repro.experiments.harness import run_policies, testbed_workload_spec
+    from repro.sim.serialize import sanitize_for_json
 
     config = _config_from(args)
-    cluster, specs = testbed_workload(
+    cluster, workload = testbed_workload_spec(
         config, cluster_gpus=args.gpus, n_jobs=args.jobs, target_load=args.load
     )
-    result = run_policies([args.policy], cluster, specs, config)[args.policy]
+    result = run_policies(
+        [args.policy],
+        cluster,
+        None,
+        config,
+        workers=args.workers,
+        cache=_cache_from(args),
+        workload=workload,
+    )[args.policy]
     if args.json:
-        print(json.dumps(result.summary(), indent=2))
+        print(json.dumps(sanitize_for_json(result.summary()), indent=2))
         return 0
     rows = [(key, value) for key, value in result.summary().items()]
     print(format_table(["Metric", "Value"], rows, title=f"policy: {args.policy}"))
@@ -146,14 +184,22 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
-    from repro.experiments.harness import run_policies, testbed_workload
+    from repro.experiments.harness import run_policies, testbed_workload_spec
 
     names = [name.strip() for name in args.policies.split(",") if name.strip()]
     config = _config_from(args)
-    cluster, specs = testbed_workload(
+    cluster, workload = testbed_workload_spec(
         config, cluster_gpus=args.gpus, n_jobs=args.jobs, target_load=args.load
     )
-    results = run_policies(names, cluster, specs, config)
+    results = run_policies(
+        names,
+        cluster,
+        None,
+        config,
+        workers=args.workers,
+        cache=_cache_from(args),
+        workload=workload,
+    )
     rows = [
         (
             name,
@@ -169,7 +215,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         format_table(
             ["Policy", "DSR", "Met", "Dropped"],
             rows,
-            title=f"{len(specs)} jobs on {cluster.total_gpus} GPUs",
+            title=f"{workload.trace_config.n_jobs} jobs on {cluster.total_gpus} GPUs",
         )
     )
     return 0
@@ -206,10 +252,17 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         return 0
     if artifact in ("fig6a", "fig6b", "fig8a"):
         if artifact == "fig8a":
-            run = experiments.fig8a_with_pollux(config=config)
+            run = experiments.fig8a_with_pollux(
+                config=config, workers=args.workers, cache=_cache_from(args)
+            )
         else:
             scale = "small" if artifact == "fig6a" else "large"
-            run = experiments.fig6_deadline_satisfaction(scale=scale, config=config)
+            run = experiments.fig6_deadline_satisfaction(
+                scale=scale,
+                config=config,
+                workers=args.workers,
+                cache=_cache_from(args),
+            )
         print(
             format_table(
                 ["Policy", "DSR", "Met", "Dropped"], run.rows(), title=run.label
@@ -217,7 +270,9 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         )
         return 0
     if artifact == "fig9":
-        rows = experiments.fig9_sources_of_improvement(config=config)
+        rows = experiments.fig9_sources_of_improvement(
+            config=config, workers=args.workers, cache=_cache_from(args)
+        )
         names = list(rows[0].ratios)
         print(
             format_table(
@@ -246,6 +301,24 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         )
         return 0
     raise ReproError(f"unhandled artifact {artifact!r}")  # pragma: no cover
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.parallel.cache import RunCache
+
+    cache = RunCache()
+    entries = cache.entries()
+    if args.wipe:
+        removed = cache.wipe()
+        print(f"removed {removed} cached runs from {cache.root}")
+        return 0
+    print(
+        format_table(
+            ["Cache", "Entries", "Bytes"],
+            [(str(cache.root), len(entries), cache.size_bytes())],
+        )
+    )
+    return 0
 
 
 def _cmd_trace_stats(args: argparse.Namespace) -> int:
@@ -321,6 +394,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_compare(args)
         if args.command == "experiment":
             return _cmd_experiment(args)
+        if args.command == "cache":
+            return _cmd_cache(args)
         if args.command == "trace-stats":
             return _cmd_trace_stats(args)
         if args.command == "make-trace":

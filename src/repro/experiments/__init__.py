@@ -8,7 +8,12 @@ factor, where crossovers sit — are what EXPERIMENTS.md tracks against the
 paper.
 """
 
-from repro.experiments.harness import ExperimentConfig, run_policies, testbed_workload
+from repro.experiments.harness import (
+    ExperimentConfig,
+    run_policies,
+    testbed_workload,
+    testbed_workload_spec,
+)
 from repro.experiments.report import format_series, format_table
 from repro.experiments.table1 import table1_models
 from repro.experiments.fig2_characteristics import (
@@ -28,6 +33,7 @@ from repro.experiments.fig12_overheads import (
     fig12b_scaling_overheads,
 )
 from repro.experiments.lambda_sweep import lambda_tightness_sweep
+from repro.experiments.multiseed import multiseed_satisfactory_ratios
 from repro.experiments.oracle import clairvoyant_max_admissions
 from repro.experiments.stats import SeedSweep, sweep_seeds
 
@@ -35,6 +41,7 @@ __all__ = [
     "ExperimentConfig",
     "run_policies",
     "testbed_workload",
+    "testbed_workload_spec",
     "format_series",
     "format_table",
     "table1_models",
@@ -52,6 +59,7 @@ __all__ = [
     "fig12a_profiling_overheads",
     "fig12b_scaling_overheads",
     "lambda_tightness_sweep",
+    "multiseed_satisfactory_ratios",
     "clairvoyant_max_admissions",
     "SeedSweep",
     "sweep_seeds",

@@ -11,7 +11,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.experiments.harness import ExperimentConfig, run_policies, testbed_workload
+from repro.experiments.harness import (
+    ExperimentConfig,
+    run_policies,
+    testbed_workload_spec,
+)
+from repro.parallel.cache import RunCache
 from repro.traces.deadlines import DeadlineAssigner
 
 __all__ = ["Fig10Result", "fig10_cluster_efficiency"]
@@ -37,10 +42,12 @@ def fig10_cluster_efficiency(
     n_jobs: int = 100,
     policies: tuple[str, ...] = FIG10_POLICIES,
     resolution_s: float = 1800.0,
+    workers: int | str = 1,
+    cache: RunCache | None = None,
 ) -> Fig10Result:
     """Run the Fig 10 fair comparison (loose deadlines, all jobs admitted)."""
     config = config or ExperimentConfig()
-    cluster, specs = testbed_workload(
+    cluster, workload = testbed_workload_spec(
         config,
         cluster_gpus=cluster_gpus,
         n_jobs=n_jobs,
@@ -48,7 +55,14 @@ def fig10_cluster_efficiency(
         deadlines=DeadlineAssigner(1.5, 1.5),
     )
     results = run_policies(
-        list(policies), cluster, specs, config, record_timeline=True
+        list(policies),
+        cluster,
+        None,
+        config,
+        record_timeline=True,
+        workers=workers,
+        cache=cache,
+        workload=workload,
     )
     hours: dict[str, tuple[float, ...]] = {}
     efficiency: dict[str, tuple[float, ...]] = {}

@@ -16,7 +16,13 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-from repro.experiments.harness import ExperimentConfig, run_policies, testbed_workload
+from repro.experiments.harness import (
+    ExperimentConfig,
+    policy_run_specs,
+    testbed_workload_spec,
+)
+from repro.parallel.cache import RunCache
+from repro.parallel.engine import run_specs
 
 __all__ = ["Fig11Row", "fig11_best_effort_mix"]
 
@@ -40,19 +46,31 @@ def fig11_best_effort_mix(
     n_jobs: int = 80,
     policies: tuple[str, ...] = FIG11_POLICIES,
     normalize_to: str = "gandiva",
+    workers: int | str = 1,
+    cache: RunCache | None = None,
 ) -> list[Fig11Row]:
-    """Sweep the best-effort share of the workload (Fig 11)."""
+    """Sweep the best-effort share of the workload (Fig 11).
+
+    The full (fraction x policy) grid runs as one batch through the
+    parallel engine.
+    """
     config = config or ExperimentConfig()
-    rows: list[Fig11Row] = []
+    names = list(policies)
+    cells = []
     for fraction in fractions:
-        cluster, specs = testbed_workload(
+        cluster, workload = testbed_workload_spec(
             config,
             cluster_gpus=cluster_gpus,
             n_jobs=n_jobs,
             target_load=1.5,
             best_effort_fraction=fraction,
         )
-        results = run_policies(list(policies), cluster, specs, config)
+        cells.extend(policy_run_specs(names, cluster, workload, config))
+    outcomes = run_specs(cells, workers=workers, cache=cache)
+    rows: list[Fig11Row] = []
+    for position, fraction in enumerate(fractions):
+        chunk = outcomes[position * len(names) : (position + 1) * len(names)]
+        results = dict(zip(names, chunk))
         slo = {
             name: result.deadline_satisfactory_ratio
             for name, result in results.items()

@@ -10,7 +10,9 @@ finds the one-worker-each schedule.
 
 from __future__ import annotations
 
+from collections.abc import Mapping
 from dataclasses import dataclass
+from types import MappingProxyType
 
 import numpy as np
 
@@ -20,7 +22,7 @@ from repro.core.slots import SlotGrid
 __all__ = ["Fig3Outcome", "fig3_edf_example"]
 
 #: The toy curve of Fig 3(a).
-TOY_CURVE: dict[int, float] = {1: 1.0, 2: 1.5}
+TOY_CURVE: Mapping[int, float] = MappingProxyType({1: 1.0, 2: 1.5})
 JOB_ITERATIONS = 3.0
 DEADLINE_A = 3.0
 DEADLINE_B = 3.5

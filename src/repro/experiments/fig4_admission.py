@@ -9,7 +9,9 @@ units of GPU time), exactly Fig 4(c).
 
 from __future__ import annotations
 
+from collections.abc import Mapping
 from dataclasses import dataclass
+from types import MappingProxyType
 
 import numpy as np
 
@@ -18,7 +20,7 @@ from repro.core.slots import SlotGrid
 
 __all__ = ["Fig4Result", "fig4_admission_example"]
 
-CURVE: dict[int, float] = {1: 1.0, 2: 1.5, 4: 2.0}
+CURVE: Mapping[int, float] = MappingProxyType({1: 1.0, 2: 1.5, 4: 2.0})
 
 
 @dataclass(frozen=True)

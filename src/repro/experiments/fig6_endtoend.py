@@ -19,8 +19,9 @@ from repro.experiments.harness import (
     ExperimentConfig,
     improvement_factors,
     run_policies,
-    testbed_workload,
+    testbed_workload_spec,
 )
+from repro.parallel.cache import RunCache
 from repro.sim.metrics import SimulationResult
 
 __all__ = ["Fig6Result", "fig6_deadline_satisfaction"]
@@ -73,22 +74,31 @@ def fig6_deadline_satisfaction(
     scale: str = "small",
     config: ExperimentConfig | None = None,
     record_timeline: bool = False,
+    workers: int | str = 1,
+    cache: RunCache | None = None,
 ) -> Fig6Result:
     """Run Fig 6(a) (``scale='small'``) or Fig 6(b) (``scale='large'``)."""
     config = config or ExperimentConfig()
     if scale == "small":
-        cluster, specs = testbed_workload(
+        cluster, workload = testbed_workload_spec(
             config, cluster_gpus=32, n_jobs=25, target_load=2.0
         )
         policies = list(SMALL_POLICIES)
     elif scale == "large":
-        cluster, specs = testbed_workload(
+        cluster, workload = testbed_workload_spec(
             config, cluster_gpus=128, n_jobs=195, target_load=2.0
         )
         policies = list(LARGE_POLICIES)
     else:
         raise ValueError(f"scale must be 'small' or 'large', got {scale!r}")
     results = run_policies(
-        policies, cluster, specs, config, record_timeline=record_timeline
+        policies,
+        cluster,
+        None,
+        config,
+        record_timeline=record_timeline,
+        workers=workers,
+        cache=cache,
+        workload=workload,
     )
     return Fig6Result(label=f"fig6-{scale}", results=results)

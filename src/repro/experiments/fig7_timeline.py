@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from repro.errors import ConfigurationError
 from repro.experiments.fig6_endtoend import fig6_deadline_satisfaction
 from repro.experiments.harness import ExperimentConfig
+from repro.parallel.cache import RunCache
 
 __all__ = ["Fig7Series", "fig7_timelines"]
 
@@ -35,10 +36,12 @@ def fig7_timelines(
     policies: tuple[str, ...] = ("elasticflow", "edf", "gandiva", "tiresias"),
     resolution_s: float = 1800.0,
     scale: str = "large",
+    workers: int | str = 1,
+    cache: RunCache | None = None,
 ) -> dict[str, Fig7Series]:
     """Regenerate the Fig 7 time series from the Fig 6 run."""
     outcome = fig6_deadline_satisfaction(
-        scale=scale, config=config, record_timeline=True
+        scale=scale, config=config, record_timeline=True, workers=workers, cache=cache
     )
     series: dict[str, Fig7Series] = {}
     for policy in policies:

@@ -7,6 +7,12 @@
     across six schedulers.  Shape targets: ElasticFlow wins everywhere; the
     deadline-unaware baselines barely move across traces; EDF beats them on
     the lightly loaded traces (#9, #10) and collapses on the loaded ones.
+
+The trace sweep fans out as one flat (trace x policy) grid through the
+parallel engine, so ``workers > 1`` overlaps whole traces, not just the
+policies within one.  Note Fig 8(a) shares its workload description with
+Fig 6(b): when both run against the same cache the six non-Pollux cells
+are hits.
 """
 
 from __future__ import annotations
@@ -16,25 +22,38 @@ from dataclasses import dataclass
 from repro.cluster.topology import ClusterSpec
 from repro.errors import ConfigurationError
 from repro.experiments.fig6_endtoend import LARGE_POLICIES, Fig6Result
-from repro.experiments.harness import ExperimentConfig, run_policies
+from repro.experiments.harness import (
+    ExperimentConfig,
+    policy_run_specs,
+    run_policies,
+    testbed_workload_spec,
+)
+from repro.parallel.cache import RunCache
+from repro.parallel.engine import run_specs
+from repro.parallel.seeds import spawn_seed
+from repro.parallel.spec import WorkloadSpec
 from repro.traces.philly import philly_config
-from repro.traces.synthetic import PRODUCTION_CLUSTERS, generate_trace
-from repro.traces.workload import build_jobs
+from repro.traces.synthetic import PRODUCTION_CLUSTERS
 
 __all__ = ["Fig8bRow", "fig8a_with_pollux", "fig8b_trace_sweep"]
 
 
-def fig8a_with_pollux(*, config: ExperimentConfig | None = None) -> Fig6Result:
+def fig8a_with_pollux(
+    *,
+    config: ExperimentConfig | None = None,
+    workers: int | str = 1,
+    cache: RunCache | None = None,
+) -> Fig6Result:
     """Fig 8(a): the large testbed workload with Pollux included."""
     config = config or ExperimentConfig()
     # Fig 8a replays the 195-job Fig 6(b) workload with Pollux included.
-    from repro.experiments.harness import testbed_workload
-
-    cluster, specs = testbed_workload(
+    cluster, workload = testbed_workload_spec(
         config, cluster_gpus=128, n_jobs=195, target_load=2.0
     )
     policies = list(LARGE_POLICIES) + ["pollux"]
-    results = run_policies(policies, cluster, specs, config)
+    results = run_policies(
+        policies, cluster, None, config, workers=workers, cache=cache, workload=workload
+    )
     return Fig6Result(label="fig8a", results=results)
 
 
@@ -55,6 +74,8 @@ def fig8b_trace_sweep(
     policies: tuple[str, ...] = tuple(LARGE_POLICIES),
     include_philly: bool = True,
     trace_indices: tuple[int, ...] | None = None,
+    workers: int | str = 1,
+    cache: RunCache | None = None,
 ) -> list[Fig8bRow]:
     """Fig 8(b): sweep the ten production traces (optionally scaled down).
 
@@ -66,6 +87,12 @@ def fig8b_trace_sweep(
         policies: Schedulers to compare.
         include_philly: Append the Philly-like public trace.
         trace_indices: Subset of the ten traces to run (default: all).
+        workers: Fan-out width over the full (trace x policy) grid.
+        cache: Optional content-addressed run cache.
+
+    Per-trace seeds are spawned from the master seed keyed by the *trace
+    name* (stable under subsetting and ordering; the old ``seed + index``
+    arithmetic collided across adjacent traces).
     """
     config = config or ExperimentConfig()
     if not 0 < scale <= 1.0:
@@ -75,23 +102,39 @@ def fig8b_trace_sweep(
         configs = [configs[i] for i in trace_indices]
     if include_philly:
         configs.append(philly_config())
-    rows: list[Fig8bRow] = []
-    for index, trace_config in enumerate(configs):
+
+    points: list[tuple[str, ClusterSpec, WorkloadSpec]] = []
+    for trace_config in configs:
         scaled = trace_config.scaled(scale) if scale < 1.0 else trace_config
-        trace = generate_trace(scaled, seed=config.seed + index)
-        specs = build_jobs(trace, config.throughput, seed=config.seed + index + 1)
+        workload = WorkloadSpec.generative(
+            scaled,
+            trace_seed=spawn_seed(config.seed, "fig8b", trace_config.name, "trace"),
+            jobs_seed=spawn_seed(config.seed, "fig8b", trace_config.name, "jobs"),
+        )
         cluster = ClusterSpec(
             n_nodes=max(1, scaled.cluster_gpus // 8), gpus_per_node=8
         )
-        results = run_policies(list(policies), cluster, specs, config)
+        points.append((trace_config.name, cluster, workload))
+
+    names = list(policies)
+    cells = [
+        spec
+        for _, cluster, workload in points
+        for spec in policy_run_specs(names, cluster, workload, config)
+    ]
+    outcomes = run_specs(cells, workers=workers, cache=cache)
+
+    rows: list[Fig8bRow] = []
+    for position, (trace_name, _, workload) in enumerate(points):
+        chunk = outcomes[position * len(names) : (position + 1) * len(names)]
         rows.append(
             Fig8bRow(
-                trace=trace_config.name,
-                cluster_gpus=scaled.cluster_gpus,
-                n_jobs=len(trace),
+                trace=trace_name,
+                cluster_gpus=workload.trace_config.cluster_gpus,
+                n_jobs=workload.trace_config.n_jobs,
                 ratios={
                     name: result.deadline_satisfactory_ratio
-                    for name, result in results.items()
+                    for name, result in zip(names, chunk)
                 },
             )
         )

@@ -14,7 +14,13 @@ from dataclasses import dataclass
 
 from repro.cluster.topology import ClusterSpec
 from repro.errors import ConfigurationError
-from repro.experiments.harness import ExperimentConfig, run_policies, testbed_workload
+from repro.experiments.harness import (
+    ExperimentConfig,
+    policy_run_specs,
+    testbed_workload_spec,
+)
+from repro.parallel.cache import RunCache
+from repro.parallel.engine import run_specs
 
 __all__ = ["Fig9Row", "fig9_sources_of_improvement"]
 
@@ -36,31 +42,45 @@ def fig9_sources_of_improvement(
     n_jobs: int = 120,
     workload_gpus: int = 64,
     target_load: float = 1.4,
+    workers: int | str = 1,
+    cache: RunCache | None = None,
 ) -> list[Fig9Row]:
     """Sweep cluster sizes under a fixed workload (Fig 9).
 
     The workload is generated once against ``workload_gpus`` so the offered
-    load in absolute GPU-hours is identical at every cluster size.
+    load in absolute GPU-hours is identical at every cluster size; the
+    (size x policy) grid fans out as one batch through the parallel engine.
     """
     config = config or ExperimentConfig()
     if any(size % 8 for size in cluster_sizes):
         raise ConfigurationError("cluster sizes must be multiples of 8")
-    _, specs = testbed_workload(
+    _, workload = testbed_workload_spec(
         config,
         cluster_gpus=workload_gpus,
         n_jobs=n_jobs,
         target_load=target_load,
     )
+    names = list(ABLATION_POLICIES)
+    cells = [
+        spec
+        for size in cluster_sizes
+        for spec in policy_run_specs(
+            names,
+            ClusterSpec(n_nodes=size // 8, gpus_per_node=8),
+            workload,
+            config,
+        )
+    ]
+    outcomes = run_specs(cells, workers=workers, cache=cache)
     rows: list[Fig9Row] = []
-    for size in cluster_sizes:
-        cluster = ClusterSpec(n_nodes=size // 8, gpus_per_node=8)
-        results = run_policies(list(ABLATION_POLICIES), cluster, specs, config)
+    for position, size in enumerate(cluster_sizes):
+        chunk = outcomes[position * len(names) : (position + 1) * len(names)]
         rows.append(
             Fig9Row(
                 cluster_gpus=size,
                 ratios={
                     name: result.deadline_satisfactory_ratio
-                    for name, result in results.items()
+                    for name, result in zip(names, chunk)
                 },
             )
         )

@@ -1,23 +1,43 @@
-"""Shared experiment machinery: workload construction and policy sweeps."""
+"""Shared experiment machinery: workload construction and policy sweeps.
+
+``run_policies`` is the single chokepoint every figure driver goes
+through; since PR 4 it routes the (policy x workload) grid through the
+:mod:`repro.parallel` fan-out engine, so every driver inherits the
+``workers=`` knob and the content-addressed run cache without further
+plumbing.  Child seeds derive from the master seed via the documented
+seed-spawn scheme (:func:`repro.parallel.seeds.spawn_seed`); the old
+``seed + 1`` arithmetic collided across adjacent sweep points.
+"""
 
 from __future__ import annotations
 
 import math
+
 from dataclasses import dataclass, field
 
 from repro.baselines.registry import make_policy
 from repro.cluster.topology import ClusterSpec
 from repro.core.job import JobSpec
 from repro.errors import ConfigurationError
+from repro.parallel.cache import RunCache
+from repro.parallel.engine import run_specs
+from repro.parallel.seeds import spawn_seed
+from repro.parallel.spec import PolicySpec, RunSpec, WorkloadSpec
 from repro.profiles.throughput import ThroughputModel
 from repro.sim.engine import Simulator
 from repro.sim.executor import ElasticExecutor
 from repro.sim.metrics import SimulationResult
 from repro.traces.deadlines import DeadlineAssigner
-from repro.traces.synthetic import ClusterTraceConfig, generate_trace
-from repro.traces.workload import build_jobs
+from repro.traces.synthetic import ClusterTraceConfig
 
-__all__ = ["ExperimentConfig", "testbed_workload", "run_policies"]
+__all__ = [
+    "ExperimentConfig",
+    "testbed_workload",
+    "testbed_workload_spec",
+    "policy_run_specs",
+    "run_policies",
+    "improvement_factors",
+]
 
 
 @dataclass
@@ -56,15 +76,76 @@ class ExperimentConfig:
             return ElasticExecutor()
         return ElasticExecutor.disabled()
 
-    def policy(self, name: str):
+    def policy_spec(self, name: str) -> PolicySpec:
+        """The picklable policy description the fan-out engine ships."""
         if name in ("elasticflow", "edf+es"):
-            return make_policy(
+            return PolicySpec.of(
                 name,
                 safety_margin=self.safety_margin,
                 deadline_padding_s=self.deadline_padding_s,
                 stability_threshold=self.stability_threshold,
             )
-        return make_policy(name)
+        return PolicySpec.of(name)
+
+    def policy(self, name: str):
+        spec = self.policy_spec(name)
+        return make_policy(spec.name, **dict(spec.knobs))
+
+
+def _testbed_trace_config(
+    *,
+    cluster_gpus: int,
+    n_jobs: int,
+    target_load: float,
+    duration_median_s: float,
+) -> ClusterTraceConfig:
+    if cluster_gpus % 8:
+        raise ConfigurationError(
+            f"cluster_gpus must be a multiple of 8 (DGX nodes), got {cluster_gpus}"
+        )
+    return ClusterTraceConfig(
+        name=f"testbed-{cluster_gpus}g-{n_jobs}j",
+        cluster_gpus=cluster_gpus,
+        n_jobs=n_jobs,
+        target_load=target_load,
+        duration_median_s=duration_median_s,
+        duration_sigma=1.2,
+    )
+
+
+def testbed_workload_spec(
+    config: ExperimentConfig,
+    *,
+    cluster_gpus: int,
+    n_jobs: int,
+    target_load: float = 1.2,
+    duration_median_s: float = 3600.0,
+    deadlines: DeadlineAssigner | None = None,
+    best_effort_fraction: float = 0.0,
+) -> tuple[ClusterSpec, WorkloadSpec]:
+    """The Section 6.2 testbed workload as a fingerprintable description.
+
+    Child seeds are spawned from the master seed with the labelled streams
+    ``("testbed", "trace")`` and ``("testbed", "jobs")`` — never by seed
+    arithmetic, which aliased streams across adjacent sweep points (the
+    jobs stream of ``seed`` equalled the trace stream of ``seed - 1`` under
+    the old ``seed + 1`` scheme).
+    """
+    trace_config = _testbed_trace_config(
+        cluster_gpus=cluster_gpus,
+        n_jobs=n_jobs,
+        target_load=target_load,
+        duration_median_s=duration_median_s,
+    )
+    workload = WorkloadSpec.generative(
+        trace_config,
+        trace_seed=spawn_seed(config.seed, "testbed", "trace"),
+        jobs_seed=spawn_seed(config.seed, "testbed", "jobs"),
+        deadlines=deadlines,
+        best_effort_fraction=best_effort_fraction,
+    )
+    cluster = ClusterSpec(n_nodes=cluster_gpus // 8, gpus_per_node=8)
+    return cluster, workload
 
 
 def testbed_workload(
@@ -80,62 +161,122 @@ def testbed_workload(
     """Build the Section 6.2 testbed-style workload.
 
     The paper's testbed runs replay a slice of one production trace on 32 or
-    128 GPUs; this generates the equivalent synthetic slice.
+    128 GPUs; this generates the equivalent synthetic slice (materialised
+    from :func:`testbed_workload_spec`).
     """
-    if cluster_gpus % 8:
-        raise ConfigurationError(
-            f"cluster_gpus must be a multiple of 8 (DGX nodes), got {cluster_gpus}"
-        )
-    trace_config = ClusterTraceConfig(
-        name=f"testbed-{cluster_gpus}g-{n_jobs}j",
+    cluster, workload = testbed_workload_spec(
+        config,
         cluster_gpus=cluster_gpus,
         n_jobs=n_jobs,
         target_load=target_load,
         duration_median_s=duration_median_s,
-        duration_sigma=1.2,
-    )
-    trace = generate_trace(trace_config, seed=config.seed)
-    specs = build_jobs(
-        trace,
-        config.throughput,
-        seed=config.seed + 1,
         deadlines=deadlines,
         best_effort_fraction=best_effort_fraction,
     )
-    cluster = ClusterSpec(n_nodes=cluster_gpus // 8, gpus_per_node=8)
-    return cluster, specs
+    return cluster, workload.materialize(config.throughput)
+
+
+def policy_run_specs(
+    policy_names: list[str],
+    cluster: ClusterSpec,
+    workload: WorkloadSpec,
+    config: ExperimentConfig,
+    *,
+    record_timeline: bool = False,
+) -> list[RunSpec]:
+    """One engine cell per policy over a shared workload description."""
+    throughput = config.throughput
+    return [
+        RunSpec(
+            workload=workload,
+            policy=config.policy_spec(name),
+            cluster=cluster,
+            slot_seconds=config.slot_seconds,
+            overheads_enabled=config.overheads_enabled,
+            record_timeline=record_timeline,
+            interconnect=throughput.interconnect,
+            power_of_two=throughput.power_of_two,
+        )
+        for name in policy_names
+    ]
+
+
+def _reconstructible(config: ExperimentConfig) -> bool:
+    """Whether the shared model can be rebuilt from plain data in a worker.
+
+    A stateful planning model (e.g. ``OnlineThroughputModel``) carries
+    runtime corrections no :class:`RunSpec` can describe, so those runs
+    stay on the in-process path.
+    """
+    return type(config.throughput) is ThroughputModel
 
 
 def run_policies(
     policy_names: list[str],
     cluster: ClusterSpec,
-    specs: list[JobSpec],
+    specs: list[JobSpec] | None,
     config: ExperimentConfig,
     *,
     record_timeline: bool = False,
+    workers: int | str = 1,
+    cache: RunCache | None = None,
+    workload: WorkloadSpec | None = None,
 ) -> dict[str, SimulationResult]:
-    """Replay the identical workload under every named policy."""
+    """Replay the identical workload under every named policy.
+
+    Args:
+        policy_names: Schedulers to run, one engine cell each.
+        cluster: Cluster shape shared by all cells.
+        specs: The materialised workload; may be ``None`` when a generative
+            ``workload`` description is supplied instead.
+        config: Shared experiment knobs.
+        record_timeline: Keep per-event cluster samples.
+        workers: Fan-out width — a positive int or ``"auto"`` (one worker
+            per core).  ``1`` is the bit-identical serial fallback.
+        cache: Optional content-addressed run cache; hits skip simulation.
+        workload: Generative workload description matching ``specs``;
+            preferred for fingerprinting (compact keys) when available.
+    """
     if not policy_names:
         raise ConfigurationError("policy_names must not be empty")
-    results: dict[str, SimulationResult] = {}
-    for name in policy_names:
-        simulator = Simulator(
-            cluster,
-            config.policy(name),
-            specs,
-            throughput=config.throughput,
-            slot_seconds=config.slot_seconds,
-            executor=config.executor(),
-            record_timeline=record_timeline,
-        )
-        results[name] = simulator.run()
-    return results
+    if specs is None and workload is None:
+        raise ConfigurationError("run_policies needs specs or a workload")
+    if not _reconstructible(config):
+        # Live-model fallback: run in this process against the shared
+        # stateful model; no fingerprint can describe it, so no cache.
+        if specs is None:
+            specs = workload.materialize(config.throughput)
+        results: dict[str, SimulationResult] = {}
+        for name in policy_names:
+            simulator = Simulator(
+                cluster,
+                config.policy(name),
+                specs,
+                throughput=config.throughput,
+                slot_seconds=config.slot_seconds,
+                executor=config.executor(),
+                record_timeline=record_timeline,
+            )
+            results[name] = simulator.run()
+        return results
+    description = workload if workload is not None else WorkloadSpec.inline(specs)
+    cells = policy_run_specs(
+        policy_names, cluster, description, config, record_timeline=record_timeline
+    )
+    outcomes = run_specs(cells, workers=workers, cache=cache)
+    return dict(zip(policy_names, outcomes))
 
 
 def improvement_factors(
     results: dict[str, SimulationResult], reference: str = "elasticflow"
 ) -> dict[str, float]:
-    """How many times more deadlines the reference meets than each baseline."""
+    """How many times more deadlines the reference meets than each baseline.
+
+    A baseline that meets zero deadlines yields ``math.inf`` (the reference
+    is infinitely better); serialise these dictionaries with
+    :func:`repro.sim.serialize.sanitize_for_json`, which encodes ``inf`` as
+    the string ``"inf"`` so the output stays strict JSON.
+    """
     if reference not in results:
         raise ConfigurationError(f"no result for reference policy {reference!r}")
     reference_met = results[reference].deadlines_met

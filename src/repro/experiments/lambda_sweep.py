@@ -17,7 +17,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.experiments.harness import ExperimentConfig, run_policies, testbed_workload
+from repro.experiments.harness import (
+    ExperimentConfig,
+    policy_run_specs,
+    testbed_workload_spec,
+)
+from repro.parallel.cache import RunCache
+from repro.parallel.engine import run_specs
 from repro.traces.deadlines import DeadlineAssigner
 
 __all__ = ["LambdaSweepRow", "lambda_tightness_sweep"]
@@ -41,25 +47,36 @@ def lambda_tightness_sweep(
     n_jobs: int = 80,
     target_load: float = 1.3,
     policies: tuple[str, ...] = SWEEP_POLICIES,
+    workers: int | str = 1,
+    cache: RunCache | None = None,
 ) -> list[LambdaSweepRow]:
-    """Replay the same trace with every deadline at ``lambda x duration``."""
+    """Replay the same trace with every deadline at ``lambda x duration``.
+
+    The full (tightness x policy) grid runs as one batch through the
+    parallel engine.
+    """
     config = config or ExperimentConfig()
-    rows: list[LambdaSweepRow] = []
+    names = list(policies)
+    cells = []
     for tightness in tightness_values:
-        cluster, specs = testbed_workload(
+        cluster, workload = testbed_workload_spec(
             config,
             cluster_gpus=cluster_gpus,
             n_jobs=n_jobs,
             target_load=target_load,
             deadlines=DeadlineAssigner(tightness, tightness),
         )
-        results = run_policies(list(policies), cluster, specs, config)
+        cells.extend(policy_run_specs(names, cluster, workload, config))
+    outcomes = run_specs(cells, workers=workers, cache=cache)
+    rows: list[LambdaSweepRow] = []
+    for position, tightness in enumerate(tightness_values):
+        chunk = outcomes[position * len(names) : (position + 1) * len(names)]
         rows.append(
             LambdaSweepRow(
                 tightness=tightness,
                 ratios={
                     name: result.deadline_satisfactory_ratio
-                    for name, result in results.items()
+                    for name, result in zip(names, chunk)
                 },
             )
         )

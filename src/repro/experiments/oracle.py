@@ -9,23 +9,34 @@ built on the same planner could promise.  Comparing ElasticFlow's greedy
 arrival-order decisions against it measures the price of not knowing the
 future.
 
-Exponential in the job count; intended for n <= 14.
+Exponential in the job count; intended for n <= 14.  ``workers > 1``
+shards each subset size's combinations across a spawn pool; the reported
+witness is always the *lowest-index* feasible combination in enumeration
+order and ``subsets_checked`` is the serial-equivalent effort, so serial
+and parallel scans return identical results.
 """
 
 from __future__ import annotations
 
+import math
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from itertools import combinations
+from itertools import combinations, islice
+from multiprocessing import get_context
 
 from repro.core.admission import AdmissionController, planning_job
 from repro.core.job import Job, JobSpec
 from repro.core.slots import SlotGrid
 from repro.errors import ConfigurationError
+from repro.parallel.engine import resolve_workers
 from repro.profiles.throughput import ThroughputModel
 
 __all__ = ["OracleResult", "clairvoyant_max_admissions"]
 
 _MAX_JOBS = 14
+#: Below this many combinations at a size, pool startup costs more than the
+#: scan itself; stay serial.
+_MIN_PARALLEL_COMBOS = 64
 
 
 @dataclass(frozen=True)
@@ -35,12 +46,94 @@ class OracleResult:
     Attributes:
         max_admissions: Size of the largest feasible subset.
         best_subset: One witness subset (job ids, sorted).
-        subsets_checked: Search effort.
+        subsets_checked: Search effort (serial-equivalent count).
     """
 
     max_admissions: int
     best_subset: tuple[str, ...]
     subsets_checked: int
+
+
+def _subset_feasible(
+    subset: tuple[JobSpec, ...],
+    cluster_gpus: int,
+    throughput: ThroughputModel,
+    slot_seconds: float,
+    now: float,
+) -> bool:
+    controller = AdmissionController(cluster_gpus)
+    deadlines = [spec.effective_deadline for spec in subset]
+    grid = SlotGrid.for_jobs(now, deadlines, slot_seconds)
+    infos = []
+    for spec in subset:
+        job = Job(spec=spec)
+        curve = throughput.curve(spec.model_name, spec.global_batch_size)
+        infos.append(planning_job(job, curve, grid, cluster_gpus))
+    return controller.plan_shares(infos, grid).admitted
+
+
+def _scan_chunk(
+    args: tuple,
+) -> int | None:
+    """Worker entrypoint: lowest feasible combination index in [start, stop).
+
+    Rebuilds the throughput model from its picklable description; the
+    combination stream is re-derived in the worker (enumeration order is
+    fixed by :func:`itertools.combinations`), so only plain data crosses
+    the process boundary.
+    """
+    (
+        slo,
+        size,
+        start,
+        stop,
+        cluster_gpus,
+        slot_seconds,
+        now,
+        interconnect,
+        power_of_two,
+    ) = args
+    throughput = ThroughputModel(interconnect, power_of_two=power_of_two)
+    stream = islice(combinations(slo, size), start, stop)
+    for offset, subset in enumerate(stream):
+        if _subset_feasible(subset, cluster_gpus, throughput, slot_seconds, now):
+            return start + offset
+    return None
+
+
+def _first_feasible_parallel(
+    slo: list[JobSpec],
+    size: int,
+    total: int,
+    workers: int,
+    cluster_gpus: int,
+    throughput: ThroughputModel,
+    slot_seconds: float,
+    now: float,
+) -> int | None:
+    """Lowest feasible combination index at one size, sharded over a pool."""
+    n_chunks = min(workers, total)
+    bounds = [round(i * total / n_chunks) for i in range(n_chunks + 1)]
+    tasks = [
+        (
+            tuple(slo),
+            size,
+            bounds[i],
+            bounds[i + 1],
+            cluster_gpus,
+            slot_seconds,
+            now,
+            throughput.interconnect,
+            throughput.power_of_two,
+        )
+        for i in range(n_chunks)
+        if bounds[i] < bounds[i + 1]
+    ]
+    with ProcessPoolExecutor(
+        max_workers=len(tasks), mp_context=get_context("spawn")
+    ) as pool:
+        witnesses = [w for w in pool.map(_scan_chunk, tasks) if w is not None]
+    return min(witnesses) if witnesses else None
 
 
 def clairvoyant_max_admissions(
@@ -50,6 +143,7 @@ def clairvoyant_max_admissions(
     *,
     slot_seconds: float = 600.0,
     now: float = 0.0,
+    workers: int | str = 1,
 ) -> OracleResult:
     """Largest subset of jobs whose deadlines are jointly guaranteeable.
 
@@ -66,30 +160,43 @@ def clairvoyant_max_admissions(
         raise ConfigurationError(
             f"oracle search is exponential; got {len(specs)} jobs (max {_MAX_JOBS})"
         )
+    worker_count = resolve_workers(workers)
+    # A stateful model cannot be rebuilt in a worker from plain data.
+    if type(throughput) is not ThroughputModel:
+        worker_count = 1
     slo = [spec for spec in specs if not spec.best_effort]
-    controller = AdmissionController(cluster_gpus)
     checked = 0
-
-    def feasible(subset: tuple[JobSpec, ...]) -> bool:
-        nonlocal checked
-        checked += 1
-        deadlines = [spec.effective_deadline for spec in subset]
-        grid = SlotGrid.for_jobs(now, deadlines, slot_seconds)
-        infos = []
-        for spec in subset:
-            job = Job(spec=spec)
-            curve = throughput.curve(spec.model_name, spec.global_batch_size)
-            infos.append(planning_job(job, curve, grid, cluster_gpus))
-        return controller.plan_shares(infos, grid).admitted
 
     # Feasibility is downward-closed (removing a job never hurts), so scan
     # subset sizes from largest to smallest and stop at the first success.
     for size in range(len(slo), 0, -1):
-        for subset in combinations(slo, size):
-            if feasible(subset):
-                return OracleResult(
-                    max_admissions=size,
-                    best_subset=tuple(sorted(spec.job_id for spec in subset)),
-                    subsets_checked=checked,
-                )
+        total = math.comb(len(slo), size)
+        witness: int | None = None
+        if worker_count > 1 and total >= _MIN_PARALLEL_COMBOS:
+            witness = _first_feasible_parallel(
+                slo,
+                size,
+                total,
+                worker_count,
+                cluster_gpus,
+                throughput,
+                slot_seconds,
+                now,
+            )
+        else:
+            for index, subset in enumerate(combinations(slo, size)):
+                if _subset_feasible(
+                    subset, cluster_gpus, throughput, slot_seconds, now
+                ):
+                    witness = index
+                    break
+        if witness is not None:
+            checked += witness + 1
+            chosen = next(islice(combinations(slo, size), witness, witness + 1))
+            return OracleResult(
+                max_admissions=size,
+                best_subset=tuple(sorted(spec.job_id for spec in chosen)),
+                subsets_checked=checked,
+            )
+        checked += total
     return OracleResult(max_admissions=0, best_subset=(), subsets_checked=checked)

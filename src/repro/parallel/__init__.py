@@ -1,0 +1,44 @@
+"""Deterministic fan-out engine for the experiment grid.
+
+The paper's evaluation is a grid of *independent* simulations — policy x
+trace x seed x sweep point.  This package shards that grid across worker
+processes and memoises every completed cell in a content-addressed run
+cache, so figure suites parallelise across cores and re-runs after
+unrelated edits are pure cache hits.
+
+The moving parts:
+
+- :mod:`repro.parallel.seeds` — the documented seed-spawn scheme every
+  sweep derives child seeds from (no more ``seed + 1`` collisions).
+- :mod:`repro.parallel.spec` — :class:`RunSpec`, the picklable description
+  a worker process reconstructs a complete simulation from (trace config,
+  policy knobs, cluster shape; never live objects).
+- :mod:`repro.parallel.fingerprint` — canonical content fingerprints over
+  run specs, salted with a code-version string.
+- :mod:`repro.parallel.cache` — the ``.repro-cache/`` store keyed by those
+  fingerprints.
+- :mod:`repro.parallel.engine` — the executor: cache lookup, in-batch
+  deduplication, process-pool fan-out with a bit-identical serial
+  fallback, deterministic merge.
+"""
+
+from repro.parallel.cache import RunCache, default_cache_dir
+from repro.parallel.engine import ExecutionReport, resolve_workers, run_specs, run_specs_report
+from repro.parallel.fingerprint import CODE_VERSION, fingerprint_run
+from repro.parallel.seeds import spawn_seed
+from repro.parallel.spec import PolicySpec, RunSpec, WorkloadSpec
+
+__all__ = [
+    "CODE_VERSION",
+    "ExecutionReport",
+    "PolicySpec",
+    "RunCache",
+    "RunSpec",
+    "WorkloadSpec",
+    "default_cache_dir",
+    "fingerprint_run",
+    "resolve_workers",
+    "run_specs",
+    "run_specs_report",
+    "spawn_seed",
+]

@@ -1,0 +1,164 @@
+"""The content-addressed run cache under ``.repro-cache/``.
+
+Layout: one JSON envelope per completed run at
+``<root>/<fp[:2]>/<fp>.json``, where ``fp`` is the spec's SHA-256
+fingerprint (two-character fan-out keeps directories small on big
+sweeps).  The envelope stores the fingerprint, the salt, the full spec
+payload (for debuggability — ``repro cache`` can explain what a hit was
+keyed on), and the canonical result encoding from
+:mod:`repro.sim.serialize`.
+
+Writes are atomic (temp file + ``os.replace``) so a worker crash never
+leaves a half-written entry, and every *completed* cell of a sweep that
+died survives for the next attempt — resuming is just re-running the
+sweep.  A corrupt or salt-mismatched entry reads as a miss and is
+discarded.
+
+Wipe the cache with ``repro cache --wipe`` or simply ``rm -rf
+.repro-cache`` — entries carry no state beyond the files themselves.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.parallel.fingerprint import CODE_VERSION, fingerprint_run
+from repro.sim.metrics import SimulationResult
+from repro.sim.serialize import result_from_dict, result_to_dict
+
+__all__ = ["RunCache", "default_cache_dir"]
+
+_ENV_VAR = "REPRO_CACHE_DIR"
+_DEFAULT_DIR = ".repro-cache"
+_ENVELOPE_SCHEMA = 1
+
+
+def default_cache_dir() -> Path:
+    """The cache root: ``$REPRO_CACHE_DIR`` or ``./.repro-cache``."""
+    return Path(os.environ.get(_ENV_VAR) or _DEFAULT_DIR)
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters for one cache handle."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    evicted_corrupt: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "evicted_corrupt": self.evicted_corrupt,
+        }
+
+
+@dataclass
+class RunCache:
+    """Content-addressed persistence for :class:`SimulationResult`.
+
+    Args:
+        root: Cache directory; defaults to :func:`default_cache_dir`.
+        salt: Code-version salt folded into every fingerprint.  Changing
+            it orphans all existing entries (they simply stop matching).
+    """
+
+    root: Path = field(default_factory=default_cache_dir)
+    salt: str = CODE_VERSION
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        self.root = Path(self.root)
+
+    # ------------------------------------------------------------- addressing
+    def fingerprint(self, spec) -> str:
+        return fingerprint_run(spec, salt=self.salt)
+
+    def path_for(self, fingerprint: str) -> Path:
+        return self.root / fingerprint[:2] / f"{fingerprint}.json"
+
+    # ------------------------------------------------------------------ reads
+    def get(self, spec) -> SimulationResult | None:
+        """The cached result for a spec, or ``None`` on a miss."""
+        fingerprint = self.fingerprint(spec)
+        path = self.path_for(fingerprint)
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError:
+            self.stats.misses += 1
+            return None
+        try:
+            envelope = json.loads(text)
+            if (
+                envelope["schema"] != _ENVELOPE_SCHEMA
+                or envelope["fingerprint"] != fingerprint
+                or envelope["salt"] != self.salt
+            ):
+                raise ValueError("envelope does not match its address")
+            result = result_from_dict(envelope["result"])
+        except Exception:
+            # A truncated write, a hand-edited file, or an entry written by
+            # an incompatible version: discard it and report a miss.
+            self.stats.misses += 1
+            self.stats.evicted_corrupt += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        self.stats.hits += 1
+        return result
+
+    # ----------------------------------------------------------------- writes
+    def put(self, spec, result: SimulationResult) -> Path:
+        """Persist one completed run atomically; returns the entry path."""
+        fingerprint = self.fingerprint(spec)
+        path = self.path_for(fingerprint)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        envelope = {
+            "schema": _ENVELOPE_SCHEMA,
+            "fingerprint": fingerprint,
+            "salt": self.salt,
+            "spec": spec.payload(),
+            "result": result_to_dict(result),
+        }
+        text = json.dumps(envelope, sort_keys=True, separators=(",", ":"))
+        tmp = path.parent / f".tmp-{os.getpid()}-{fingerprint[:16]}"
+        tmp.write_text(text, encoding="utf-8")
+        os.replace(tmp, path)
+        self.stats.stores += 1
+        return path
+
+    # ------------------------------------------------------------ maintenance
+    def entries(self) -> list[Path]:
+        """Every entry file currently in the cache."""
+        if not self.root.is_dir():
+            return []
+        return sorted(self.root.glob("*/*.json"))
+
+    def size_bytes(self) -> int:
+        return sum(path.stat().st_size for path in self.entries())
+
+    def wipe(self) -> int:
+        """Delete every entry (and empty shard directories); returns count."""
+        removed = 0
+        for path in self.entries():
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        if self.root.is_dir():
+            for shard in sorted(self.root.iterdir()):
+                if shard.is_dir():
+                    try:
+                        shard.rmdir()
+                    except OSError:
+                        pass
+        return removed

@@ -1,0 +1,199 @@
+"""The fan-out executor: cache, dedup, process pool, deterministic merge.
+
+``run_specs`` takes the experiment grid as a flat list of
+:class:`~repro.parallel.spec.RunSpec` cells and returns their results *in
+input order*, regardless of how they were obtained.  Per cell, in order of
+preference:
+
+1. **batch dedup** — identical fingerprints inside one batch execute once
+   (Fig 8a replays the Fig 6b workload; the shared cells are free);
+2. **cache hit** — a previous run persisted the identical spec;
+3. **execution** — serial in-process when ``workers == 1``, otherwise a
+   spawn-based :class:`ProcessPoolExecutor`.
+
+Determinism contract: a worker rebuilds the whole simulation from the
+picklable spec (fresh interpreter, fresh RNGs derived from the seeds in
+the spec, fresh planning caches), so the two execution paths produce
+byte-identical results — ``workers=N`` only changes wall-clock time, never
+a number.  Completed cells are cached *as they finish*; when one cell of a
+sweep crashes, everything that completed is already on disk and the next
+attempt resumes from there.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from multiprocessing import get_context
+from typing import Sequence
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.parallel.cache import RunCache
+from repro.parallel.fingerprint import fingerprint_run
+from repro.parallel.spec import RunSpec
+from repro.sim.metrics import SimulationResult
+
+__all__ = ["ExecutionReport", "resolve_workers", "run_specs", "run_specs_report"]
+
+
+def resolve_workers(workers: int | str) -> int:
+    """Normalise a ``workers`` knob: a positive int or ``"auto"``."""
+    if workers == "auto":
+        return max(1, os.cpu_count() or 1)
+    if isinstance(workers, float) and not workers.is_integer():
+        raise ConfigurationError(
+            f"workers must be a positive integer or 'auto', got {workers!r}"
+        )
+    try:
+        count = int(workers)
+    except (TypeError, ValueError):
+        raise ConfigurationError(
+            f"workers must be a positive integer or 'auto', got {workers!r}"
+        ) from None
+    if count < 1:
+        raise ConfigurationError(f"workers must be >= 1, got {count}")
+    return count
+
+
+@dataclass(frozen=True)
+class ExecutionReport:
+    """How one batch was satisfied (for benchmarks and tests).
+
+    Attributes:
+        results: One result per input spec, in input order.
+        fingerprints: The content fingerprint of each input spec.
+        cache_hits: Unique cells answered from the run cache.
+        deduplicated: Input cells that aliased an earlier cell in the batch.
+        executed: Unique cells that actually simulated.
+        workers: Resolved worker count used for execution.
+    """
+
+    results: tuple[SimulationResult, ...]
+    fingerprints: tuple[str, ...]
+    cache_hits: int
+    deduplicated: int
+    executed: int
+    workers: int
+
+
+def _execute_spec(spec: RunSpec) -> SimulationResult:
+    """The worker entrypoint (top-level, importable under spawn)."""
+    return spec.execute()
+
+
+def _execute_pool(
+    pending: list[tuple[str, RunSpec]],
+    workers: int,
+    cache: RunCache | None,
+) -> tuple[dict[str, SimulationResult], dict[str, Exception]]:
+    """Run the pending cells on a spawn pool; cache each as it completes."""
+    done: dict[str, SimulationResult] = {}
+    failures: dict[str, Exception] = {}
+    with ProcessPoolExecutor(
+        max_workers=min(workers, len(pending)), mp_context=get_context("spawn")
+    ) as pool:
+        futures = {
+            pool.submit(_execute_spec, spec): (fingerprint, spec)
+            for fingerprint, spec in pending
+        }
+        outstanding = set(futures)
+        while outstanding:
+            finished, outstanding = wait(outstanding, return_when=FIRST_COMPLETED)
+            for future in finished:
+                fingerprint, spec = futures[future]
+                try:
+                    result = future.result()
+                except Exception as exc:  # noqa: BLE001 — reported per cell below
+                    failures[fingerprint] = exc
+                    continue
+                done[fingerprint] = result
+                if cache is not None:
+                    cache.put(spec, result)
+    return done, failures
+
+
+def run_specs_report(
+    specs: Sequence[RunSpec],
+    *,
+    workers: int | str = 1,
+    cache: RunCache | None = None,
+) -> ExecutionReport:
+    """Satisfy a batch of run specs; see the module docstring for the plan.
+
+    Raises:
+        ConfigurationError: For an empty batch or an invalid ``workers``.
+        SimulationError: When any cell fails; completed cells are already
+            persisted to the cache, so re-running the batch resumes.
+    """
+    if not specs:
+        raise ConfigurationError("run_specs needs at least one spec")
+    worker_count = resolve_workers(workers)
+    fingerprints = [fingerprint_run(spec, salt=cache.salt) if cache else fingerprint_run(spec) for spec in specs]
+
+    # In-batch dedup: the first occurrence of a fingerprint owns the cell.
+    owner_of: dict[str, int] = {}
+    for index, fingerprint in enumerate(fingerprints):
+        owner_of.setdefault(fingerprint, index)
+    deduplicated = len(specs) - len(owner_of)
+
+    resolved: dict[str, SimulationResult] = {}
+    pending: list[tuple[str, RunSpec]] = []
+    cache_hits = 0
+    for fingerprint, index in owner_of.items():
+        cached = cache.get(specs[index]) if cache is not None else None
+        if cached is not None:
+            resolved[fingerprint] = cached
+            cache_hits += 1
+        else:
+            pending.append((fingerprint, specs[index]))
+
+    failures: dict[str, Exception] = {}
+    if pending and worker_count > 1:
+        done, failures = _execute_pool(pending, worker_count, cache)
+        resolved.update(done)
+    elif pending:
+        # Serial fallback: identical entrypoint, identical order, same
+        # incremental caching — only the host process differs.
+        for fingerprint, spec in pending:
+            try:
+                result = _execute_spec(spec)
+            except Exception as exc:  # noqa: BLE001 — reported per cell below
+                failures[fingerprint] = exc
+                continue
+            resolved[fingerprint] = result
+            if cache is not None:
+                cache.put(spec, result)
+
+    if failures:
+        first_fp, first_exc = next(
+            (fp, failures[fp]) for fp in fingerprints if fp in failures
+        )
+        raise SimulationError(
+            f"{len(failures)} of {len(pending)} executed cells failed "
+            f"(first: {specs[owner_of[first_fp]].policy.name} -> "
+            f"{type(first_exc).__name__}: {first_exc}); completed cells are "
+            f"cached — fix the failure and re-run to resume"
+        ) from first_exc
+
+    results = tuple(resolved[fingerprint] for fingerprint in fingerprints)
+    return ExecutionReport(
+        results=results,
+        fingerprints=tuple(fingerprints),
+        cache_hits=cache_hits,
+        deduplicated=deduplicated,
+        executed=len(pending),
+        workers=worker_count,
+    )
+
+
+def run_specs(
+    specs: Sequence[RunSpec],
+    *,
+    workers: int | str = 1,
+    cache: RunCache | None = None,
+) -> list[SimulationResult]:
+    """Results for a batch of specs, in input order (see run_specs_report)."""
+    return list(
+        run_specs_report(specs, workers=workers, cache=cache).results
+    )

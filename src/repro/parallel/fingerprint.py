@@ -1,0 +1,71 @@
+"""Content fingerprints for run specs.
+
+A fingerprint is ``SHA-256(canonical JSON of the RunSpec payload + salt)``.
+The payload names every input of the simulation (trace config and seeds,
+policy knobs, cluster shape, slot width, overhead toggle, interconnect
+constants); the salt is a code-version string bumped whenever a change to
+the simulator alters results for the *same* payload.  Together they give
+the run cache its contract: equal fingerprint implies equal
+:class:`~repro.sim.metrics.SimulationResult`, byte for byte.
+
+Canonical JSON: sorted keys, no whitespace, and non-finite floats encoded
+as the strings ``"inf"``/``"-inf"``/``"nan"`` (plain ``json.dumps`` would
+emit non-standard ``Infinity`` literals — see
+:mod:`repro.sim.serialize`, which uses the same encoding).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+
+from repro.errors import ConfigurationError
+
+__all__ = ["CODE_VERSION", "canonical_json", "fingerprint_payload", "fingerprint_run"]
+
+#: Simulation-semantics version salt.  Bump when a code change alters the
+#: results of an unchanged RunSpec payload (new overhead model, different
+#: tie-breaks, ...) so stale cache entries miss instead of lying.
+CODE_VERSION = "elasticflow-sim-v3"
+
+
+def _canonicalize(value):
+    if isinstance(value, float):
+        if math.isinf(value):
+            return "inf" if value > 0 else "-inf"
+        if math.isnan(value):
+            return "nan"
+        return value
+    if isinstance(value, dict):
+        for key in value:
+            if not isinstance(key, str):
+                raise ConfigurationError(
+                    f"fingerprint payload keys must be strings, got {key!r}"
+                )
+        return {key: _canonicalize(value[key]) for key in sorted(value)}
+    if isinstance(value, (list, tuple)):
+        return [_canonicalize(item) for item in value]
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    raise ConfigurationError(
+        f"unsupported fingerprint payload type {type(value).__name__}"
+    )
+
+
+def canonical_json(payload: dict) -> str:
+    """Deterministic JSON rendering of a payload dictionary."""
+    return json.dumps(
+        _canonicalize(payload), sort_keys=True, separators=(",", ":"), allow_nan=False
+    )
+
+
+def fingerprint_payload(payload: dict, *, salt: str = CODE_VERSION) -> str:
+    """SHA-256 hex fingerprint of one canonical payload under a salt."""
+    body = f"{salt}\0{canonical_json(payload)}".encode()
+    return hashlib.sha256(body).hexdigest()
+
+
+def fingerprint_run(spec, *, salt: str = CODE_VERSION) -> str:
+    """Fingerprint of one :class:`~repro.parallel.spec.RunSpec`."""
+    return fingerprint_payload(spec.payload(), salt=salt)

@@ -1,0 +1,53 @@
+"""The seed-spawn scheme for deriving independent child seeds.
+
+Sweeps used to derive child seeds by arithmetic on the master seed
+(``seed + 1``, ``seed + index``), which collides across adjacent sweep
+points: the jobs stream of point ``i`` reused the trace stream of point
+``i + 1``, silently correlating supposedly independent runs.
+
+``spawn_seed`` replaces that arithmetic.  A child seed is the leading 63
+bits of ``SHA-256("repro-seed-spawn\\0<master>\\0<label>\\0<label>...")``,
+where the labels name the stream (``"trace"``, ``"jobs"``, a sweep index,
+a trace name).  Distinct ``(master, path)`` tuples map to statistically
+independent points of a 2^63 space, so nearby masters and nearby sweep
+indices cannot collide by construction; the regression test covers the
+exact ``seed + 1`` aliasing the old scheme exhibited.
+
+The scheme is pure stdlib, stable across platforms and Python versions
+(SHA-256 of a canonical byte string), and therefore safe to embed in
+content fingerprints.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.errors import ConfigurationError
+
+__all__ = ["spawn_seed"]
+
+_DOMAIN = b"repro-seed-spawn"
+
+
+def spawn_seed(master: int, *path: object) -> int:
+    """Derive one child seed from a master seed and a stream path.
+
+    Args:
+        master: The experiment's master seed.
+        path: Labels naming the derived stream, e.g. ``("trace",)`` or
+            ``("fig8b", 3, "jobs")``.  Each label is rendered with ``str``;
+            at least one is required.
+
+    Returns:
+        A seed in ``[0, 2**63)``, suitable for ``numpy.random.default_rng``.
+
+    Raises:
+        ConfigurationError: When no path labels are given.
+    """
+    if not path:
+        raise ConfigurationError("spawn_seed needs at least one path label")
+    message = b"\0".join(
+        [_DOMAIN, str(int(master)).encode()] + [str(label).encode() for label in path]
+    )
+    digest = hashlib.sha256(message).digest()
+    return int.from_bytes(digest[:8], "big") >> 1

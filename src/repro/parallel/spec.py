@@ -1,0 +1,243 @@
+"""Picklable run specifications for the fan-out engine.
+
+A worker process never receives live objects — no :class:`Simulator`, no
+:class:`ThroughputModel`, no planning tables.  It receives a
+:class:`RunSpec`: plain frozen dataclasses describing *how to rebuild* the
+entire simulation from scratch (trace configuration and seeds, policy name
+and knobs, cluster shape, interconnect constants).  Rebuilding from the
+description is what makes spawn-based workers deterministic — every worker
+derives identical inputs from the spec, with no ambient state shipped
+across the process boundary — and it is also what makes runs
+*fingerprintable*: the spec's canonical payload names everything the
+result depends on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.baselines.registry import make_policy
+from repro.cluster.topology import ClusterSpec
+from repro.core.job import JobSpec
+from repro.errors import ConfigurationError
+from repro.profiles.interconnect import DGX_A100_INTERCONNECT, InterconnectSpec
+from repro.profiles.throughput import ThroughputModel
+from repro.sim.executor import ElasticExecutor
+from repro.sim.metrics import SimulationResult
+from repro.traces.synthetic import ClusterTraceConfig, generate_trace
+from repro.traces.deadlines import DeadlineAssigner
+from repro.traces.workload import build_jobs
+
+__all__ = ["WorkloadSpec", "PolicySpec", "RunSpec"]
+
+
+def _jobspec_payload(spec: JobSpec) -> dict:
+    return {
+        "job_id": spec.job_id,
+        "model_name": spec.model_name,
+        "global_batch_size": spec.global_batch_size,
+        "max_iterations": spec.max_iterations,
+        "submit_time": spec.submit_time,
+        "deadline": spec.deadline,
+        "requested_gpus": spec.requested_gpus,
+        "user": spec.user,
+    }
+
+
+def _trace_config_payload(config: ClusterTraceConfig) -> dict:
+    return {
+        "name": config.name,
+        "cluster_gpus": config.cluster_gpus,
+        "n_jobs": config.n_jobs,
+        "target_load": config.target_load,
+        "duration_median_s": config.duration_median_s,
+        "duration_sigma": config.duration_sigma,
+        "duration_max_s": config.duration_max_s,
+        "gpu_weights": {str(k): config.gpu_weights[k] for k in sorted(config.gpu_weights)},
+        "burst_fraction": config.burst_fraction,
+        "n_bursts": config.n_bursts,
+    }
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A reproducible description of one workload.
+
+    Two flavours:
+
+    - *generative*: a trace configuration plus the seeds of the two random
+      streams (trace realisation, job instantiation).  Compact, and the
+      normal case for the figure drivers.
+    - *inline*: an explicit tuple of job specs, for callers that built or
+      loaded a workload some other way.  Fingerprints then cover every job
+      field.
+    """
+
+    trace_config: ClusterTraceConfig | None = None
+    trace_seed: int = 0
+    jobs_seed: int = 0
+    deadlines: DeadlineAssigner | None = None
+    best_effort_fraction: float = 0.0
+    inline_specs: tuple[JobSpec, ...] | None = None
+
+    def __post_init__(self) -> None:
+        if (self.trace_config is None) == (self.inline_specs is None):
+            raise ConfigurationError(
+                "exactly one of trace_config and inline_specs must be given"
+            )
+
+    @classmethod
+    def generative(
+        cls,
+        trace_config: ClusterTraceConfig,
+        *,
+        trace_seed: int,
+        jobs_seed: int,
+        deadlines: DeadlineAssigner | None = None,
+        best_effort_fraction: float = 0.0,
+    ) -> "WorkloadSpec":
+        return cls(
+            trace_config=trace_config,
+            trace_seed=trace_seed,
+            jobs_seed=jobs_seed,
+            deadlines=deadlines,
+            best_effort_fraction=best_effort_fraction,
+        )
+
+    @classmethod
+    def inline(cls, specs: list[JobSpec] | tuple[JobSpec, ...]) -> "WorkloadSpec":
+        if not specs:
+            raise ConfigurationError("inline workload must contain jobs")
+        return cls(inline_specs=tuple(specs))
+
+    def materialize(self, throughput: ThroughputModel) -> list[JobSpec]:
+        """Rebuild the job list exactly as the submitting caller would."""
+        if self.inline_specs is not None:
+            return list(self.inline_specs)
+        trace = generate_trace(self.trace_config, seed=self.trace_seed)
+        return build_jobs(
+            trace,
+            throughput,
+            seed=self.jobs_seed,
+            deadlines=self.deadlines,
+            best_effort_fraction=self.best_effort_fraction,
+        )
+
+    def payload(self) -> dict:
+        """Canonical fingerprint payload (see :mod:`repro.parallel.fingerprint`)."""
+        deadlines = None
+        if self.deadlines is not None:
+            deadlines = {
+                "lambda_min": self.deadlines.lambda_min,
+                "lambda_max": self.deadlines.lambda_max,
+            }
+        if self.inline_specs is not None:
+            return {
+                "kind": "inline",
+                "jobs": [_jobspec_payload(spec) for spec in self.inline_specs],
+            }
+        return {
+            "kind": "generative",
+            "trace": _trace_config_payload(self.trace_config),
+            "trace_seed": self.trace_seed,
+            "jobs_seed": self.jobs_seed,
+            "deadlines": deadlines,
+            "best_effort_fraction": self.best_effort_fraction,
+        }
+
+
+@dataclass(frozen=True)
+class PolicySpec:
+    """A scheduler policy by registry name plus its knob values."""
+
+    name: str
+    knobs: tuple[tuple[str, float], ...] = ()
+
+    @classmethod
+    def of(cls, name: str, **knobs: float) -> "PolicySpec":
+        return cls(name=name, knobs=tuple(sorted(knobs.items())))
+
+    def build(self):
+        return make_policy(self.name, **dict(self.knobs))
+
+    def payload(self) -> dict:
+        return {"name": self.name, "knobs": {k: v for k, v in self.knobs}}
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """Everything needed to replay one simulation cell from scratch.
+
+    ``execute`` is the single entrypoint both the serial fallback and the
+    process-pool workers call; the only difference between the two paths is
+    *where* it runs, which is why their results are bit-identical.
+    """
+
+    workload: WorkloadSpec
+    policy: PolicySpec
+    cluster: ClusterSpec
+    slot_seconds: float = 600.0
+    overheads_enabled: bool = True
+    record_timeline: bool = False
+    record_efficiency: bool = True
+    interconnect: InterconnectSpec = field(default_factory=lambda: DGX_A100_INTERCONNECT)
+    power_of_two: bool = True
+    max_events: int = 2_000_000
+
+    def throughput_model(self) -> ThroughputModel:
+        return ThroughputModel(self.interconnect, power_of_two=self.power_of_two)
+
+    def executor(self) -> ElasticExecutor:
+        if self.overheads_enabled:
+            return ElasticExecutor()
+        return ElasticExecutor.disabled()
+
+    def execute(self) -> SimulationResult:
+        """Rebuild the simulator from this description and run it."""
+        from repro.sim.engine import Simulator
+
+        throughput = self.throughput_model()
+        specs = self.workload.materialize(throughput)
+        simulator = Simulator(
+            self.cluster,
+            self.policy.build(),
+            specs,
+            throughput=throughput,
+            slot_seconds=self.slot_seconds,
+            executor=self.executor(),
+            record_timeline=self.record_timeline,
+            record_efficiency=self.record_efficiency,
+            max_events=self.max_events,
+        )
+        return simulator.run()
+
+    def payload(self) -> dict:
+        """Canonical fingerprint payload covering every input of ``execute``."""
+        return {
+            "workload": self.workload.payload(),
+            "policy": self.policy.payload(),
+            "cluster": {
+                "n_nodes": self.cluster.n_nodes,
+                "gpus_per_node": self.cluster.gpus_per_node,
+                "gpus_per_pcie_group": self.cluster.gpus_per_pcie_group,
+                "nodes_per_rack": self.cluster.nodes_per_rack,
+            },
+            "slot_seconds": self.slot_seconds,
+            "overheads_enabled": self.overheads_enabled,
+            "record_timeline": self.record_timeline,
+            "record_efficiency": self.record_efficiency,
+            "interconnect": {
+                "gpus_per_node": self.interconnect.gpus_per_node,
+                "hcas_per_node": self.interconnect.hcas_per_node,
+                "intra_node": {
+                    "alpha_s": self.interconnect.intra_node.alpha_s,
+                    "beta_bytes_per_s": self.interconnect.intra_node.beta_bytes_per_s,
+                },
+                "inter_node": {
+                    "alpha_s": self.interconnect.inter_node.alpha_s,
+                    "beta_bytes_per_s": self.interconnect.inter_node.beta_bytes_per_s,
+                },
+            },
+            "power_of_two": self.power_of_two,
+            "max_events": self.max_events,
+        }

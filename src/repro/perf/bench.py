@@ -239,20 +239,54 @@ def main(argv: list[str] | None = None) -> int:
         description="Benchmark the scheduling hot loop and record the results.",
     )
     parser.add_argument(
+        "--suite",
+        choices=("core", "figures"),
+        default="core",
+        help="'core' times the hot loop; 'figures' times the parallel "
+        "experiment engine over the figure grids",
+    )
+    parser.add_argument(
         "--quick",
         action="store_true",
         help="small trace for CI smoke runs",
     )
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument(
+        "--workers",
+        default="4",
+        help="fan-out width for --suite figures (int or 'auto')",
+    )
+    parser.add_argument(
         "-o",
         "--output",
-        default=DEFAULT_OUTPUT,
-        help=f"report path (default: {DEFAULT_OUTPUT})",
+        default=None,
+        help=f"report path (default: {DEFAULT_OUTPUT} or BENCH_parallel.json)",
     )
     args = parser.parse_args(argv)
+    if args.suite == "figures":
+        from repro.perf.figures import DEFAULT_OUTPUT as FIGURES_OUTPUT
+        from repro.perf.figures import run_figure_suite
+
+        report = run_figure_suite(
+            quick=args.quick, seed=args.seed, workers=args.workers
+        )
+        output = args.output or FIGURES_OUTPUT
+        with open(output, "w") as handle:
+            json.dump(report, handle, indent=2)
+            handle.write("\n")
+        print(
+            f"figure suite ({report['cells']} cells, {report['cores']} cores): "
+            f"{report['serial_cold_s']:.2f}s serial vs "
+            f"{report['parallel_cold_s']:.2f}s at workers={report['workers']} "
+            f"({report['speedup']}x), warm re-run {report['warm_s']:.2f}s "
+            f"({report['warm_speedup']}x over cold), "
+            f"decisions_match={report['decisions_match']}"
+        )
+        print(f"report written to {output}")
+        return 0
     report = run_benchmarks(quick=args.quick, seed=args.seed)
-    with open(args.output, "w") as handle:
+    output = args.output or DEFAULT_OUTPUT
+    with open(output, "w") as handle:
         json.dump(report, handle, indent=2)
         handle.write("\n")
     e2e = report["end_to_end"]
@@ -268,5 +302,5 @@ def main(argv: list[str] | None = None) -> int:
         f"events: {e2e['cached']['events_per_sec']:.1f}/s "
         f"(p50 {e2e['cached']['p50_ms']:.2f} ms, p95 {e2e['cached']['p95_ms']:.2f} ms)"
     )
-    print(f"report written to {args.output}")
+    print(f"report written to {output}")
     return 0

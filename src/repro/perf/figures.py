@@ -1,0 +1,168 @@
+"""Figure-suite benchmark for the parallel experiment engine.
+
+Runs a representative slice of the figure grids (Fig 6a, the lambda
+sweep, the Fig 9 ablation) three ways and records the numbers in
+``BENCH_parallel.json``:
+
+1. **serial cold** — ``workers=1`` against a fresh cache;
+2. **parallel cold** — ``workers=N`` against another fresh cache;
+3. **warm** — the same batch again over the parallel run's cache (every
+   cell should hit).
+
+Besides wall-clock, the report asserts the determinism contract
+(``decisions_match``: the serial and parallel results are byte-identical
+under the canonical encoding) and includes the host core count — the
+parallel speedup is bounded by physical cores, so a 1-core container
+honestly reports ~1x while a 4-core CI runner shows the real fan-out.
+
+Usage::
+
+    python -m repro.perf --suite figures              # full suite
+    python -m repro.perf --suite figures --quick      # CI smoke
+    python -m repro.perf --suite figures --workers 4
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import tempfile
+import time
+from pathlib import Path
+from typing import Any
+
+from repro.cluster.topology import ClusterSpec
+from repro.experiments.harness import (
+    ExperimentConfig,
+    policy_run_specs,
+    testbed_workload_spec,
+)
+from repro.parallel.cache import RunCache
+from repro.parallel.engine import resolve_workers, run_specs_report
+from repro.parallel.spec import RunSpec
+from repro.sim.serialize import result_to_json
+from repro.traces.deadlines import DeadlineAssigner
+
+__all__ = ["suite_cells", "run_figure_suite", "DEFAULT_OUTPUT"]
+
+DEFAULT_OUTPUT = "BENCH_parallel.json"
+#: CI wall-clock budget for the quick suite (all three passes together).
+QUICK_BUDGET_SECONDS = 600.0
+FULL_BUDGET_SECONDS = 3600.0
+
+
+def suite_cells(*, quick: bool = False, seed: int = 0) -> list[RunSpec]:
+    """The benchmark grid: fig6a + lambda sweep + fig9 ablation cells."""
+    config = ExperimentConfig(seed=seed)
+    cells: list[RunSpec] = []
+
+    if quick:
+        fig6_gpus, fig6_jobs = 16, 12
+        fig6_policies = ["elasticflow", "edf", "gandiva", "tiresias"]
+        tightness_values = (0.8, 1.5)
+        sweep_gpus, sweep_jobs = 16, 12
+        sweep_policies = ["elasticflow", "edf", "chronus"]
+        ablation_sizes = (16, 32)
+        ablation_gpus, ablation_jobs = 16, 16
+    else:
+        # Sized so one cell is ~a second of simulation: fan-out only pays
+        # when the work dwarfs the per-worker interpreter spawn (~1s).
+        fig6_gpus, fig6_jobs = 128, 400
+        fig6_policies = [
+            "elasticflow", "edf", "gandiva", "tiresias", "themis", "chronus",
+        ]
+        tightness_values = (0.6, 0.8, 1.0, 1.5, 2.5)
+        sweep_gpus, sweep_jobs = 128, 400
+        sweep_policies = ["elasticflow", "edf", "gandiva", "chronus"]
+        ablation_sizes = (64, 128, 256)
+        ablation_gpus, ablation_jobs = 128, 300
+
+    cluster, workload = testbed_workload_spec(
+        config, cluster_gpus=fig6_gpus, n_jobs=fig6_jobs, target_load=2.0
+    )
+    cells.extend(policy_run_specs(fig6_policies, cluster, workload, config))
+
+    for tightness in tightness_values:
+        cluster, workload = testbed_workload_spec(
+            config,
+            cluster_gpus=sweep_gpus,
+            n_jobs=sweep_jobs,
+            target_load=1.3,
+            deadlines=DeadlineAssigner(tightness, tightness),
+        )
+        cells.extend(policy_run_specs(sweep_policies, cluster, workload, config))
+
+    _, workload = testbed_workload_spec(
+        config, cluster_gpus=ablation_gpus, n_jobs=ablation_jobs, target_load=1.4
+    )
+    for size in ablation_sizes:
+        cells.extend(
+            policy_run_specs(
+                ["edf", "edf+ac", "edf+es", "elasticflow"],
+                ClusterSpec(n_nodes=size // 8, gpus_per_node=8),
+                workload,
+                config,
+            )
+        )
+    return cells
+
+
+def _timed_pass(
+    cells: list[RunSpec], *, workers: int, cache: RunCache
+) -> tuple[float, Any]:
+    start = time.perf_counter()
+    report = run_specs_report(cells, workers=workers, cache=cache)
+    return time.perf_counter() - start, report
+
+
+def run_figure_suite(
+    *,
+    quick: bool = False,
+    seed: int = 0,
+    workers: int | str = 4,
+) -> dict[str, Any]:
+    """Benchmark the suite serial-cold / parallel-cold / warm; see module doc."""
+    worker_count = resolve_workers(workers)
+    cells = suite_cells(quick=quick, seed=seed)
+    scratch = Path(tempfile.mkdtemp(prefix="repro-bench-cache-"))
+    try:
+        serial_s, serial = _timed_pass(
+            cells, workers=1, cache=RunCache(root=scratch / "serial")
+        )
+        parallel_cache = RunCache(root=scratch / "parallel")
+        parallel_s, parallel = _timed_pass(
+            cells, workers=worker_count, cache=parallel_cache
+        )
+        warm_s, warm = _timed_pass(cells, workers=worker_count, cache=parallel_cache)
+    finally:
+        shutil.rmtree(scratch, ignore_errors=True)
+
+    decisions_match = all(
+        result_to_json(a) == result_to_json(b)
+        for a, b in zip(serial.results, parallel.results)
+    ) and all(
+        result_to_json(a) == result_to_json(b)
+        for a, b in zip(parallel.results, warm.results)
+    )
+    budget = QUICK_BUDGET_SECONDS if quick else FULL_BUDGET_SECONDS
+    total_s = serial_s + parallel_s + warm_s
+    return {
+        "suite": "figures",
+        "quick": quick,
+        "seed": seed,
+        "cells": len(cells),
+        "unique_cells": len(cells) - serial.deduplicated,
+        "cores": os.cpu_count() or 1,
+        "workers": worker_count,
+        "serial_cold_s": round(serial_s, 3),
+        "parallel_cold_s": round(parallel_s, 3),
+        "warm_s": round(warm_s, 3),
+        "speedup": round(serial_s / parallel_s, 3) if parallel_s else None,
+        "warm_speedup": round(parallel_s / warm_s, 3) if warm_s else None,
+        "warm_cache_hits": warm.cache_hits,
+        "warm_executed": warm.executed,
+        "decisions_match": decisions_match,
+        "budget_seconds": budget,
+        "within_budget": total_s <= budget,
+        "total_s": round(total_s, 3),
+    }

@@ -1,0 +1,206 @@
+"""Lossless JSON serialisation of simulation results.
+
+The run cache persists every completed :class:`SimulationResult` and the
+equivalence harness compares runs byte-for-byte, so the encoding must be
+canonical (sorted keys, no whitespace) and *total*: every float a result
+can legally contain — including ``inf`` deadlines on best-effort jobs and
+``nan`` ratios on empty pools — must round-trip.  Plain ``json.dumps``
+emits non-standard ``Infinity``/``NaN`` literals for those, which other
+parsers reject; instead non-finite floats are encoded as the strings
+``"inf"``, ``"-inf"`` and ``"nan"``, and ``None`` stays ``null``.  The
+same convention is applied by :func:`sanitize_for_json` to the metric
+dictionaries the reports and the CLI emit (``improvement_factors`` returns
+``inf`` when a baseline meets zero deadlines).
+
+This module is pure in-memory transformation; file handling belongs to
+the callers (:mod:`repro.parallel.cache`, the CLI).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+from repro.core.job import JobStatus
+from repro.errors import ConfigurationError
+from repro.sim.metrics import JobOutcome, SimulationResult
+from repro.sim.recorder import Timeline, TimelineSample
+
+__all__ = [
+    "encode_float",
+    "decode_float",
+    "sanitize_for_json",
+    "result_to_dict",
+    "result_from_dict",
+    "result_to_json",
+    "result_from_json",
+]
+
+
+def encode_float(value: float | None) -> float | str | None:
+    """One float in the canonical encoding (non-finite -> string)."""
+    if value is None:
+        return None
+    value = float(value)
+    if math.isinf(value):
+        return "inf" if value > 0 else "-inf"
+    if math.isnan(value):
+        return "nan"
+    return value
+
+
+def decode_float(value: float | int | str | None) -> float | None:
+    """Inverse of :func:`encode_float`.
+
+    Raises:
+        ConfigurationError: For a string that is not one of the three
+            non-finite markers.
+    """
+    if value is None:
+        return None
+    if isinstance(value, str):
+        try:
+            return {"inf": math.inf, "-inf": -math.inf, "nan": math.nan}[value]
+        except KeyError:
+            raise ConfigurationError(
+                f"invalid encoded float {value!r}; expected 'inf', '-inf' or 'nan'"
+            ) from None
+    return float(value)
+
+
+def sanitize_for_json(value):
+    """Recursively apply the float encoding to a report structure.
+
+    Use this before ``json.dumps`` on any metric dictionary that may carry
+    ``inf``/``nan`` (policy summaries, improvement factors), so the output
+    is strict JSON every consumer can parse.
+    """
+    if isinstance(value, float):
+        return encode_float(value)
+    if isinstance(value, dict):
+        return {key: sanitize_for_json(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [sanitize_for_json(item) for item in value]
+    return value
+
+
+# ------------------------------------------------------------------ outcomes
+def _outcome_to_dict(outcome: JobOutcome) -> dict:
+    return {
+        "job_id": outcome.job_id,
+        "model_name": outcome.model_name,
+        "submit_time": encode_float(outcome.submit_time),
+        "deadline": encode_float(outcome.deadline),
+        "best_effort": outcome.best_effort,
+        "status": outcome.status.value,
+        "admitted": outcome.admitted,
+        "completion_time": encode_float(outcome.completion_time),
+        "scale_events": outcome.scale_events,
+    }
+
+
+def _outcome_from_dict(data: dict) -> JobOutcome:
+    return JobOutcome(
+        job_id=data["job_id"],
+        model_name=data["model_name"],
+        submit_time=decode_float(data["submit_time"]),
+        deadline=decode_float(data["deadline"]),
+        best_effort=bool(data["best_effort"]),
+        status=JobStatus(data["status"]),
+        admitted=bool(data["admitted"]),
+        completion_time=decode_float(data["completion_time"]),
+        scale_events=int(data["scale_events"]),
+    )
+
+
+# ------------------------------------------------------------------ timeline
+def _sample_to_dict(sample: TimelineSample) -> dict:
+    return {
+        "time": encode_float(sample.time),
+        "gpus_in_use": sample.gpus_in_use,
+        "cluster_efficiency": encode_float(sample.cluster_efficiency),
+        "running_jobs": sample.running_jobs,
+        "submitted": sample.submitted,
+        "admitted": sample.admitted,
+        "allocations": {k: sample.allocations[k] for k in sorted(sample.allocations)},
+    }
+
+
+def _sample_from_dict(data: dict) -> TimelineSample:
+    return TimelineSample(
+        time=decode_float(data["time"]),
+        gpus_in_use=int(data["gpus_in_use"]),
+        cluster_efficiency=decode_float(data["cluster_efficiency"]),
+        running_jobs=int(data["running_jobs"]),
+        submitted=int(data["submitted"]),
+        admitted=int(data["admitted"]),
+        allocations={k: int(v) for k, v in data["allocations"].items()},
+    )
+
+
+def _timeline_to_list(timeline: Timeline | None) -> list[dict] | None:
+    if timeline is None:
+        return None
+    return [_sample_to_dict(sample) for sample in timeline.samples]
+
+
+def _timeline_from_list(data: list[dict] | None) -> Timeline | None:
+    if data is None:
+        return None
+    timeline = Timeline()
+    for item in data:
+        timeline.record(_sample_from_dict(item))
+    return timeline
+
+
+# -------------------------------------------------------------------- result
+_SCHEMA = 1
+
+
+def result_to_dict(result: SimulationResult) -> dict:
+    """A plain-JSON dictionary capturing one result losslessly."""
+    return {
+        "schema": _SCHEMA,
+        "policy_name": result.policy_name,
+        "outcomes": [_outcome_to_dict(outcome) for outcome in result.outcomes],
+        "timeline": _timeline_to_list(result.timeline),
+        "total_gpus": result.total_gpus,
+        "events_processed": result.events_processed,
+    }
+
+
+def result_from_dict(data: dict) -> SimulationResult:
+    """Rebuild a result from :func:`result_to_dict` output.
+
+    Raises:
+        ConfigurationError: For an unknown schema version or malformed data.
+    """
+    try:
+        schema = data["schema"]
+        if schema != _SCHEMA:
+            raise ConfigurationError(f"unknown result schema {schema!r}")
+        return SimulationResult(
+            policy_name=data["policy_name"],
+            outcomes=[_outcome_from_dict(item) for item in data["outcomes"]],
+            timeline=_timeline_from_list(data["timeline"]),
+            total_gpus=int(data["total_gpus"]),
+            events_processed=int(data["events_processed"]),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ConfigurationError(f"malformed serialized result: {exc}") from exc
+
+
+def result_to_json(result: SimulationResult) -> str:
+    """Canonical JSON text of one result (byte-comparable across runs)."""
+    return json.dumps(
+        result_to_dict(result), sort_keys=True, separators=(",", ":"), allow_nan=False
+    )
+
+
+def result_from_json(text: str) -> SimulationResult:
+    """Inverse of :func:`result_to_json`."""
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(f"malformed serialized result: {exc}") from exc
+    return result_from_dict(data)

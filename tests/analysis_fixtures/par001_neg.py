@@ -1,0 +1,23 @@
+# lint-module: repro.parallel.fixture_par001
+"""Negative PAR001: constants are immutable; state lives on instances."""
+
+from dataclasses import dataclass, field
+
+__all__ = ["Tracker", "SIZES"]
+
+SIZES = (1, 2, 4, 8)
+_LABELS = frozenset({"trace", "jobs"})
+
+
+@dataclass
+class Tracker:
+    seen: dict = field(default_factory=dict)
+
+    def remember(self, key: str, value: float) -> None:
+        self.seen[key] = value
+
+
+def local_scratch() -> list:
+    scratch = []
+    scratch.append(len(_LABELS))
+    return scratch

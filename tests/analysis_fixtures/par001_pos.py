@@ -1,0 +1,8 @@
+# lint-module: repro.parallel.fixture_par001
+"""Positive PAR001: module-level mutable accumulator in worker-reachable code."""
+
+_RESULT_CACHE: dict = {}  # <- finding
+
+
+def remember(key: str, value: float) -> None:
+    _RESULT_CACHE[key] = value

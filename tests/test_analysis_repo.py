@@ -31,7 +31,7 @@ def test_live_tree_is_finding_free() -> None:
     assert not report.findings, [f.format_human() for f in report.findings]
     assert report.ok
     assert report.files_analyzed > 50
-    assert report.rules_run == 13
+    assert report.rules_run == 14
 
 
 def test_cli_clean_tree_exits_zero_with_json() -> None:
@@ -46,7 +46,7 @@ def test_cli_lists_all_rules() -> None:
     result = _cli("--list-rules")
     assert result.returncode == 0
     listed = [line.split()[0] for line in result.stdout.splitlines() if line]
-    assert len(listed) == 13
+    assert len(listed) == 14
     for rule_id in ("DET001", "CC001", "CC005", "NH001", "SIM001", "SUP001"):
         assert rule_id in listed
 

@@ -30,6 +30,7 @@ RULE_IDS = [
     "err001",
     "err002",
     "sup001",
+    "par001",
 ]
 
 #: Line marker used by positive fixtures.  SUP001's finding *is* a

@@ -1,0 +1,50 @@
+"""Tests for the engine-backed multi-seed replication driver."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.multiseed import multiseed_satisfactory_ratios
+from repro.parallel.cache import RunCache
+
+
+class TestMultiseed:
+    def test_shape_and_determinism(self):
+        kwargs = dict(cluster_gpus=16, n_jobs=8)
+        first = multiseed_satisfactory_ratios(
+            ["elasticflow", "edf"], [0, 1, 2], **kwargs
+        )
+        second = multiseed_satisfactory_ratios(
+            ["elasticflow", "edf"], [0, 1, 2], **kwargs
+        )
+        assert set(first) == {"elasticflow", "edf"}
+        for name, sweep in first.items():
+            assert sweep.n == 3
+            assert sweep.values == second[name].values
+            assert 0.0 <= sweep.mean <= 1.0
+
+    def test_elasticflow_not_worse_than_edf_on_average(self):
+        sweeps = multiseed_satisfactory_ratios(
+            ["elasticflow", "edf"], [0, 1, 2], cluster_gpus=16, n_jobs=10
+        )
+        assert sweeps["elasticflow"].mean >= sweeps["edf"].mean
+
+    def test_incremental_seed_addition_reuses_cache(self, tmp_path):
+        cache = RunCache(root=tmp_path / "c")
+        multiseed_satisfactory_ratios(
+            ["elasticflow"], [0, 1], cluster_gpus=16, n_jobs=8, cache=cache
+        )
+        stores_before = cache.stats.stores
+        sweeps = multiseed_satisfactory_ratios(
+            ["elasticflow"], [0, 1, 2], cluster_gpus=16, n_jobs=8, cache=cache
+        )
+        # Only the new seed's cell executed and was stored.
+        assert cache.stats.stores == stores_before + 1
+        assert sweeps["elasticflow"].n == 3
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            multiseed_satisfactory_ratios([], [0])
+        with pytest.raises(ConfigurationError):
+            multiseed_satisfactory_ratios(["edf"], [])

@@ -1,0 +1,130 @@
+"""Tests for the content-addressed run cache and fingerprinting."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.harness import ExperimentConfig
+from repro.experiments.harness import testbed_workload_spec as build_testbed_spec
+from repro.parallel.cache import RunCache, default_cache_dir
+from repro.parallel.fingerprint import (
+    CODE_VERSION,
+    canonical_json,
+    fingerprint_payload,
+    fingerprint_run,
+)
+from repro.parallel.spec import PolicySpec, RunSpec
+from repro.sim.serialize import result_to_json
+
+
+@pytest.fixture()
+def spec():
+    config = ExperimentConfig()
+    cluster, workload = build_testbed_spec(config, cluster_gpus=16, n_jobs=6)
+    return RunSpec(
+        workload=workload,
+        policy=config.policy_spec("elasticflow"),
+        cluster=cluster,
+        interconnect=config.throughput.interconnect,
+    )
+
+
+class TestFingerprint:
+    def test_stable_across_calls(self, spec):
+        assert fingerprint_run(spec) == fingerprint_run(spec)
+
+    def test_sensitive_to_every_knob(self, spec):
+        import dataclasses
+
+        base = fingerprint_run(spec)
+        for change in (
+            {"slot_seconds": 300.0},
+            {"overheads_enabled": False},
+            {"record_timeline": True},
+            {"policy": PolicySpec.of("edf")},
+        ):
+            assert fingerprint_run(dataclasses.replace(spec, **change)) != base
+
+    def test_salt_changes_fingerprint(self, spec):
+        assert fingerprint_run(spec) != fingerprint_run(spec, salt="other-version")
+        assert fingerprint_run(spec) == fingerprint_run(spec, salt=CODE_VERSION)
+
+    def test_canonical_json_rejects_exotic_payloads(self):
+        with pytest.raises(ConfigurationError):
+            canonical_json({"x": object()})
+        with pytest.raises(ConfigurationError):
+            canonical_json({1: "non-string key"})
+
+    def test_canonical_json_handles_non_finite(self):
+        text = canonical_json({"a": float("inf"), "b": float("nan")})
+        assert text == '{"a":"inf","b":"nan"}'
+
+    def test_policy_knob_order_is_canonical(self):
+        assert fingerprint_payload(
+            PolicySpec.of("edf+es", a=1, b=2).payload()
+        ) == fingerprint_payload(PolicySpec.of("edf+es", b=2, a=1).payload())
+
+
+class TestRunCache:
+    def test_miss_then_hit(self, spec, tmp_path):
+        cache = RunCache(root=tmp_path / "cache")
+        assert cache.get(spec) is None
+        result = spec.execute()
+        cache.put(spec, result)
+        cached = cache.get(spec)
+        assert cached is not None
+        assert result_to_json(cached) == result_to_json(result)
+        assert cache.stats.misses == 1 and cache.stats.hits == 1
+
+    def test_identical_spec_hits_across_handles(self, spec, tmp_path):
+        RunCache(root=tmp_path / "c").put(spec, spec.execute())
+        fresh = RunCache(root=tmp_path / "c")
+        assert fresh.get(spec) is not None
+
+    def test_salt_change_invalidates(self, spec, tmp_path):
+        cache = RunCache(root=tmp_path / "c")
+        cache.put(spec, spec.execute())
+        stale = RunCache(root=tmp_path / "c", salt="elasticflow-sim-v999")
+        assert stale.get(spec) is None
+
+    def test_corrupt_entry_is_evicted(self, spec, tmp_path):
+        cache = RunCache(root=tmp_path / "c")
+        path = cache.put(spec, spec.execute())
+        path.write_text("{truncated", encoding="utf-8")
+        assert cache.get(spec) is None
+        assert cache.stats.evicted_corrupt == 1
+        assert not path.exists()
+
+    def test_tampered_envelope_is_a_miss(self, spec, tmp_path):
+        cache = RunCache(root=tmp_path / "c")
+        path = cache.put(spec, spec.execute())
+        envelope = json.loads(path.read_text())
+        envelope["fingerprint"] = "0" * 64
+        path.write_text(json.dumps(envelope), encoding="utf-8")
+        assert cache.get(spec) is None
+
+    def test_entries_and_wipe(self, spec, tmp_path):
+        cache = RunCache(root=tmp_path / "c")
+        cache.put(spec, spec.execute())
+        assert len(cache.entries()) == 1
+        assert cache.size_bytes() > 0
+        assert cache.wipe() == 1
+        assert cache.entries() == []
+
+    def test_default_dir_honours_env(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "alt"))
+        assert default_cache_dir() == tmp_path / "alt"
+        monkeypatch.delenv("REPRO_CACHE_DIR")
+        assert str(default_cache_dir()) == ".repro-cache"
+
+    def test_envelope_records_spec_payload(self, spec, tmp_path):
+        """Entries are self-describing: the envelope stores the payload the
+        fingerprint was computed from."""
+        cache = RunCache(root=tmp_path / "c")
+        path = cache.put(spec, spec.execute())
+        envelope = json.loads(path.read_text())
+        assert envelope["spec"] == json.loads(canonical_json(spec.payload()))
+        assert envelope["salt"] == CODE_VERSION

@@ -1,0 +1,103 @@
+"""Tests for the fan-out engine: dedup, caching, failure and resume."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.experiments.harness import (
+    ExperimentConfig,
+    policy_run_specs,
+)
+from repro.experiments.harness import testbed_workload_spec as build_testbed_spec
+from repro.parallel.cache import RunCache
+from repro.parallel.engine import resolve_workers, run_specs, run_specs_report
+from repro.sim.serialize import result_to_json
+
+
+@pytest.fixture(scope="module")
+def grid():
+    config = ExperimentConfig()
+    cluster, workload = build_testbed_spec(config, cluster_gpus=16, n_jobs=6)
+    return policy_run_specs(
+        ["elasticflow", "edf", "gandiva"], cluster, workload, config
+    )
+
+
+class TestResolveWorkers:
+    def test_auto_is_at_least_one(self):
+        assert resolve_workers("auto") >= 1
+
+    def test_integers_pass_through(self):
+        assert resolve_workers(4) == 4
+        assert resolve_workers("2") == 2
+
+    @pytest.mark.parametrize("bad", [0, -1, "none", 1.5])
+    def test_invalid_rejected(self, bad):
+        with pytest.raises(ConfigurationError):
+            resolve_workers(bad)
+
+
+class TestRunSpecs:
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_specs([])
+
+    def test_results_in_input_order(self, grid):
+        results = run_specs(grid)
+        assert [r.policy_name for r in results] == ["elasticflow", "edf", "gandiva"]
+
+    def test_in_batch_dedup(self, grid):
+        doubled = list(grid) + [grid[0], grid[2]]
+        report = run_specs_report(doubled)
+        assert report.deduplicated == 2
+        assert report.executed == 3
+        assert result_to_json(report.results[3]) == result_to_json(report.results[0])
+
+    def test_cache_populated_and_hit(self, grid, tmp_path):
+        cache = RunCache(root=tmp_path / "c")
+        first = run_specs_report(grid, cache=cache)
+        assert first.executed == len(grid) and first.cache_hits == 0
+        second = run_specs_report(grid, cache=cache)
+        assert second.executed == 0 and second.cache_hits == len(grid)
+        assert [result_to_json(r) for r in first.results] == [
+            result_to_json(r) for r in second.results
+        ]
+
+    def test_cached_results_identical_to_fresh(self, grid, tmp_path):
+        cache = RunCache(root=tmp_path / "c")
+        run_specs(grid, cache=cache)
+        assert [result_to_json(r) for r in run_specs(grid, cache=cache)] == [
+            result_to_json(r) for r in run_specs(grid)
+        ]
+
+
+class TestFailureAndResume:
+    def test_failure_raises_with_context(self, grid):
+        poisoned = [dataclasses.replace(grid[1], max_events=1)] + [grid[0]]
+        with pytest.raises(SimulationError, match="edf"):
+            run_specs(poisoned)
+
+    def test_crashed_batch_resumes_from_cache(self, grid, tmp_path):
+        """Completed cells of a crashed sweep are already persisted; fixing
+        the bad cell and re-running executes only that one cell."""
+        cache = RunCache(root=tmp_path / "c")
+        poisoned = list(grid[:2]) + [dataclasses.replace(grid[2], max_events=1)]
+        with pytest.raises(SimulationError, match="resume"):
+            run_specs(poisoned, cache=cache)
+        assert len(cache.entries()) == 2  # the completed cells survived
+
+    def test_resume_executes_only_the_fixed_cell(self, grid, tmp_path):
+        cache = RunCache(root=tmp_path / "c")
+        poisoned = list(grid[:2]) + [dataclasses.replace(grid[2], max_events=1)]
+        with pytest.raises(SimulationError):
+            run_specs(poisoned, cache=cache)
+        report = run_specs_report(grid, cache=cache)
+        assert report.cache_hits == 2
+        assert report.executed == 1
+        # And the resumed batch matches a from-scratch run exactly.
+        assert [result_to_json(r) for r in report.results] == [
+            result_to_json(r) for r in run_specs(grid)
+        ]

@@ -1,0 +1,54 @@
+"""Serial/parallel equivalence: ``workers=N`` must never change a number.
+
+These tests run real (small) figure grids twice — ``workers=1`` and
+``workers=4`` — and compare the resulting :class:`SimulationResult`
+objects byte-for-byte under the canonical encoding.  They spawn real
+worker processes and are the slowest tests in the suite by design.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.fig6_endtoend import fig6_deadline_satisfaction
+from repro.experiments.harness import ExperimentConfig
+from repro.experiments.lambda_sweep import lambda_tightness_sweep
+from repro.parallel.cache import RunCache
+from repro.sim.serialize import result_to_json
+
+pytestmark = pytest.mark.slow
+
+
+@pytest.fixture(scope="module")
+def config():
+    return ExperimentConfig()
+
+
+def test_fig6_parallel_matches_serial_bytes(config, tmp_path_factory):
+    serial = fig6_deadline_satisfaction(scale="small", config=config)
+    parallel = fig6_deadline_satisfaction(
+        scale="small",
+        config=config,
+        workers=4,
+        cache=RunCache(root=tmp_path_factory.mktemp("fig6-cache")),
+    )
+    assert serial.results.keys() == parallel.results.keys()
+    for name in serial.results:
+        assert result_to_json(serial.results[name]) == result_to_json(
+            parallel.results[name]
+        ), f"policy {name} diverged between workers=1 and workers=4"
+
+
+def test_lambda_sweep_parallel_matches_serial(config):
+    kwargs = dict(
+        config=config,
+        tightness_values=(0.8, 1.5),
+        cluster_gpus=16,
+        n_jobs=10,
+        policies=("elasticflow", "edf"),
+    )
+    serial = lambda_tightness_sweep(workers=1, **kwargs)
+    parallel = lambda_tightness_sweep(workers=4, **kwargs)
+    assert [row.tightness for row in serial] == [row.tightness for row in parallel]
+    for left, right in zip(serial, parallel):
+        assert left.ratios == right.ratios

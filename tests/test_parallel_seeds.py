@@ -1,0 +1,73 @@
+"""Tests for the seed-spawn scheme (and the old seed-arithmetic collision)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.harness import ExperimentConfig
+from repro.experiments.harness import testbed_workload as build_testbed
+from repro.parallel.seeds import spawn_seed
+
+
+class TestSpawnSeed:
+    def test_deterministic(self):
+        assert spawn_seed(0, "trace") == spawn_seed(0, "trace")
+
+    def test_distinct_streams_per_label(self):
+        assert spawn_seed(0, "trace") != spawn_seed(0, "jobs")
+
+    def test_distinct_across_masters(self):
+        seeds = {spawn_seed(master, "trace") for master in range(200)}
+        assert len(seeds) == 200
+
+    def test_path_labels_compose(self):
+        assert spawn_seed(0, "fig8b", 0, "trace") != spawn_seed(0, "fig8b", 1, "trace")
+        assert spawn_seed(0, "fig8b", 0, "trace") != spawn_seed(0, "trace")
+
+    def test_range_is_63_bit(self):
+        for master in range(50):
+            value = spawn_seed(master, "jobs")
+            assert 0 <= value < 2**63
+
+    def test_requires_labels(self):
+        with pytest.raises(ConfigurationError):
+            spawn_seed(0)
+
+    def test_no_adjacent_sweep_collision(self):
+        """Regression: ``seed + 1`` aliased the jobs stream of master ``s``
+        with the trace stream of master ``s + 1``; spawned streams must
+        never collide across adjacent (or any nearby) masters."""
+        for master in range(100):
+            jobs = spawn_seed(master, "testbed", "jobs")
+            for other in range(master - 3, master + 4):
+                assert jobs != spawn_seed(other, "testbed", "trace")
+
+    def test_path_is_positional(self):
+        assert spawn_seed(0, "a", "b") != spawn_seed(0, "b", "a")
+
+
+class TestWorkloadSeedDerivation:
+    def test_adjacent_seeds_give_unrelated_workloads(self):
+        """Adjacent master seeds must produce genuinely different workloads
+        (the old scheme made seed s's model assignment reuse seed s-1's
+        trace stream)."""
+        specs = {}
+        for seed in (0, 1, 2):
+            config = ExperimentConfig(seed=seed)
+            _, jobs = build_testbed(config, cluster_gpus=16, n_jobs=10)
+            specs[seed] = tuple(
+                (spec.model_name, spec.submit_time, spec.deadline) for spec in jobs
+            )
+        assert specs[0] != specs[1]
+        assert specs[1] != specs[2]
+
+    def test_same_master_is_reproducible(self):
+        runs = []
+        for _ in range(2):
+            config = ExperimentConfig(seed=7)
+            _, jobs = build_testbed(config, cluster_gpus=16, n_jobs=10)
+            runs.append(
+                tuple((s.job_id, s.model_name, s.submit_time, s.deadline) for s in jobs)
+            )
+        assert runs[0] == runs[1]

@@ -1,0 +1,47 @@
+"""Smoke tests for the figure-suite benchmark (``--suite figures``)."""
+
+from __future__ import annotations
+
+import json
+
+from repro.perf.bench import main
+from repro.perf.figures import run_figure_suite, suite_cells
+
+
+class TestSuiteCells:
+    def test_quick_suite_is_a_subset_workload(self):
+        quick = suite_cells(quick=True)
+        full = suite_cells(quick=False)
+        assert 0 < len(quick) < len(full)
+
+    def test_cells_are_deterministic(self):
+        from repro.parallel.fingerprint import fingerprint_run
+
+        first = [fingerprint_run(spec) for spec in suite_cells(quick=True)]
+        second = [fingerprint_run(spec) for spec in suite_cells(quick=True)]
+        assert first == second
+
+
+class TestRunFigureSuite:
+    def test_quick_report_shape(self):
+        report = run_figure_suite(quick=True, workers=2)
+        assert report["suite"] == "figures"
+        assert report["cells"] > 0
+        assert report["decisions_match"] is True
+        assert report["warm_cache_hits"] == report["unique_cells"]
+        assert report["warm_executed"] == 0
+        assert report["cores"] >= 1
+        # Warm re-runs never simulate, so they must beat a cold pass hard.
+        assert report["warm_speedup"] >= 10.0
+        assert json.dumps(report)  # report is plain JSON
+
+    def test_cli_writes_report(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        out = tmp_path / "BENCH_parallel.json"
+        assert (
+            main(["--suite", "figures", "--quick", "--workers", "2", "-o", str(out)])
+            == 0
+        )
+        report = json.loads(out.read_text())
+        assert report["decisions_match"] is True
+        assert "figure suite" in capsys.readouterr().out

@@ -1,0 +1,121 @@
+"""Round-trip tests for the lossless result serialisation layer."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.harness import (
+    ExperimentConfig,
+    improvement_factors,
+    run_policies,
+)
+from repro.experiments.harness import testbed_workload as build_testbed
+from repro.sim.serialize import (
+    decode_float,
+    encode_float,
+    result_from_dict,
+    result_from_json,
+    result_to_dict,
+    result_to_json,
+    sanitize_for_json,
+)
+
+
+class TestFloatEncoding:
+    @pytest.mark.parametrize(
+        "value,encoded",
+        [
+            (None, None),
+            (1.5, 1.5),
+            (math.inf, "inf"),
+            (-math.inf, "-inf"),
+        ],
+    )
+    def test_round_trip(self, value, encoded):
+        assert encode_float(value) == encoded
+        assert decode_float(encoded) == value
+
+    def test_nan_round_trips(self):
+        assert encode_float(math.nan) == "nan"
+        assert math.isnan(decode_float("nan"))
+
+    def test_decode_rejects_garbage(self):
+        with pytest.raises(ConfigurationError):
+            decode_float("Infinity")
+
+    def test_sanitize_handles_nested_structures(self):
+        report = {
+            "factors": {"edf": math.inf, "gandiva": 2.0},
+            "series": [1.0, math.nan, None],
+        }
+        clean = sanitize_for_json(report)
+        assert clean["factors"]["edf"] == "inf"
+        assert clean["series"][1] == "nan"
+        assert clean["series"][2] is None
+        # The whole point: strict JSON, no bare Infinity/NaN literals.
+        text = json.dumps(clean, allow_nan=False)
+        assert "Infinity" not in text
+
+
+class TestImprovementFactorSerialisation:
+    def test_infinite_factor_is_json_encodable(self):
+        """A baseline meeting zero deadlines yields inf; the sanitized
+        encoding must survive a strict JSON round trip."""
+        config = ExperimentConfig()
+        cluster, specs = build_testbed(config, cluster_gpus=16, n_jobs=8)
+        results = run_policies(["elasticflow", "edf"], cluster, specs, config)
+        factors = improvement_factors(results)
+        factors["edf"] = math.inf  # force the zero-deadline baseline case
+        text = json.dumps(sanitize_for_json(factors), allow_nan=False)
+        assert json.loads(text)["edf"] == "inf"
+
+
+class TestResultRoundTrip:
+    @pytest.fixture(scope="class")
+    def result(self):
+        config = ExperimentConfig()
+        cluster, specs = build_testbed(
+            config, cluster_gpus=16, n_jobs=10, best_effort_fraction=0.3
+        )
+        return run_policies(
+            ["elasticflow"], cluster, specs, config, record_timeline=True
+        )["elasticflow"]
+
+    def test_dict_round_trip_preserves_everything(self, result):
+        rebuilt = result_from_dict(result_to_dict(result))
+        assert rebuilt.policy_name == result.policy_name
+        assert rebuilt.outcomes == result.outcomes
+        assert rebuilt.total_gpus == result.total_gpus
+        assert rebuilt.events_processed == result.events_processed
+        assert rebuilt.timeline is not None
+        assert rebuilt.timeline.samples == result.timeline.samples
+
+    def test_json_round_trip_is_byte_stable(self, result):
+        text = result_to_json(result)
+        assert result_to_json(result_from_json(text)) == text
+
+    def test_summary_survives(self, result):
+        rebuilt = result_from_json(result_to_json(result))
+        assert rebuilt.summary() == result.summary()
+
+    def test_no_timeline_round_trips(self):
+        config = ExperimentConfig()
+        cluster, specs = build_testbed(config, cluster_gpus=16, n_jobs=6)
+        result = run_policies(["edf"], cluster, specs, config)["edf"]
+        rebuilt = result_from_json(result_to_json(result))
+        assert rebuilt.timeline is None
+        assert rebuilt.outcomes == result.outcomes
+
+    def test_schema_mismatch_rejected(self, result):
+        data = result_to_dict(result)
+        data["schema"] = 999
+        with pytest.raises(ConfigurationError):
+            result_from_dict(data)
+
+    def test_malformed_text_rejected(self):
+        with pytest.raises(ConfigurationError):
+            result_from_json("{not json")
