@@ -37,6 +37,13 @@ _MUTATING_METHODS = {
 #: The ``@coherent`` dependency name meaning "never mutate after init".
 _FROZEN = "frozen"
 
+#: The ``@coherent`` dependency name for advisory state that is re-checked
+#: against ground truth at every point of use (e.g. warm-start cap hints):
+#: stale entries cost time, never correctness, so declared mutators carry
+#: no invalidation obligation.  CC002 still requires the ``@mutates``
+#: declaration — the *intent* to mutate stays explicit.
+_VERIFIED = "verified"
+
 #: Methods allowed to touch coherent fields without a declaration: object
 #: construction, which by definition precedes any derived cache.
 _CONSTRUCTORS = {"__init__", "__post_init__", "__new__"}
@@ -381,6 +388,10 @@ class MutatorHookRule(_CCRuleBase):
                             f"no mutator may exist for it",
                         )
                         continue
+                    if dependency == _VERIFIED:
+                        # Advisory state, re-validated at use: the declared
+                        # mutator discharges nothing.
+                        continue
                     if dependency in self_provided:
                         continue  # the method IS the invalidation point
                     providers = decls.providers.get(dependency, set())
@@ -458,14 +469,23 @@ class UndeclaredMutationRule(_CCRuleBase):
                     if field_name in declared:
                         continue
                     dependency = decl.coherent_fields[field_name]
-                    hint = (
-                        "the field is frozen: move the mutation into "
-                        "construction"
-                        if dependency == _FROZEN
-                        else f"decorate the method with "
-                        f"@mutates({field_name!r}) and call the "
-                        f"{dependency!r} invalidation"
-                    )
+                    if dependency == _FROZEN:
+                        hint = (
+                            "the field is frozen: move the mutation into "
+                            "construction"
+                        )
+                    elif dependency == _VERIFIED:
+                        hint = (
+                            f"the field is advisory (verified at use): "
+                            f"decorate the method with "
+                            f"@mutates({field_name!r})"
+                        )
+                    else:
+                        hint = (
+                            f"decorate the method with "
+                            f"@mutates({field_name!r}) and call the "
+                            f"{dependency!r} invalidation"
+                        )
                     yield ctx.finding(
                         node,
                         self.rule_id,

@@ -24,8 +24,8 @@ from repro.core.plan import Ledger
 from repro.core.slots import SlotGrid
 from repro.errors import ConfigurationError
 from repro.numeric import EPS
-from repro.perf.coherence import coherent
-from repro.perf.tables import cache_enabled, planning_tables_for
+from repro.perf.coherence import coherent, keyed
+from repro.perf.tables import cache_enabled, note_warm_fill, planning_tables_for
 from repro.profiles.throughput import ScalingCurve
 
 __all__ = [
@@ -209,11 +209,12 @@ def progressive_filling(
     *,
     start_slot: int = 0,
     head: np.ndarray | None = None,
+    warm_hints: dict[tuple[str, int], int] | None = None,
 ) -> np.ndarray | None:
     """Compute the minimum satisfactory share of one job (Algorithm 1 inner loop).
 
     Raises the per-slot GPU cap through ``info.sizes`` until the achievable
-    progress before the deadline covers the remaining work; within a cap the
+    progress before the deadline covers the requirement; within a cap the
     job takes ``min(cap, leftover capacity)`` GPUs in every usable slot,
     rounded down to a size it can actually run at.  The returned plan is
     trimmed after the completion slot so later slots stay free for others.
@@ -229,6 +230,22 @@ def progressive_filling(
     reference scan (this is what the equivalence regression and the
     benchmark's decision digest verify end to end).
 
+    ``warm_hints`` adds a third, still bit-identical route: the dict maps
+    ``(job_id, start_slot)`` to the cap the previous fill of this job
+    selected.  Consecutive fills overwhelmingly pick the same cap, so the
+    fast path first *verifies* the hinted cap with two O(window) row
+    evaluations — the hinted row must be feasible and the next-lower cap
+    infeasible — and only falls back to the full 2-D scan when the
+    verification fails.  Minimality of the verified row follows from
+    monotonicity: per-slot takes ``min(cap, available)`` are non-decreasing
+    in the cap and the tables are monotone, so row feasibility is monotone
+    in the cap and "feasible here, infeasible one below" pins the exact row
+    ``argmax`` would have picked.  The verified row's plan is emitted by
+    the same code as the scanned row's, from the same sequential cumulative
+    sums, so the plan is bit-identical either way.  The dict is updated in
+    place with the cap actually chosen (hints are advisory state — see the
+    ``verified`` coherence class in :mod:`repro.perf.coherence`).
+
     Args:
         info: Planning view of the job.
         available: Leftover GPUs per slot *excluding* this job's own plan.
@@ -236,6 +253,9 @@ def progressive_filling(
             tails with ``start_slot=1``).
         head: Fixed allocations for slots before ``start_slot``; their
             progress counts toward the requirement.
+        warm_hints: Previous cap choices keyed by ``(job_id, start_slot)``;
+            mutated in place.  Ignored (left untouched) on the
+            cache-disabled reference path.
 
     Returns:
         A full-horizon plan, or ``None`` when no cap satisfies the deadline.
@@ -287,6 +307,20 @@ def progressive_filling(
         return None
     tail_weights = info.weights[start_slot : start_slot + usable]
     tail_available = np.maximum(available[start_slot : start_slot + usable], 0)
+    threshold = required - _EPS
+
+    hint_key = None
+    if warm_hints is not None:
+        hint_key = (info.job_id, start_slot)
+        warm = _verify_warm_row(
+            info, warm_hints.get(hint_key), tail_available, tail_weights, threshold
+        )
+        note_warm_fill(warm is not None)
+        if warm is not None:
+            x, progress = warm
+            return _emit_plan(
+                info, plan, x, progress, required, threshold, tail_weights, start_slot
+            )
 
     # Evaluate every (cap, slot) pair in one vectorized pass: row `i` of
     # `progress` is exactly the cumulative-progress array the reference
@@ -294,15 +328,76 @@ def progressive_filling(
     # same additions in the same sequential order), so selecting the first
     # feasible row reproduces the reference's cap choice, completion slot,
     # and plan bit for bit — without a Python-level loop over caps.
-    threshold = required - _EPS
     x2d = size_table[np.minimum.outer(info.sizes_array(), tail_available)]
     progress2d = np.cumsum(throughput_table[x2d] * tail_weights, axis=1)
     feasible = progress2d[:, -1] >= threshold
     if not feasible.any():
+        if hint_key is not None:
+            # A hint for an infeasible fill can never verify; drop it so
+            # repeated failures skip the two wasted row evaluations.
+            warm_hints.pop(hint_key, None)
         return None
     row = int(np.argmax(feasible))
-    progress = progress2d[row]
-    x = x2d[row]
+    if hint_key is not None:
+        warm_hints[hint_key] = sizes[row]
+    return _emit_plan(
+        info,
+        plan,
+        x2d[row],
+        progress2d[row],
+        required,
+        threshold,
+        tail_weights,
+        start_slot,
+    )
+
+
+def _verify_warm_row(
+    info: PlanningJob,
+    cap: int | None,
+    tail_available: np.ndarray,
+    tail_weights: np.ndarray,
+    threshold: float,
+) -> tuple[np.ndarray, np.ndarray] | None:
+    """Check a hinted cap in O(window); returns its ``(x, progress)`` row.
+
+    The hint verifies when its row is feasible and the next-lower cap's row
+    is not — by cap-monotonicity of per-slot progress that makes it exactly
+    the first feasible row of the full scan.  Feasibility totals come from
+    the *sequential* cumulative sum (never ``np.sum``, whose pairwise
+    reduction could round a boundary comparison the other way), so the
+    accept/reject decision matches the 2-D scan bit for bit.
+    """
+    if cap is None:
+        return None
+    arr = info.sizes_array()
+    idx = int(np.searchsorted(arr, cap))
+    if idx >= arr.size or int(arr[idx]) != cap:
+        return None  # stale hint from a different table build
+    x = info.size_table[np.minimum(cap, tail_available)]
+    progress = np.cumsum(info.throughput_table[x] * tail_weights)
+    if progress[-1] < threshold:
+        return None
+    if idx > 0:
+        below = int(arr[idx - 1])
+        x_below = info.size_table[np.minimum(below, tail_available)]
+        total_below = np.cumsum(info.throughput_table[x_below] * tail_weights)[-1]
+        if total_below >= threshold:
+            return None  # a smaller cap suffices: the hint is not minimal
+    return x, progress
+
+
+def _emit_plan(
+    info: PlanningJob,
+    plan: np.ndarray,
+    x: np.ndarray,
+    progress: np.ndarray,
+    required: float,
+    threshold: float,
+    tail_weights: np.ndarray,
+    start_slot: int,
+) -> np.ndarray:
+    """Write the selected cap's row into ``plan`` (shared by scan and warm paths)."""
     done = int(np.searchsorted(progress, threshold))
     plan[start_slot : start_slot + done + 1] = x[: done + 1]
     x_done = int(x[done])
@@ -313,10 +408,10 @@ def progressive_filling(
     residual = required - earlier
     final_weight = float(tail_weights[done])
     if final_weight > 0:
-        for size in sizes:
+        for size in info.sizes:
             if size > x_done:
                 break
-            if throughput_table[size] * final_weight >= residual - _EPS:
+            if info.throughput_table[size] * final_weight >= residual - _EPS:
                 plan[start_slot + done] = size
                 break
     return plan
@@ -392,6 +487,28 @@ class AdmissionResult:
     degraded: set[str] = field(default_factory=set)
 
 
+@dataclass
+class _RetainedFill:
+    """The previous soft fill, kept for the event-delta replanning path.
+
+    Attributes:
+        grid_key: ``(origin, slot_seconds, horizon)`` of the grid the fill
+            ran on — a delta is only attempted on the identical grid.
+        order: The SLO jobs in fill order, each as
+            ``(deadline, job_id, remaining_iterations, tables_token)``.
+        plans: Plan per SLO job id (frozen arrays, shared by reference with
+            the ledger the fill produced).
+        degraded: SLO jobs whose deadlines were unmeetable in that fill.
+    """
+
+    grid_key: tuple[float, float, int]
+    order: list[tuple[float, str, float, int]]
+    plans: dict[str, np.ndarray]
+    degraded: frozenset[str]
+
+
+@keyed(_fill_cache="_fingerprint", _retained="_fingerprint")
+@coherent(_warm_hints="verified")
 class AdmissionController:
     """Algorithm 1: deadline-ordered progressive filling over all jobs.
 
@@ -406,6 +523,21 @@ class AdmissionController:
     :func:`repro.perf.tables.planning_cache_disabled` is active or when any
     job carries a hand-built table (token ``-1``).
 
+    Two incremental layers sit on top of the exact-match memo:
+
+    - ``_retained`` remembers the previous soft fill (same ``_fingerprint``
+      key discipline).  When the next fill differs only by departures,
+      arrivals, or per-job state changes, :meth:`_delta_fill` walks the old
+      and new deadline orders in one two-pointer merge, reuses every plan
+      whose usable window sees an unchanged capacity prefix, and re-fills
+      only the rest — byte-identical to the cold fill because a job's plan
+      is a function of exactly (its view, the available-capacity prefix
+      ahead of it).
+    - ``_warm_hints`` remembers the cap each ``(job_id, start_slot)`` fill
+      chose last time, letting :func:`progressive_filling` verify instead
+      of scan (``verified`` coherence: every hint is re-checked at use, so
+      staleness costs time, never correctness).
+
     Args:
         capacity: Number of GPUs in the cluster.
     """
@@ -418,8 +550,18 @@ class AdmissionController:
             raise ConfigurationError(f"capacity must be >= 1, got {capacity}")
         self.capacity = capacity
         self._fill_cache: OrderedDict[tuple, tuple] = OrderedDict()
+        self._retained: _RetainedFill | None = None
+        self._warm_hints: dict[tuple[str, int], int] = {}
         self.fill_cache_hits = 0
         self.fill_cache_misses = 0
+        self.delta_hits = 0
+        self.delta_reuses = 0
+        self.delta_refills = 0
+
+    @property
+    def warm_hints(self) -> dict[tuple[str, int], int]:
+        """The advisory cap-hint store, shared with Algorithm 2's refills."""
+        return self._warm_hints
 
     # ------------------------------------------------------------- caching
     def _fingerprint(
@@ -449,16 +591,23 @@ class AdmissionController:
     def _replay(
         self, infos: list[PlanningJob], grid: SlotGrid, cached: tuple
     ) -> AdmissionResult:
-        """Reconstruct a fill from the cache, including info side effects."""
+        """Reconstruct a fill from the cache, including info side effects.
+
+        Cached plans are frozen arrays, so the replay shares them by
+        reference — one ``load_plans`` bulk restore instead of a copy and
+        a ``set_plan`` per job.
+        """
         admitted, plans, infeasible, degraded = cached
-        ledger = Ledger(self.capacity, grid.horizon)
         out_plans: dict[str, np.ndarray] = {}
+        used = np.zeros(grid.horizon, dtype=np.int64)
         for info in sorted(infos, key=lambda i: (i.deadline, i.job_id)):
-            plan = plans[info.job_id].copy()
+            plan = plans[info.job_id]
             info.degraded = info.job_id in degraded
             info.min_share_plan = plan
             out_plans[info.job_id] = plan
-            ledger.set_plan(info.job_id, plan, trusted=True)
+            used += plan
+        ledger = Ledger(self.capacity, grid.horizon)
+        ledger.load_plans(out_plans, used)
         return AdmissionResult(
             admitted=admitted,
             plans=out_plans,
@@ -485,6 +634,10 @@ class AdmissionController:
 
         Only soft (``stop_on_failure=False``) fills are memoized: the hard
         mode aborts mid-fill and its partial ledger is not worth replaying.
+        Cache misses first try the event-delta path against the retained
+        previous fill (:meth:`_delta_fill`) before falling back to the full
+        deadline-ordered fill; either way the produced fill becomes the new
+        retained snapshot.
         """
         key = None
         if not stop_on_failure and cache_enabled():
@@ -494,19 +647,157 @@ class AdmissionController:
                 if cached is not None:
                     self._fill_cache.move_to_end(key)
                     self.fill_cache_hits += 1
-                    return self._replay(infos, grid, cached)
+                    result = self._replay(infos, grid, cached)
+                    self._retained = self._snapshot(infos, grid, result)
+                    return result
                 self.fill_cache_misses += 1
-        result = self._fill(infos, grid, stop_on_failure=stop_on_failure)
+        result = None
         if key is not None:
+            result = self._delta_fill(infos, grid)
+        if result is None:
+            result = self._fill(infos, grid, stop_on_failure=stop_on_failure)
+        if key is not None:
+            # Plans are frozen at registration time, so the cache can store
+            # them by reference; only the dict container is copied.
             self._fill_cache[key] = (
                 result.admitted,
-                {job_id: plan.copy() for job_id, plan in result.plans.items()},
+                dict(result.plans),
                 result.infeasible_job,
                 frozenset(result.degraded),
             )
             while len(self._fill_cache) > self.FILL_CACHE_LIMIT:
                 self._fill_cache.popitem(last=False)
+            self._retained = self._snapshot(infos, grid, result)
         return result
+
+    def _snapshot(
+        self, infos: list[PlanningJob], grid: SlotGrid, result: AdmissionResult
+    ) -> _RetainedFill:
+        """Package a finished soft fill for the next event's delta pass."""
+        order: list[tuple[float, str, float, int]] = []
+        plans: dict[str, np.ndarray] = {}
+        for info in sorted(infos, key=lambda i: (i.deadline, i.job_id)):
+            if info.best_effort:
+                continue
+            order.append(
+                (info.deadline, info.job_id, info.remaining_iterations,
+                 info.tables_token)
+            )
+            plans[info.job_id] = result.plans[info.job_id]
+        return _RetainedFill(
+            grid_key=(grid.origin, grid.slot_seconds, grid.horizon),
+            order=order,
+            plans=plans,
+            degraded=frozenset(result.degraded),
+        )
+
+    def _delta_fill(
+        self, infos: list[PlanningJob], grid: SlotGrid
+    ) -> AdmissionResult | None:
+        """Rebuild a soft fill from the retained one, re-filling only deltas.
+
+        A job's minimum satisfactory share is a pure function of its
+        planning view and of the *available-capacity prefix* left by
+        earlier-deadline jobs.  Walking the old and new deadline orders
+        with one two-pointer merge maintains ``delta`` = (old used prefix)
+        − (new used prefix): a surviving job whose view is unchanged and
+        whose usable window sees an all-zero delta faces bit-identical
+        inputs, so its retained plan (and degraded flag) is reused by
+        reference; everything else — arrivals, changed views, jobs behind
+        a perturbed prefix — re-runs :func:`progressive_filling` exactly
+        as the cold fill would.  Departed jobs' plans enter ``delta`` as
+        freed capacity.  Returns ``None`` (caller falls back to the full
+        fill) when there is no retained fill for this grid.
+        """
+        retained = self._retained
+        if retained is None:
+            return None
+        if retained.grid_key != (grid.origin, grid.slot_seconds, grid.horizon):
+            return None
+        horizon = grid.horizon
+        ordered = sorted(infos, key=lambda i: (i.deadline, i.job_id))
+        old = retained.order
+        old_plans = retained.plans
+        n_old = len(old)
+        pos = 0
+        used = np.zeros(horizon, dtype=np.int64)
+        delta: np.ndarray | None = None  # lazily materialized; None == all-zero
+        plans: dict[str, np.ndarray] = {}
+        degraded: set[str] = set()
+        infeasible: str | None = None
+        reuses = refills = 0
+        for info in ordered:
+            if info.best_effort:
+                info.degraded = False
+                plan = np.zeros(horizon, dtype=np.int64)
+                info.min_share_plan = plan
+                plans[info.job_id] = plan
+                continue
+            okey = (info.deadline, info.job_id)
+            while pos < n_old and (old[pos][0], old[pos][1]) < okey:
+                # Departed (or re-ordered) job: its old plan is freed capacity.
+                if delta is None:
+                    delta = np.zeros(horizon, dtype=np.int64)
+                delta += old_plans[old[pos][1]]
+                pos += 1
+            had_old = False
+            matched = False
+            if pos < n_old and (old[pos][0], old[pos][1]) == okey:
+                entry = old[pos]
+                pos += 1
+                had_old = True
+                matched = (
+                    entry[2] == info.remaining_iterations
+                    and entry[3] == info.tables_token
+                )
+                # An unmatched same-key entry is a view change: handled as
+                # departure + arrival (old plan freed, job re-filled).
+            info.degraded = False
+            old_plan = old_plans[info.job_id] if had_old else None
+            if matched:
+                w = info.window(0)
+                if delta is None or not delta[:w].any():
+                    plan = old_plans[info.job_id]
+                    if info.job_id in retained.degraded:
+                        info.degraded = True
+                        degraded.add(info.job_id)
+                        infeasible = infeasible or info.job_id
+                    info.min_share_plan = plan
+                    plans[info.job_id] = plan
+                    used += plan
+                    reuses += 1
+                    continue
+            refills += 1
+            available = self.capacity - used
+            plan = progressive_filling(
+                info, available, warm_hints=self._warm_hints
+            )
+            if plan is None:
+                info.degraded = True
+                degraded.add(info.job_id)
+                infeasible = infeasible or info.job_id
+                plan = np.zeros(horizon, dtype=np.int64)
+            info.min_share_plan = plan
+            plans[info.job_id] = plan
+            used += plan
+            if old_plan is not None or plan.any():
+                if delta is None:
+                    delta = np.zeros(horizon, dtype=np.int64)
+                delta -= plan
+                if old_plan is not None:
+                    delta += old_plan
+        ledger = Ledger(self.capacity, horizon)
+        ledger.load_plans(plans, used)
+        self.delta_hits += 1
+        self.delta_reuses += reuses
+        self.delta_refills += refills
+        return AdmissionResult(
+            admitted=infeasible is None,
+            plans=plans,
+            ledger=ledger,
+            infeasible_job=infeasible,
+            degraded=degraded,
+        )
 
     def _fill(
         self,
@@ -525,7 +816,9 @@ class AdmissionController:
             if info.best_effort:
                 plan = np.zeros(grid.horizon, dtype=np.int64)
             else:
-                plan = progressive_filling(info, ledger.available())
+                plan = progressive_filling(
+                    info, ledger.available(), warm_hints=self._warm_hints
+                )
                 if plan is None:
                     if stop_on_failure:
                         return AdmissionResult(

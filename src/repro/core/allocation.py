@@ -69,11 +69,14 @@ def _propose(
     ledger: Ledger,
     slot_seconds: float,
     old_cost: float | None = None,
+    warm_hints: dict[tuple[str, int], int] | None = None,
 ) -> Upgrade | None:
     """Build the next upgrade for one job, or ``None`` if it cannot grow.
 
     ``old_cost`` short-circuits the GPU-time of the job's current plan when
     the caller already knows it (the cost of the upgrade it just applied).
+    ``warm_hints`` carries the tail refill's previous cap choices into
+    :func:`progressive_filling` (verified there; see its docstring).
     """
     current = ledger.plan_view(info.job_id)
     current_size = int(current[0])
@@ -107,7 +110,7 @@ def _propose(
         head = np.zeros(horizon, dtype=np.int64)
         head[0] = next_size
         new_plan = progressive_filling(
-            info, available, start_slot=1, head=head
+            info, available, start_slot=1, head=head, warm_hints=warm_hints
         )
         if new_plan is None:
             return None
@@ -182,6 +185,8 @@ def allocate_leftover(
     infos: list[PlanningJob],
     ledger: Ledger,
     slot_seconds: float,
+    *,
+    warm_hints: dict[tuple[str, int], int] | None = None,
 ) -> dict[str, int]:
     """Run Algorithm 2: distribute leftover slot-0 GPUs by marginal return.
 
@@ -192,6 +197,10 @@ def allocate_leftover(
         ledger: Occupancy ledger pre-loaded with minimum shares.  Mutated in
             place; on return it holds the final plans.
         slot_seconds: Width of one planning slot.
+        warm_hints: Optional cap-hint store threaded into every tail refill
+            (see :func:`repro.core.admission.progressive_filling`); the
+            policy passes its controller's hint dict so cap choices carry
+            across events.
 
     Returns:
         Mapping of job id to its slot-0 GPU allocation (the decision that is
@@ -205,7 +214,7 @@ def allocate_leftover(
     heap: list[tuple[float, float, str, Upgrade]] = []
 
     def push(info: PlanningJob, old_cost: float | None = None) -> None:
-        upgrade = _propose(info, ledger, slot_seconds, old_cost)
+        upgrade = _propose(info, ledger, slot_seconds, old_cost, warm_hints)
         if upgrade is not None:
             heapq.heappush(
                 heap, (-upgrade.priority, upgrade.tiebreak, upgrade.job_id, upgrade)

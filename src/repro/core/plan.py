@@ -135,6 +135,25 @@ class Ledger:
         self._bump_version()
 
     @mutates("_used", "_plans")
+    def load_plans(self, plans: dict[str, np.ndarray], used: np.ndarray) -> None:
+        """Wholesale-replace every plan from a pre-validated snapshot.
+
+        The bulk restore behind the admission controller's replay and
+        departure-delta paths: ``plans`` must be exactly the per-job plans
+        whose column sum is ``used`` (the caller owns that invariant —
+        both paths derive the pair from plans progressive filling already
+        bounded by capacity).  Adopted arrays are frozen in place, like
+        ``set_plan(trusted=True)``, so :meth:`plan_view` can keep handing
+        out stored arrays; ``used`` is adopted writable because the
+        incremental mutators update it in place.
+        """
+        for plan in plans.values():
+            plan.flags.writeable = False
+        self._plans = dict(plans)
+        self._used = used
+        self._bump_version()
+
+    @mutates("_used", "_plans")
     def remove_plan(self, job_id: str) -> None:
         """Drop a job's plan, releasing its claimed GPUs."""
         plan = self._plans.pop(job_id, None)

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import math
 from collections import OrderedDict
+from dataclasses import dataclass
 
 from repro.core.admission import AdmissionController, PlanningJob, planning_job
 from repro.core.allocation import allocate_leftover
@@ -19,6 +20,7 @@ from repro.core.job import Job
 from repro.core.operator import OperatorPolicy
 from repro.core.slots import SlotGrid
 from repro.errors import ConfigurationError
+from repro.perf import probe
 from repro.perf.coherence import keyed
 from repro.perf.tables import cache_enabled, curve_revision
 from repro.sim.interface import SchedulerPolicy
@@ -26,7 +28,27 @@ from repro.sim.interface import SchedulerPolicy
 __all__ = ["ElasticFlowPolicy"]
 
 
-@keyed(_info_cache="curve_revision")
+@dataclass
+class _RoundEntry:
+    """One remembered planning round for the event-level fingerprint cache.
+
+    Attributes:
+        key: The round fingerprint (see ``ElasticFlowPolicy._round_key``).
+        decisions: The *raw* Algorithm 1+2 decision vector, before
+            stability hysteresis — hysteresis reads the jobs' current
+            placement sizes, which are engine state outside the
+            fingerprint, so it re-runs on every hit.
+        minima: Slot-0 minimum satisfactory share per non-degraded SLO job
+            (absent means zero) — the only Algorithm 1 side product the
+            hysteresis pass needs.
+    """
+
+    key: tuple
+    decisions: dict[str, int]
+    minima: dict[str, int]
+
+
+@keyed(_info_cache="curve_revision", _round_cache="_round_key")
 class ElasticFlowPolicy(SchedulerPolicy):
     """Deadline-driven serverless scheduling with elastic scaling.
 
@@ -104,13 +126,22 @@ class ElasticFlowPolicy(SchedulerPolicy):
         # One controller per planning capacity (capacity changes only on
         # node failure/repair), so its memoized fills survive across
         # scheduling events — see AdmissionController's caching contract.
-        self._controllers: dict[int, AdmissionController] = {}
+        # LRU-bounded: repeated failure/repair cycles would otherwise
+        # accumulate controllers (each pinning its fill memo) forever.
+        self._controllers: OrderedDict[int, AdmissionController] = OrderedDict()
         # Planning views built during one event are rebuilt identically by
         # the admission pass and the allocation pass (same grid, same
         # remaining work), so they are memoized under the global cache
         # switch.  Keys carry the curve revision: an online-profiling
         # correction invalidates every dependent view.
         self._info_cache: OrderedDict[tuple, PlanningJob] = OrderedDict()
+        # The previous planning round, keyed by the round fingerprint: an
+        # event whose planning inputs are bit-identical to the last round
+        # replays the remembered decision vector without touching
+        # Algorithms 1/2 (hysteresis still re-runs; see _RoundEntry).
+        self._round_cache: _RoundEntry | None = None
+        self.round_hits = 0
+        self.round_misses = 0
 
     # ------------------------------------------------------------ interface
     def _planning_capacity(self) -> int:
@@ -136,11 +167,14 @@ class ElasticFlowPolicy(SchedulerPolicy):
             return self._operator_gate(job, now)
         if self._planning_capacity() < 1:
             return False  # total outage: nothing can be guaranteed
+        mark = probe.tick()
         grid = self._grid(now, active + [job])
         controller = self._controller(self._planning_capacity())
         candidate = self._info(job, grid)
         admitted = [self._info(j, grid) for j in active if not j.spec.best_effort]
+        mark = probe.lap("views", mark)
         result = controller.try_admit(candidate, admitted, grid)
+        probe.lap("alg1", mark)
         if not result.admitted:
             return False
         return self._operator_gate(job, now)
@@ -154,25 +188,74 @@ class ElasticFlowPolicy(SchedulerPolicy):
         return True
 
     def allocate(self, active: list[Job], now: float) -> dict[str, int]:
-        """Algorithms 1 + 2: minimum shares, then marginal-return leftovers."""
+        """Algorithms 1 + 2: minimum shares, then marginal-return leftovers.
+
+        The round fingerprint short-circuits the whole solve: when the
+        planning inputs (job views, grid, capacity) are bit-identical to
+        the previous round, the remembered raw decision vector is replayed
+        and only the stability hysteresis — which reads current placement
+        sizes, engine state outside the fingerprint — runs again.
+        """
         if not active:
             return {}
-        if self._planning_capacity() < 1:
+        capacity = self._planning_capacity()
+        if capacity < 1:
             return {job.job_id: 0 for job in active}
+        mark = probe.tick()
         grid = self._grid(now, active)
-        controller = self._controller(self._planning_capacity())
+        controller = self._controller(capacity)
         infos = [self._info(job, grid) for job in active]
+        mark = probe.lap("views", mark)
+        key = None
+        if cache_enabled():
+            key = self._round_key(infos, grid, capacity)
+            entry = self._round_cache
+            if key is not None and entry is not None and entry.key == key:
+                self.round_hits += 1
+                decisions = dict(entry.decisions)
+                if self.stability_threshold > 0:
+                    decisions = self._stabilize(
+                        decisions, infos, active, entry.minima
+                    )
+                probe.lap("alg2", mark)
+                return decisions
+            if key is not None:
+                self.round_misses += 1
         result = controller.plan_shares(infos, grid, stop_on_failure=False)
-        decisions = allocate_leftover(infos, result.ledger, grid.slot_seconds)
+        mark = probe.lap("alg1", mark)
+        decisions = allocate_leftover(
+            infos,
+            result.ledger,
+            grid.slot_seconds,
+            warm_hints=controller.warm_hints if cache_enabled() else None,
+        )
+        minima = self._share_minima(infos)
+        if key is not None:
+            self._round_cache = _RoundEntry(
+                key=key, decisions=dict(decisions), minima=minima
+            )
         if self.stability_threshold > 0:
-            decisions = self._stabilize(decisions, infos, active)
+            decisions = self._stabilize(decisions, infos, active, minima)
+        probe.lap("alg2", mark)
         return decisions
+
+    @staticmethod
+    def _share_minima(infos: list[PlanningJob]) -> dict[str, int]:
+        """Slot-0 minimum shares of the non-degraded jobs (zeros omitted)."""
+        minima: dict[str, int] = {}
+        for info in infos:
+            if info.min_share_plan is not None and not info.degraded:
+                minimum = int(info.min_share_plan[0])
+                if minimum:
+                    minima[info.job_id] = minimum
+        return minima
 
     def _stabilize(
         self,
         decisions: dict[str, int],
         infos: list[PlanningJob],
         active: list[Job],
+        minima: dict[str, int],
     ) -> dict[str, int]:
         """Keep current allocations when the proposed change barely helps.
 
@@ -181,6 +264,8 @@ class ElasticFlowPolicy(SchedulerPolicy):
         size changes its throughput by less than ``stability_threshold``,
         and (iii) cluster capacity still holds.  This suppresses the
         checkpoint/restore churn of re-solving Algorithm 2 at every event.
+        ``minima`` carries Algorithm 1's slot-0 minimum shares so a
+        round-cache replay can run hysteresis without re-solving.
         """
         by_id = {info.job_id: info for info in infos}
         total = sum(decisions.values())
@@ -191,10 +276,7 @@ class ElasticFlowPolicy(SchedulerPolicy):
             if current == target or current == 0:
                 continue
             info = by_id[job.job_id]
-            minimum = 0
-            if info.min_share_plan is not None and not info.degraded:
-                minimum = int(info.min_share_plan[0])
-            if current < minimum:
+            if current < minima.get(job.job_id, 0):
                 continue  # must move: the deadline depends on it
             thr_current = float(info.throughput_table[current])
             thr_target = float(info.throughput_table[target])
@@ -209,12 +291,55 @@ class ElasticFlowPolicy(SchedulerPolicy):
         return decisions
 
     # -------------------------------------------------------------- helpers
+    #: Bound on per-capacity admission controllers; LRU-evicted beyond this.
+    CONTROLLER_CACHE_LIMIT = 8
+
     def _controller(self, capacity: int) -> AdmissionController:
         controller = self._controllers.get(capacity)
         if controller is None:
             controller = AdmissionController(capacity)
             self._controllers[capacity] = controller
+            while len(self._controllers) > self.CONTROLLER_CACHE_LIMIT:
+                self._controllers.popitem(last=False)
+        else:
+            self._controllers.move_to_end(capacity)
         return controller
+
+    def _round_key(
+        self, infos: list[PlanningJob], grid: SlotGrid, capacity: int
+    ) -> tuple | None:
+        """Fingerprint of one planning round, or ``None`` when uncacheable.
+
+        Covers everything the raw Algorithm 1+2 decision vector is a
+        function of: the grid (origin, slot width, horizon), the planning
+        capacity, and every active job's planning view — id, remaining
+        work, padded deadline, best-effort flag, and the planning-table
+        token, which is the freshness surrogate for the scaling curve (an
+        online-profiling correction bumps the curve revision, which forces
+        a table rebuild, which mints a new token).  Hand-built views
+        (token ``-1``) make the round uncacheable, mirroring the fill
+        fingerprint's discipline.
+        """
+        jobs = []
+        for info in infos:
+            if info.tables_token < 0:
+                return None
+            jobs.append(
+                (
+                    info.job_id,
+                    info.remaining_iterations,
+                    info.deadline,
+                    info.best_effort,
+                    info.tables_token,
+                )
+            )
+        return (
+            grid.origin,
+            grid.slot_seconds,
+            grid.horizon,
+            capacity,
+            tuple(sorted(jobs)),
+        )
 
     def _grid(self, now: float, jobs: list[Job]) -> SlotGrid:
         """Planning grid covering every finite deadline from ``now``.
@@ -256,6 +381,13 @@ class ElasticFlowPolicy(SchedulerPolicy):
                 deadline_padding_s=self.deadline_padding_s,
             )
         spec = job.spec
+        # The grid's *horizon* is deliberately absent: a view's weights run
+        # up to its own (padded) deadline, and every grid that includes the
+        # job covers that deadline, so all weight-window consumers see
+        # identical values on any same-origin/same-width grid.  This lets
+        # the admission pass and the same-event allocation pass share one
+        # view build even when the candidate's deadline stretched the
+        # admission grid's horizon.
         key = (
             job.job_id,
             job.remaining_iterations,
@@ -266,7 +398,6 @@ class ElasticFlowPolicy(SchedulerPolicy):
             curve_revision(curve),
             grid.origin,
             grid.slot_seconds,
-            grid.horizon,
             self.context.total_gpus,
         )
         info = self._info_cache.get(key)

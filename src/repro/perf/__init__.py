@@ -6,6 +6,9 @@
   (``@coherent``/``@keyed``/``@mutates``/``@invalidates``) connecting
   cache-dependent state to its invalidation hooks; checked statically by
   ``python -m repro.analysis`` (rules CC001–CC005).
+- :mod:`repro.perf.probe` — dormant-by-default per-event phase timing
+  (planning views / Algorithm 1 / Algorithm 2 / engine bookkeeping);
+  the bench harness installs a recorder and exports the phase split.
 - :mod:`repro.perf.bench` — the benchmark harness behind
   ``python -m repro.perf``; records the perf trajectory in
   ``BENCH_core.json``.

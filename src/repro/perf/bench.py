@@ -28,6 +28,7 @@ import numpy as np
 from repro.cluster.topology import ClusterSpec
 from repro.core.admission import planning_job
 from repro.core.scheduler import ElasticFlowPolicy
+from repro.perf import probe
 from repro.perf.tables import cache_stats, planning_cache_disabled, reset_cache
 from repro.profiles.throughput import ThroughputModel
 from repro.sim.engine import Simulator
@@ -47,16 +48,44 @@ DEFAULT_OUTPUT = "BENCH_core.json"
 
 
 class _TimedSimulator(Simulator):
-    """A simulator that records the wall-clock latency of every event."""
+    """A simulator that records the wall-clock latency of every event.
+
+    Each dispatch is additionally bracketed as one phase-probe event, so
+    the per-phase attribution (views / alg1 / alg2 / engine) aligns
+    one-to-one with ``event_latencies`` while a recorder is installed.
+    """
 
     def __init__(self, *args, **kwargs) -> None:
         super().__init__(*args, **kwargs)
         self.event_latencies: list[float] = []
 
     def _dispatch(self, event: Event) -> None:
+        probe.begin_event()
         start = time.perf_counter()
         super()._dispatch(event)
         self.event_latencies.append(time.perf_counter() - start)
+        probe.end_event()
+
+
+def _phase_summary(
+    events: list[dict[str, float]], latencies: list[float]
+) -> dict[str, float]:
+    """Aggregate per-event phase buckets into total seconds per phase.
+
+    ``other_s`` is the residual — event time not attributed to any named
+    phase (event handling outside ``allocate``/``_reallocate``, probe
+    overhead, dispatch plumbing) — so the named phases plus the residual
+    always reconcile with the summed event latencies.
+    """
+    totals = dict.fromkeys(probe.PHASES, 0.0)
+    for event_phases in events:
+        for phase, seconds in event_phases.items():
+            totals[phase] = totals.get(phase, 0.0) + seconds
+    attributed = sum(totals.values())
+    total = sum(latencies)
+    summary = {f"{phase}_s": round(totals[phase], 4) for phase in probe.PHASES}
+    summary["other_s"] = round(max(0.0, total - attributed), 4)
+    return summary
 
 
 def _percentiles_ms(latencies: list[float]) -> dict[str, float]:
@@ -108,22 +137,42 @@ def _policy() -> ElasticFlowPolicy:
 
 def _run_sim(n_jobs: int, seed: int) -> tuple[dict[str, Any], SimulationResult]:
     cluster, specs, throughput = _benchmark_workload(n_jobs, seed)
+    policy = _policy()
     sim = _TimedSimulator(
         cluster,
-        _policy(),
+        policy,
         specs,
         throughput=throughput,
         slot_seconds=BENCH_SLOT_SECONDS,
         record_timeline=False,
     )
+    recorder = probe.PhaseRecorder()
     start = time.perf_counter()
-    result = sim.run()
+    with probe.recording(recorder):
+        result = sim.run()
     wall = time.perf_counter() - start
+    incremental = {
+        "round_hits": policy.round_hits,
+        "round_misses": policy.round_misses,
+        "fill_cache_hits": 0,
+        "fill_cache_misses": 0,
+        "delta_hits": 0,
+        "delta_reuses": 0,
+        "delta_refills": 0,
+    }
+    for controller in policy._controllers.values():
+        incremental["fill_cache_hits"] += controller.fill_cache_hits
+        incremental["fill_cache_misses"] += controller.fill_cache_misses
+        incremental["delta_hits"] += controller.delta_hits
+        incremental["delta_reuses"] += controller.delta_reuses
+        incremental["delta_refills"] += controller.delta_refills
     metrics: dict[str, Any] = {
         "wall_s": wall,
         "events": result.events_processed,
         "events_per_sec": result.events_processed / wall if wall > 0 else 0.0,
         **_percentiles_ms(sim.event_latencies),
+        "phases": _phase_summary(recorder.events, sim.event_latencies),
+        "incremental": incremental,
     }
     return metrics, result
 
@@ -301,6 +350,18 @@ def main(argv: list[str] | None = None) -> int:
         f"allocation: {report['allocation']['allocs_per_sec']:.1f} allocs/s | "
         f"events: {e2e['cached']['events_per_sec']:.1f}/s "
         f"(p50 {e2e['cached']['p50_ms']:.2f} ms, p95 {e2e['cached']['p95_ms']:.2f} ms)"
+    )
+    phases = e2e["cached"]["phases"]
+    print(
+        "phases (cached): "
+        + " | ".join(f"{name} {phases[f'{name}_s']:.1f}s" for name in probe.PHASES)
+        + f" | other {phases['other_s']:.1f}s"
+    )
+    inc = e2e["cached"]["incremental"]
+    print(
+        f"incremental: round {inc['round_hits']}/{inc['round_hits'] + inc['round_misses']} hits, "
+        f"delta {inc['delta_hits']} fills ({inc['delta_reuses']} reused / "
+        f"{inc['delta_refills']} refilled), fill-memo {inc['fill_cache_hits']} hits"
     )
     print(f"report written to {output}")
     return 0

@@ -14,7 +14,9 @@ metadata):
 - :func:`coherent` — class decorator declaring *hook-invalidated* fields:
   ``@coherent(_corrections="planning_tables")`` says "caches derived from
   ``self._corrections`` are kept coherent by the ``planning_tables``
-  invalidation; whoever mutates the field must trigger it".
+  invalidation; whoever mutates the field must trigger it".  The special
+  dependencies ``"frozen"`` (never mutated after construction) and
+  ``"verified"`` (advisory state re-validated at every use) need no hook.
 - :func:`keyed` — class decorator declaring *key-invalidated* memo fields:
   ``@keyed(_rate_memo="curve_revision")`` says "entries of
   ``self._rate_memo`` stay coherent because their keys embed
@@ -77,10 +79,14 @@ def coherent(**field_hooks: str) -> Callable[[_C], _C]:
     Args:
         **field_hooks: Mapping of field name to the invalidation name
             (an :data:`INVALIDATION_REGISTRY` key) that keeps caches
-            derived from the field coherent.  The special name
+            derived from the field coherent.  Two special names exist:
             ``"frozen"`` declares a field that must never be mutated
             after construction (it feeds a fingerprint; there is no hook
-            that could repair a mutation).
+            that could repair a mutation), and ``"verified"`` declares an
+            *advisory* field whose every entry is re-validated against
+            ground truth at the point of use — staleness can cost time
+            but never correctness, so mutators need no invalidation hook
+            (e.g. the admission controller's warm-start cap hints).
     """
 
     def decorate(cls: _C) -> _C:

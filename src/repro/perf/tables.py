@@ -48,6 +48,7 @@ __all__ = [
     "set_cache_enabled",
     "planning_cache_disabled",
     "cache_stats",
+    "note_warm_fill",
     "reset_cache",
 ]
 
@@ -78,7 +79,14 @@ _token_counter = itertools.count()
 _store: "WeakKeyDictionary[object, dict[int, PlanningTables]]" = WeakKeyDictionary()
 _revisions: "WeakKeyDictionary[object, int]" = WeakKeyDictionary()
 _enabled: bool = True
-_stats = {"hits": 0, "misses": 0, "bypasses": 0, "invalidations": 0}
+_stats = {
+    "hits": 0,
+    "misses": 0,
+    "bypasses": 0,
+    "invalidations": 0,
+    "warm_hits": 0,
+    "warm_misses": 0,
+}
 
 
 def compute_planning_tables(curve, capacity: int) -> PlanningTables:
@@ -184,6 +192,19 @@ def planning_cache_disabled():
 def cache_stats() -> dict[str, int]:
     """Hit/miss/bypass/invalidation counters (copies; for tests & bench)."""
     return dict(_stats)
+
+
+def note_warm_fill(hit: bool) -> None:
+    """Count one warm-hint fill attempt (verified reuse vs full-scan fallback).
+
+    Warm-started progressive fills (see ``repro.core.admission``) record
+    their outcome here so the benchmark can report how often the O(window)
+    verification actually short-circuits the 2-D cap scan.
+    """
+    if hit:
+        _stats["warm_hits"] += 1
+    else:
+        _stats["warm_misses"] += 1
 
 
 @invalidates("planning_tables")

@@ -20,6 +20,7 @@ from repro.cluster.topology import ClusterSpec
 from repro.core.job import Job, JobSpec, JobStatus
 from repro.errors import PlacementError, SchedulingError, SimulationError
 from repro.numeric import EPS, is_power_of_two
+from repro.perf import probe
 from repro.perf.coherence import coherent, invalidates, keyed, mutates
 from repro.perf.tables import cache_enabled, curve_revision
 from repro.profiles.throughput import Placement, ThroughputModel
@@ -416,6 +417,7 @@ class Simulator:
             self._record_sample()
             return
         decisions = self.policy.allocate(active, now)
+        mark = probe.tick()
         self._validate_decisions(decisions, active)
         # Every projection pushed before this point is now superseded.
         self._retire_projections()
@@ -495,6 +497,10 @@ class Simulator:
             Event(now + self.slot_seconds, EventKind.REPLAN, next(self._seq), "", version)
         )
         self._record_sample()
+        # Everything after the policy call — validation, placement moves,
+        # overhead charging, completion projection — is the engine's own
+        # bookkeeping share of the event.
+        probe.lap("engine", mark)
 
     def _validate_decisions(
         self, decisions: dict[str, int], active: list[Job]

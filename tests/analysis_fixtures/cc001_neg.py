@@ -18,3 +18,27 @@ class HolderOneNeg:
             raise ValueError("key must not be None")  # raise paths are exempt
         self._data[key] = value
         self._invalidate()
+
+
+@coherent(_plans="cc001_neg_dep", _hints="verified")
+class BulkHolderNeg:
+    """The retained-ledger pattern: wholesale replacement is one mutation."""
+
+    def __init__(self):
+        self._plans = {}
+        self._hints = {}
+
+    @invalidates("cc001_neg_dep")
+    def _invalidate(self):
+        pass
+
+    @mutates("_plans")
+    def load(self, plans):
+        # Bulk restore: adopt the snapshot wholesale, then invalidate once.
+        self._plans = dict(plans)
+        self._invalidate()
+
+    @mutates("_hints")
+    def remember(self, key, value):
+        # Verified (advisory) fields carry no invalidation obligation.
+        self._hints[key] = value

@@ -1,0 +1,600 @@
+"""Tests for the incremental replanning layer.
+
+Covers the three reuse tiers added on top of the exact-match fill memo —
+the round fingerprint in ``ElasticFlowPolicy.allocate``, the retained-fill
+event-delta path in ``AdmissionController``, and warm-started progressive
+filling — plus the phase probe and the bounded controller cache.  The
+load-bearing property throughout is *bit-identical decisions*: every fast
+path must reproduce exactly what the cold solve (and the cache-disabled
+reference) would have produced.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterSpec
+from repro.core import ElasticFlowPolicy, JobSpec
+from repro.core.admission import AdmissionController, progressive_filling
+from repro.core.job import Job
+from repro.core.plan import Ledger
+from repro.core.slots import SlotGrid
+from repro.perf import probe
+from repro.perf.tables import (
+    cache_stats,
+    planning_cache_disabled,
+    reset_cache,
+)
+from repro.profiles import (
+    OnlineThroughputModel,
+    ScaledThroughputModel,
+    ThroughputModel,
+)
+from repro.sim import ElasticExecutor, FailureSchedule, FailureWindow, Simulator
+from repro.sim.interface import PolicyContext
+
+from conftest import synthetic_planning_job
+
+TRUE_MODEL = ThroughputModel()
+
+THR = {1: 1.0, 2: 1.8, 4: 3.0}
+
+
+def tokened_job(
+    job_id,
+    remaining,
+    deadline,
+    grid,
+    capacity,
+    thr=THR,
+    *,
+    token=1,
+    best_effort=False,
+):
+    """A synthetic planning view carrying a cacheable table token.
+
+    The conftest helper builds hand-tabled views (token ``-1``), which the
+    fingerprint paths deliberately refuse to cache; these tests need views
+    that *do* fingerprint, so the token is stamped on a copy.
+    """
+    info = synthetic_planning_job(
+        job_id, remaining, deadline, grid, capacity, thr, best_effort=best_effort
+    )
+    return replace(info, tables_token=token)
+
+
+def _plans_equal(a: dict[str, np.ndarray], b: dict[str, np.ndarray]) -> bool:
+    return set(a) == set(b) and all(np.array_equal(a[k], b[k]) for k in a)
+
+
+# ------------------------------------------------------- round fingerprint
+class TestRoundFingerprint:
+    """Every planning input must perturb the round key (or void it)."""
+
+    def setup_method(self):
+        self.policy = ElasticFlowPolicy()
+        self.grid = SlotGrid(origin=0.0, slot_seconds=1.0, horizon=6)
+        self.infos = [
+            tokened_job("a", 2.0, 2.0, self.grid, 8, token=1),
+            tokened_job("b", 6.0, 4.0, self.grid, 8, token=2),
+        ]
+        self.baseline = self.policy._round_key(self.infos, self.grid, 8)
+
+    def _key_with(self, infos=None, grid=None, capacity=8):
+        return self.policy._round_key(
+            infos if infos is not None else self.infos,
+            grid if grid is not None else self.grid,
+            capacity,
+        )
+
+    def test_baseline_is_cacheable_and_stable(self):
+        assert self.baseline is not None
+        assert self._key_with() == self.baseline
+
+    def test_order_independent(self):
+        assert self._key_with(infos=list(reversed(self.infos))) == self.baseline
+
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            lambda i: replace(i, job_id="renamed"),
+            lambda i: replace(i, remaining_iterations=i.remaining_iterations + 1),
+            lambda i: replace(i, deadline=i.deadline + 0.5),
+            lambda i: replace(i, best_effort=True),
+            lambda i: replace(i, tables_token=i.tables_token + 1),
+        ],
+        ids=["job_id", "remaining", "deadline", "best_effort", "token"],
+    )
+    def test_each_job_field_perturbs_the_key(self, mutate):
+        varied = [mutate(self.infos[0]), self.infos[1]]
+        assert self._key_with(infos=varied) != self.baseline
+
+    @pytest.mark.parametrize(
+        "grid",
+        [
+            SlotGrid(origin=1.0, slot_seconds=1.0, horizon=6),
+            SlotGrid(origin=0.0, slot_seconds=2.0, horizon=6),
+            SlotGrid(origin=0.0, slot_seconds=1.0, horizon=7),
+        ],
+        ids=["origin", "slot_seconds", "horizon"],
+    )
+    def test_each_grid_field_perturbs_the_key(self, grid):
+        assert self._key_with(grid=grid) != self.baseline
+
+    def test_capacity_perturbs_the_key(self):
+        assert self._key_with(capacity=7) != self.baseline
+
+    def test_hand_built_tables_are_uncacheable(self):
+        varied = [replace(self.infos[0], tables_token=-1), self.infos[1]]
+        assert self._key_with(infos=varied) is None
+
+
+# ------------------------------------------------------- round-cache replay
+def _bound_policy(**kwargs) -> ElasticFlowPolicy:
+    policy = ElasticFlowPolicy(**kwargs)
+    policy.bind(
+        PolicyContext(
+            cluster=ClusterSpec(n_nodes=2, gpus_per_node=8),
+            throughput=TRUE_MODEL,
+            slot_seconds=600.0,
+        )
+    )
+    return policy
+
+
+def _runtime_jobs(n=3) -> list[Job]:
+    one = TRUE_MODEL.curve("resnet50", 128).throughput(1)
+    jobs = []
+    for i in range(n):
+        spec = JobSpec(
+            job_id=f"j{i}",
+            model_name="resnet50",
+            global_batch_size=128,
+            max_iterations=max(1, int(one * 1800.0 * (i + 1))),
+            submit_time=0.0,
+            deadline=3600.0 * (i + 1),
+        )
+        jobs.append(Job(spec=spec))
+    return jobs
+
+
+class TestRoundCacheReplay:
+    def test_identical_round_is_replayed(self):
+        policy = _bound_policy()
+        jobs = _runtime_jobs()
+        first = policy.allocate(jobs, 0.0)
+        assert policy.round_misses == 1 and policy.round_hits == 0
+        second = policy.allocate(jobs, 0.0)
+        assert policy.round_hits == 1
+        assert second == first
+        # Replays hand out copies: mutating one must not poison the cache.
+        second["j0"] = second.get("j0", 0) + 99
+        assert policy.allocate(jobs, 0.0) == first
+
+    def test_progress_invalidates(self):
+        policy = _bound_policy()
+        jobs = _runtime_jobs()
+        policy.allocate(jobs, 0.0)
+        jobs[0].iterations_done += 10.0
+        policy.allocate(jobs, 0.0)
+        assert policy.round_hits == 0 and policy.round_misses == 2
+
+    def test_time_invalidates(self):
+        policy = _bound_policy()
+        jobs = _runtime_jobs()
+        policy.allocate(jobs, 0.0)
+        policy.allocate(jobs, 600.0)  # new grid origin -> new fingerprint
+        assert policy.round_hits == 0 and policy.round_misses == 2
+
+    def test_capacity_invalidates(self):
+        policy = _bound_policy()
+        jobs = _runtime_jobs()
+        policy.allocate(jobs, 0.0)
+        policy.context.usable_gpus = 8  # node failure shrinks the cluster
+        policy.allocate(jobs, 0.0)
+        assert policy.round_hits == 0 and policy.round_misses == 2
+
+    def test_disabled_cache_skips_fingerprinting_and_matches(self):
+        policy = _bound_policy()
+        jobs = _runtime_jobs()
+        cached = policy.allocate(jobs, 0.0)
+        with planning_cache_disabled():
+            uncached = policy.allocate(jobs, 0.0)
+        assert uncached == cached
+        assert policy.round_misses == 1  # the reference pass never counted
+
+    def test_hysteresis_reruns_on_hit(self):
+        policy = _bound_policy(stability_threshold=0.3)
+        jobs = _runtime_jobs()
+        first = policy.allocate(jobs, 0.0)
+        for job in jobs:
+            job.n_gpus = first.get(job.job_id, 0)
+        second = policy.allocate(jobs, 0.0)
+        assert policy.round_hits == 1
+        # Current placements equal the targets, so hysteresis is a no-op
+        # and the replay must match the solved round exactly.
+        assert second == first
+
+
+# ------------------------------------------------------------- delta fill
+class TestDeltaFill:
+    """The event-delta path must be byte-identical to the cold fill."""
+
+    def setup_method(self):
+        self.grid = SlotGrid(origin=0.0, slot_seconds=1.0, horizon=6)
+        self.a = tokened_job("a", 2.0, 2.0, self.grid, 8, token=1)
+        self.b = tokened_job("b", 6.0, 4.0, self.grid, 8, token=2)
+        self.c = tokened_job("c", 8.0, 6.0, self.grid, 8, token=3)
+
+    def _cold(self, infos):
+        return AdmissionController(8)._fill(
+            infos, self.grid, stop_on_failure=False
+        )
+
+    def _assert_matches_cold(self, result, infos):
+        cold = self._cold(infos)
+        assert _plans_equal(result.plans, cold.plans)
+        assert result.degraded == cold.degraded
+        assert result.admitted == cold.admitted
+        assert result.infeasible_job == cold.infeasible_job
+        assert np.array_equal(
+            result.ledger.available(), cold.ledger.available()
+        )
+
+    def test_departure_reuses_the_unaffected_prefix(self):
+        ctrl = AdmissionController(8)
+        first = ctrl.plan_shares([self.a, self.b, self.c], self.grid,
+                                 stop_on_failure=False)
+        assert ctrl.delta_hits == 0
+        second = ctrl.plan_shares([self.a, self.c], self.grid,
+                                  stop_on_failure=False)
+        assert ctrl.delta_hits == 1
+        # `a` precedes the departure: reused by reference.  `c` sits behind
+        # the freed capacity: re-filled.
+        assert second.plans["a"] is first.plans["a"]
+        assert ctrl.delta_reuses == 1 and ctrl.delta_refills == 1
+        self._assert_matches_cold(second, [self.a, self.c])
+
+    def test_arrival_refills_only_the_suffix(self):
+        ctrl = AdmissionController(8)
+        first = ctrl.plan_shares([self.a, self.c], self.grid,
+                                 stop_on_failure=False)
+        second = ctrl.plan_shares([self.a, self.b, self.c], self.grid,
+                                  stop_on_failure=False)
+        assert ctrl.delta_hits == 1
+        assert second.plans["a"] is first.plans["a"]
+        assert ctrl.delta_reuses == 1 and ctrl.delta_refills == 2
+        self._assert_matches_cold(second, [self.a, self.b, self.c])
+
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            lambda b: replace(
+                b, remaining_iterations=b.remaining_iterations - 1.0
+            ),
+            lambda b: replace(b, tables_token=99),
+        ],
+        ids=["remaining_change", "curve_correction"],
+    )
+    def test_view_change_refills_the_changed_job(self, mutate):
+        ctrl = AdmissionController(8)
+        first = ctrl.plan_shares([self.a, self.b, self.c], self.grid,
+                                 stop_on_failure=False)
+        b2 = mutate(self.b)
+        second = ctrl.plan_shares([self.a, b2, self.c], self.grid,
+                                  stop_on_failure=False)
+        assert ctrl.delta_hits == 1
+        assert second.plans["a"] is first.plans["a"]
+        self._assert_matches_cold(second, [self.a, b2, self.c])
+
+    def test_deadline_change_is_departure_plus_arrival(self):
+        ctrl = AdmissionController(8)
+        ctrl.plan_shares([self.a, self.b, self.c], self.grid,
+                         stop_on_failure=False)
+        b2 = tokened_job("b", 6.0, 5.0, self.grid, 8, token=2)
+        second = ctrl.plan_shares([self.a, b2, self.c], self.grid,
+                                  stop_on_failure=False)
+        assert ctrl.delta_hits == 1
+        self._assert_matches_cold(second, [self.a, b2, self.c])
+
+    def test_best_effort_jobs_stay_zero(self):
+        ctrl = AdmissionController(8)
+        be = tokened_job("be", 4.0, float("inf"), self.grid, 8,
+                         token=4, best_effort=True)
+        ctrl.plan_shares([self.a, self.b, be], self.grid,
+                         stop_on_failure=False)
+        second = ctrl.plan_shares([self.a, be], self.grid,
+                                  stop_on_failure=False)
+        assert ctrl.delta_hits == 1
+        assert not second.plans["be"].any() and not be.degraded
+        self._assert_matches_cold(second, [self.a, be])
+
+    def test_degraded_flag_survives_reuse(self):
+        ctrl = AdmissionController(8)
+        hopeless = tokened_job("hopeless", 100.0, 1.0, self.grid, 8, token=5)
+        first = ctrl.plan_shares([hopeless, self.c], self.grid,
+                                 stop_on_failure=False)
+        assert first.degraded == {"hopeless"}
+        c2 = replace(self.c, remaining_iterations=7.0)
+        second = ctrl.plan_shares([hopeless, c2], self.grid,
+                                  stop_on_failure=False)
+        assert ctrl.delta_hits == 1 and ctrl.delta_reuses == 1
+        assert hopeless.degraded and second.degraded == {"hopeless"}
+        assert not second.admitted and second.infeasible_job == "hopeless"
+        self._assert_matches_cold(second, [hopeless, c2])
+
+    def test_grid_change_falls_back_to_full_fill(self):
+        ctrl = AdmissionController(8)
+        ctrl.plan_shares([self.a, self.b], self.grid, stop_on_failure=False)
+        shifted = SlotGrid(origin=1.0, slot_seconds=1.0, horizon=6)
+        a2 = tokened_job("a", 2.0, 3.0, shifted, 8, token=1)
+        b2 = tokened_job("b", 6.0, 5.0, shifted, 8, token=2)
+        result = ctrl.plan_shares([a2, b2], shifted, stop_on_failure=False)
+        assert ctrl.delta_hits == 0  # retained fill was for another grid
+        cold = AdmissionController(8)._fill([a2, b2], shifted,
+                                            stop_on_failure=False)
+        assert _plans_equal(result.plans, cold.plans)
+
+    def test_exact_repeat_prefers_the_fill_memo(self):
+        ctrl = AdmissionController(8)
+        infos = [self.a, self.b, self.c]
+        first = ctrl.plan_shares(infos, self.grid, stop_on_failure=False)
+        second = ctrl.plan_shares(infos, self.grid, stop_on_failure=False)
+        assert ctrl.fill_cache_hits == 1 and ctrl.delta_hits == 0
+        assert _plans_equal(first.plans, second.plans)
+        assert second.plans["a"] is first.plans["a"]  # shared, not copied
+
+
+# ------------------------------------------------------------- warm hints
+class TestWarmHints:
+    def setup_method(self):
+        reset_cache()
+        self.grid = SlotGrid(origin=0.0, slot_seconds=1.0, horizon=6)
+        # remaining 5.0 over 4 usable slots: cap 1 yields 4.0 (infeasible),
+        # cap 2 yields 7.2 -> the scan settles on cap 2.
+        self.info = tokened_job("j", 5.0, 4.0, self.grid, 8)
+        self.available = np.full(6, 8, dtype=np.int64)
+        self.baseline = progressive_filling(self.info, self.available)
+
+    def test_round_trip_records_then_verifies_the_cap(self):
+        hints: dict[tuple[str, int], int] = {}
+        first = progressive_filling(
+            self.info, self.available, warm_hints=hints
+        )
+        assert np.array_equal(first, self.baseline)
+        assert hints[("j", 0)] == 2
+        assert cache_stats()["warm_misses"] == 1
+        second = progressive_filling(
+            self.info, self.available, warm_hints=hints
+        )
+        assert np.array_equal(second, self.baseline)
+        assert cache_stats()["warm_hits"] == 1
+
+    @pytest.mark.parametrize(
+        "hint", [1, 3, 4, 16], ids=["infeasible", "unknown", "oversized", "beyond"]
+    )
+    def test_bad_hints_fall_back_and_self_correct(self, hint):
+        """Infeasible, unknown, and non-minimal hints must all lose the
+        verification and route to the full scan, bit-identically."""
+        hints = {("j", 0): hint}
+        plan = progressive_filling(self.info, self.available, warm_hints=hints)
+        assert np.array_equal(plan, self.baseline)
+        assert hints[("j", 0)] == 2
+        assert cache_stats()["warm_hits"] == 0
+
+    def test_infeasible_fill_drops_its_hint(self):
+        hopeless = tokened_job("h", 100.0, 2.0, self.grid, 8)
+        hints = {("h", 0): 2}
+        assert progressive_filling(
+            hopeless, self.available, warm_hints=hints
+        ) is None
+        assert ("h", 0) not in hints
+
+    def test_reference_path_ignores_hints(self):
+        hints = {("j", 0): 4}  # deliberately wrong; must stay untouched
+        with planning_cache_disabled():
+            plan = progressive_filling(
+                self.info, self.available, warm_hints=hints
+            )
+        assert np.array_equal(plan, self.baseline)
+        assert hints == {("j", 0): 4}
+
+
+# ------------------------------------------------- bounded controller cache
+class TestControllerCacheBound:
+    def test_lru_eviction_and_identity(self):
+        policy = ElasticFlowPolicy()
+        limit = ElasticFlowPolicy.CONTROLLER_CACHE_LIMIT
+        keeper = policy._controller(1)
+        for capacity in range(2, limit + 2):
+            policy._controller(capacity)
+        assert len(policy._controllers) == limit
+        assert 1 not in policy._controllers  # oldest evicted
+        # Touching an entry refreshes it past newer insertions.
+        survivor = policy._controller(2)
+        policy._controller(limit + 2)
+        assert 2 in policy._controllers and 3 not in policy._controllers
+        assert policy._controller(2) is survivor
+        assert policy._controller(1) is not keeper  # rebuilt after eviction
+
+
+# -------------------------------------------------------- ledger bulk load
+class TestLedgerLoadPlans:
+    def test_bulk_load_adopts_and_freezes(self):
+        ledger = Ledger(8, 5)
+        p1 = np.array([2, 2, 0, 0, 0], dtype=np.int64)
+        p2 = np.array([1, 0, 1, 0, 0], dtype=np.int64)
+        used = p1 + p2
+        ledger.load_plans({"a": p1, "b": p2}, used)
+        assert ledger.version == 1
+        assert np.array_equal(ledger.available(), 8 - used)
+        assert ledger.plan_view("a") is p1 and not p1.flags.writeable
+        # The ledger stays a live ledger: incremental mutation still works.
+        ledger.remove_plan("a")
+        assert np.array_equal(ledger.available(), 8 - p2)
+        assert ledger.version == 2
+
+
+# ---------------------------------------------------------- planning views
+class TestPlanningViewSharing:
+    def test_same_origin_grids_share_one_view(self):
+        """The admission grid may be longer than the allocation grid (the
+        candidate's deadline stretches it); both passes must still share
+        one memoized view per job."""
+        policy = _bound_policy()
+        job = _runtime_jobs(1)[0]
+        short = SlotGrid(origin=0.0, slot_seconds=600.0, horizon=12)
+        long = SlotGrid(origin=0.0, slot_seconds=600.0, horizon=24)
+        assert policy._info(job, short) is policy._info(job, long)
+
+    def test_different_origin_builds_a_fresh_view(self):
+        policy = _bound_policy()
+        job = _runtime_jobs(1)[0]
+        grid_a = SlotGrid(origin=0.0, slot_seconds=600.0, horizon=12)
+        grid_b = SlotGrid(origin=600.0, slot_seconds=600.0, horizon=12)
+        assert policy._info(job, grid_a) is not policy._info(job, grid_b)
+
+
+# ------------------------------------------------------------- phase probe
+class TestPhaseProbe:
+    def test_dormant_probe_is_a_noop(self):
+        assert not probe.active()
+        assert probe.tick() == 0.0
+        assert probe.lap("alg1", 0.0) == 0.0
+        assert probe.end_event() == {}
+
+    def test_recording_attributes_phases(self):
+        recorder = probe.PhaseRecorder()
+        with probe.recording(recorder):
+            assert probe.active()
+            probe.begin_event()
+            mark = probe.tick()
+            assert mark > 0.0
+            mark = probe.lap("views", mark)
+            probe.lap("alg1", mark)
+            event = probe.end_event()
+        assert set(event) == {"views", "alg1"}
+        assert all(v >= 0.0 for v in event.values())
+        assert recorder.events == [event]
+        assert not probe.active()
+
+    def test_allocate_splits_into_phases(self):
+        policy = _bound_policy()
+        jobs = _runtime_jobs()
+        recorder = probe.PhaseRecorder()
+        with probe.recording(recorder):
+            probe.begin_event()
+            policy.allocate(jobs, 0.0)
+            solved = probe.end_event()
+            probe.begin_event()
+            policy.allocate(jobs, 0.0)
+            replayed = probe.end_event()
+        assert {"views", "alg1", "alg2"} <= set(solved)
+        # A round-cache hit skips Algorithm 1 entirely.
+        assert policy.round_hits == 1
+        assert "alg1" not in replayed and "alg2" in replayed
+
+
+# --------------------------------------------------- end-to-end equivalence
+def _digest(result):
+    return sorted(
+        (
+            o.job_id,
+            o.status.value,
+            o.admitted,
+            o.completion_time,
+            o.scale_events,
+        )
+        for o in result.outcomes
+    )
+
+
+def _disrupted_workload():
+    """A trace that exercises every invalidation source at once: a node
+    failure and repair mid-trace, online-profiling curve corrections from a
+    biased prior, best-effort arrivals, and deadline-tight SLO jobs."""
+    rng = np.random.default_rng(7)
+    specs = []
+    for i in range(14):
+        model, batch = ("resnet50", 128) if i % 2 else ("vgg16", 128)
+        one = TRUE_MODEL.curve(model, batch).throughput(1)
+        seconds = float(rng.uniform(600.0, 2400.0))
+        submit = float(rng.uniform(0.0, 3000.0))
+        slack = float(rng.uniform(0.8, 1.6))
+        specs.append(
+            JobSpec(
+                job_id=f"slo{i}",
+                model_name=model,
+                global_batch_size=batch,
+                max_iterations=max(1, int(one * seconds)),
+                submit_time=submit,
+                deadline=submit + slack * seconds,
+            )
+        )
+    for i in range(2):
+        one = TRUE_MODEL.curve("resnet50", 128).throughput(1)
+        specs.append(
+            JobSpec(
+                job_id=f"be{i}",
+                model_name="resnet50",
+                global_batch_size=128,
+                max_iterations=max(1, int(one * 900.0)),
+                submit_time=float(rng.uniform(0.0, 1500.0)),
+                deadline=None,
+            )
+        )
+    schedule = FailureSchedule(
+        windows=(FailureWindow(start=900.0, end=2700.0, node_index=0),)
+    )
+    return specs, schedule
+
+
+def _run_disrupted(specs, schedule):
+    online = OnlineThroughputModel(ScaledThroughputModel(TRUE_MODEL, 1.3))
+
+    def hook(job, n_gpus, rate):
+        online.observe(
+            job.spec.model_name, job.spec.global_batch_size, n_gpus, rate
+        )
+
+    policy = ElasticFlowPolicy(
+        safety_margin=0.03,
+        deadline_padding_s=60.0,
+        stability_threshold=0.3,
+        planning_throughput=online,
+    )
+    result = Simulator(
+        ClusterSpec(n_nodes=2, gpus_per_node=8),
+        policy,
+        specs,
+        throughput=TRUE_MODEL,
+        executor=ElasticExecutor.disabled(),
+        failures=schedule,
+        observation_hook=hook,
+        slot_seconds=600.0,
+        record_timeline=False,
+    ).run()
+    return result, policy
+
+
+def test_disrupted_trace_equivalence_and_reuse():
+    """Failure + repair + online curve corrections mid-trace: the warm and
+    delta paths must stay byte-identical to the cache-disabled reference —
+    and must demonstrably have been exercised."""
+    specs, schedule = _disrupted_workload()
+    reset_cache()
+    cached, policy = _run_disrupted(specs, schedule)
+    stats = cache_stats()
+    with planning_cache_disabled():
+        uncached, _ = _run_disrupted(specs, schedule)
+    assert _digest(cached) == _digest(uncached)
+
+    # The incremental layers actually carried load on the cached run.
+    controllers = list(policy._controllers.values())
+    assert len(controllers) >= 2  # healthy and degraded capacities
+    assert sum(c.fill_cache_hits for c in controllers) > 0
+    assert sum(c.delta_hits for c in controllers) > 0
+    assert sum(c.delta_reuses for c in controllers) > 0
+    assert stats["warm_hits"] > 0
+    assert policy.round_misses > 0  # fingerprinting engaged throughout
