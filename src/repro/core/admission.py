@@ -19,13 +19,21 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core.batch import WarmRowBatch
 from repro.core.job import Job
 from repro.core.plan import Ledger
 from repro.core.slots import SlotGrid
 from repro.errors import ConfigurationError
 from repro.numeric import EPS
-from repro.perf.coherence import coherent, keyed
-from repro.perf.tables import cache_enabled, note_warm_fill, planning_tables_for
+from repro.perf.coherence import coherent, keyed, mutates
+from repro.perf.tables import (
+    batching_enabled,
+    cache_enabled,
+    ladder_consts,
+    note_batch_fill,
+    note_warm_fill,
+    planning_tables_for,
+)
 from repro.profiles.throughput import ScalingCurve
 
 __all__ = [
@@ -358,7 +366,7 @@ def _verify_warm_row(
     tail_available: np.ndarray,
     tail_weights: np.ndarray,
     threshold: float,
-) -> tuple[np.ndarray, np.ndarray] | None:
+) -> tuple[np.ndarray | int, np.ndarray] | None:
     """Check a hinted cap in O(window); returns its ``(x, progress)`` row.
 
     The hint verifies when its row is feasible and the next-lower cap's row
@@ -370,16 +378,35 @@ def _verify_warm_row(
     """
     if cap is None:
         return None
-    arr = info.sizes_array()
-    idx = int(np.searchsorted(arr, cap))
-    if idx >= arr.size or int(arr[idx]) != cap:
+    consts = ladder_consts(
+        info.tables_token,
+        cap,
+        info.sizes,
+        info.sizes_array(),
+        info.size_table,
+        info.throughput_table,
+    )
+    if consts is None:
         return None  # stale hint from a different table build
+    s_cap, thr_hint, below, thr_below = consts
+    if batching_enabled() and int(tail_available.min()) >= cap:
+        # Unclamped window: every per-slot take is exactly ``cap``, so both
+        # rows are constant-throughput rows — the same scalar multiplied
+        # into the same weights, summed by the same sequential cumsum as
+        # the general expressions below, minus the clamp and two table
+        # gathers per row.
+        progress = np.cumsum(thr_hint * tail_weights)
+        if progress[-1] < threshold:
+            return None
+        if below:
+            if np.cumsum(thr_below * tail_weights)[-1] >= threshold:
+                return None
+        return s_cap, progress
     x = info.size_table[np.minimum(cap, tail_available)]
     progress = np.cumsum(info.throughput_table[x] * tail_weights)
     if progress[-1] < threshold:
         return None
-    if idx > 0:
-        below = int(arr[idx - 1])
+    if below:
         x_below = info.size_table[np.minimum(below, tail_available)]
         total_below = np.cumsum(info.throughput_table[x_below] * tail_weights)[-1]
         if total_below >= threshold:
@@ -390,17 +417,26 @@ def _verify_warm_row(
 def _emit_plan(
     info: PlanningJob,
     plan: np.ndarray,
-    x: np.ndarray,
+    x: np.ndarray | int,
     progress: np.ndarray,
     required: float,
     threshold: float,
     tail_weights: np.ndarray,
     start_slot: int,
 ) -> np.ndarray:
-    """Write the selected cap's row into ``plan`` (shared by scan and warm paths)."""
+    """Write the selected cap's row into ``plan`` (shared by scan and warm paths).
+
+    ``x`` may be a scalar: an unclamped fill takes the same size in every
+    slot, so the constant stands in for the per-slot row (the broadcast
+    assignment writes the identical values the array would have held).
+    """
     done = int(np.searchsorted(progress, threshold))
-    plan[start_slot : start_slot + done + 1] = x[: done + 1]
-    x_done = int(x[done])
+    if isinstance(x, np.ndarray):
+        plan[start_slot : start_slot + done + 1] = x[: done + 1]
+        x_done = int(x[done])
+    else:
+        plan[start_slot : start_slot + done + 1] = x
+        x_done = int(x)
     # Shave the completion slot to the smallest size that still finishes
     # the residual work: the selected cap over-provisions the final slot,
     # and the spare GPUs may be exactly what a later-deadline job needs.
@@ -478,6 +514,14 @@ class AdmissionResult:
         infeasible_job: The first job whose deadline could not be met.
         degraded: Jobs whose deadlines are unmeetable; they hold zero
             reservation and run from leftovers (Section 4.4 soft handling).
+        slack: Planner-internal window-slack flags: ``slack[job_id]`` is
+            True when the producing fill saw at least the job's largest
+            runnable size free across its whole usable window, which makes
+            the fill a pure function of the planning view (every per-slot
+            take is unclamped).  The next event's delta pass reuses such
+            plans without inspecting capacity — see
+            ``AdmissionController._delta_fill_indexed``.  Empty on
+            sequential-solver and cache-disabled fills.
     """
 
     admitted: bool
@@ -485,6 +529,7 @@ class AdmissionResult:
     ledger: Ledger
     infeasible_job: str | None = None
     degraded: set[str] = field(default_factory=set)
+    slack: dict[str, bool] = field(default_factory=dict, repr=False)
 
 
 @dataclass
@@ -499,12 +544,17 @@ class _RetainedFill:
         plans: Plan per SLO job id (frozen arrays, shared by reference with
             the ledger the fill produced).
         degraded: SLO jobs whose deadlines were unmeetable in that fill.
+        slack: Window-slack flags of that fill (see ``AdmissionResult``);
+            a flagged job's plan is availability-independent and can be
+            reused under perturbed capacity as long as the slack condition
+            holds again.
     """
 
     grid_key: tuple[float, float, int]
     order: list[tuple[float, str, float, int]]
     plans: dict[str, np.ndarray]
     degraded: frozenset[str]
+    slack: dict[str, bool]
 
 
 @keyed(_fill_cache="_fingerprint", _retained="_fingerprint")
@@ -532,11 +582,23 @@ class AdmissionController:
       whose usable window sees an unchanged capacity prefix, and re-fills
       only the rest — byte-identical to the cold fill because a job's plan
       is a function of exactly (its view, the available-capacity prefix
-      ahead of it).
+      ahead of it).  With the batched solver enabled the walk maintains a
+      scalar *perturbation watermark* instead of a delta vector and adds a
+      second reuse tier for slack-flagged jobs (see
+      :meth:`_delta_fill_indexed`).
     - ``_warm_hints`` remembers the cap each ``(job_id, start_slot)`` fill
       chose last time, letting :func:`progressive_filling` verify instead
       of scan (``verified`` coherence: every hint is re-checked at use, so
-      staleness costs time, never correctness).
+      staleness costs time, never correctness).  :meth:`prune_warm_hints`
+      bounds the dict on long traces.
+
+    Cold soft fills additionally run through :meth:`_fill_batched` while
+    :func:`repro.perf.tables.batching_enabled` holds: all hinted jobs'
+    constant-throughput rows are evaluated in a few bucketed matrix passes
+    up front (:class:`repro.core.batch.WarmRowBatch`) and the deadline-order
+    walk commits each plan with scalar checks, falling back to the
+    sequential :func:`progressive_filling` per job only when a row is
+    clamped or fails verification.
 
     Args:
         capacity: Number of GPUs in the cluster.
@@ -556,12 +618,28 @@ class AdmissionController:
         self.fill_cache_misses = 0
         self.delta_hits = 0
         self.delta_reuses = 0
+        self.delta_slack_reuses = 0
         self.delta_refills = 0
 
     @property
     def warm_hints(self) -> dict[tuple[str, int], int]:
         """The advisory cap-hint store, shared with Algorithm 2's refills."""
         return self._warm_hints
+
+    @mutates("_warm_hints")
+    def prune_warm_hints(self, live_ids: set[str]) -> int:
+        """Evict cap hints of jobs no longer in the queue; returns the count.
+
+        Hints are advisory (``verified`` coherence: every entry is
+        re-checked against ground truth at use), so eviction can never
+        change a decision — this only bounds the dict on long traces,
+        where completed and rejected jobs would otherwise leave their
+        ``(job_id, start_slot)`` entries behind forever.
+        """
+        stale = [key for key in self._warm_hints if key[0] not in live_ids]
+        for key in stale:
+            del self._warm_hints[key]
+        return len(stale)
 
     # ------------------------------------------------------------- caching
     def _fingerprint(
@@ -593,19 +671,20 @@ class AdmissionController:
     ) -> AdmissionResult:
         """Reconstruct a fill from the cache, including info side effects.
 
-        Cached plans are frozen arrays, so the replay shares them by
-        reference — one ``load_plans`` bulk restore instead of a copy and
-        a ``set_plan`` per job.
+        Cached plans *and* the cached occupancy vector are frozen arrays,
+        so the replay shares them by reference — one ``load_plans`` bulk
+        restore, no per-job column summation (the ledger's mutators rebind
+        ``_used`` instead of writing in place, so adopting the shared
+        read-only vector is safe even though Algorithm 2 edits the ledger
+        afterwards).
         """
-        admitted, plans, infeasible, degraded = cached
+        admitted, plans, infeasible, degraded, used, slack = cached
         out_plans: dict[str, np.ndarray] = {}
-        used = np.zeros(grid.horizon, dtype=np.int64)
-        for info in sorted(infos, key=lambda i: (i.deadline, i.job_id)):
+        for info in infos:
             plan = plans[info.job_id]
             info.degraded = info.job_id in degraded
             info.min_share_plan = plan
             out_plans[info.job_id] = plan
-            used += plan
         ledger = Ledger(self.capacity, grid.horizon)
         ledger.load_plans(out_plans, used)
         return AdmissionResult(
@@ -614,6 +693,7 @@ class AdmissionController:
             ledger=ledger,
             infeasible_job=infeasible,
             degraded=set(degraded),
+            slack=dict(slack),
         )
 
     def plan_shares(
@@ -657,13 +737,16 @@ class AdmissionController:
         if result is None:
             result = self._fill(infos, grid, stop_on_failure=stop_on_failure)
         if key is not None:
-            # Plans are frozen at registration time, so the cache can store
-            # them by reference; only the dict container is copied.
+            # Plans are frozen at registration time and the occupancy
+            # vector is never edited in place, so the cache stores both by
+            # reference; only the dict containers are copied.
             self._fill_cache[key] = (
                 result.admitted,
                 dict(result.plans),
                 result.infeasible_job,
                 frozenset(result.degraded),
+                result.ledger.used,
+                dict(result.slack),
             )
             while len(self._fill_cache) > self.FILL_CACHE_LIMIT:
                 self._fill_cache.popitem(last=False)
@@ -689,6 +772,7 @@ class AdmissionController:
             order=order,
             plans=plans,
             degraded=frozenset(result.degraded),
+            slack=dict(result.slack),
         )
 
     def _delta_fill(
@@ -698,24 +782,187 @@ class AdmissionController:
 
         A job's minimum satisfactory share is a pure function of its
         planning view and of the *available-capacity prefix* left by
-        earlier-deadline jobs.  Walking the old and new deadline orders
-        with one two-pointer merge maintains ``delta`` = (old used prefix)
-        − (new used prefix): a surviving job whose view is unchanged and
-        whose usable window sees an all-zero delta faces bit-identical
-        inputs, so its retained plan (and degraded flag) is reused by
-        reference; everything else — arrivals, changed views, jobs behind
-        a perturbed prefix — re-runs :func:`progressive_filling` exactly
-        as the cold fill would.  Departed jobs' plans enter ``delta`` as
-        freed capacity.  Returns ``None`` (caller falls back to the full
-        fill) when there is no retained fill for this grid.
+        earlier-deadline jobs, so a surviving job facing bit-identical
+        inputs can reuse its retained plan by reference.  Two walk
+        implementations share that contract: the batched-solver variant
+        (:meth:`_delta_fill_indexed`, default) tracks perturbations with a
+        scalar slot watermark plus per-job slack flags, and the sequential
+        variant (:meth:`_delta_fill_sequential`) maintains the full
+        old-minus-new delta vector.  Returns ``None`` (caller falls back
+        to the full fill) when there is no retained fill for this grid.
         """
         retained = self._retained
         if retained is None:
             return None
         if retained.grid_key != (grid.origin, grid.slot_seconds, grid.horizon):
             return None
-        horizon = grid.horizon
         ordered = sorted(infos, key=lambda i: (i.deadline, i.job_id))
+        if batching_enabled():
+            return self._delta_fill_indexed(ordered, grid, retained)
+        return self._delta_fill_sequential(ordered, grid, retained)
+
+    def _delta_fill_indexed(
+        self,
+        ordered: list[PlanningJob],
+        grid: SlotGrid,
+        retained: _RetainedFill,
+    ) -> AdmissionResult:
+        """Delta walk with an interval index instead of a delta vector.
+
+        Every capacity perturbation this event introduces — a departed
+        plan, an arrival's new plan, a refilled plan's difference — begins
+        at some slot; ``lo`` tracks the lowest such slot seen so far.  A
+        matched job whose usable window ends at or before ``lo`` faces a
+        bit-identical capacity prefix, so its plan is reused with one
+        integer comparison and no vector work at all ("never visit" rather
+        than "reuse after an O(window) check").  Because windows are
+        prefixes of the slot grid, the single watermark *is* the interval
+        index over usable-window spans: ``w <= lo`` is exactly "this job's
+        window does not intersect the perturbed range".
+
+        Jobs whose windows do cross the watermark get a second chance from
+        their retained *slack* flag: if the previous fill saw the job's
+        largest runnable size free across its whole window, its plan was a
+        pure function of the view (every take unclamped); if the current
+        prefix is slack too, a refill would recompute that same pure
+        function, so the retained plan is reused — even though capacity
+        under it changed.  (Warm-hint state may differ between the two
+        fills, but under slack a wrong hint fails verification and the
+        scan lands on the same minimal row, so the fill result is
+        hint-independent.)  Everything else re-runs
+        :func:`progressive_filling` against exact availability, exactly as
+        the cold fill would.
+        """
+        horizon = grid.horizon
+        capacity = self.capacity
+        old = retained.order
+        old_plans = retained.plans
+        old_slack = retained.slack
+        n_old = len(old)
+        pos = 0
+        used = np.zeros(horizon, dtype=np.int64)
+        lo = horizon  # slots below ``lo`` see a bit-identical used-prefix
+        plans: dict[str, np.ndarray] = {}
+        slack: dict[str, bool] = {}
+        degraded: set[str] = set()
+        infeasible: str | None = None
+        zero_plan: np.ndarray | None = None
+        reuses = slack_reuses = refills = 0
+        for info in ordered:
+            if info.best_effort:
+                info.degraded = False
+                if zero_plan is None:
+                    zero_plan = np.zeros(horizon, dtype=np.int64)
+                info.min_share_plan = zero_plan
+                plans[info.job_id] = zero_plan
+                continue
+            okey = (info.deadline, info.job_id)
+            while pos < n_old and (old[pos][0], old[pos][1]) < okey:
+                # Departed (or re-ordered) job: capacity changes from its
+                # plan's first occupied slot onward.
+                nonzero = np.flatnonzero(old_plans[old[pos][1]])
+                if nonzero.size:
+                    lo = min(lo, int(nonzero[0]))
+                pos += 1
+            had_old = False
+            matched = False
+            if pos < n_old and (old[pos][0], old[pos][1]) == okey:
+                entry = old[pos]
+                pos += 1
+                had_old = True
+                matched = (
+                    entry[2] == info.remaining_iterations
+                    and entry[3] == info.tables_token
+                )
+            info.degraded = False
+            w = info.window(0)
+            if matched:
+                reuse = w <= lo
+                if reuse:
+                    # Unperturbed prefix: the slack condition holds exactly
+                    # when it held in the retained fill.
+                    if old_slack.get(info.job_id, False):
+                        slack[info.job_id] = True
+                elif (
+                    old_slack.get(info.job_id, False)
+                    and info.sizes
+                    and capacity - int(used[:w].max()) >= int(info.sizes[-1])
+                ):
+                    reuse = True
+                    slack_reuses += 1
+                    slack[info.job_id] = True
+                if reuse:
+                    plan = old_plans[info.job_id]
+                    if info.job_id in retained.degraded:
+                        info.degraded = True
+                        degraded.add(info.job_id)
+                        infeasible = infeasible or info.job_id
+                    info.min_share_plan = plan
+                    plans[info.job_id] = plan
+                    if w:
+                        used[:w] += plan[:w]
+                    reuses += 1
+                    continue
+            refills += 1
+            old_plan = old_plans[info.job_id] if had_old else None
+            free_min = capacity - int(used[:w].max()) if w else capacity
+            plan = progressive_filling(
+                info, capacity - used, warm_hints=self._warm_hints
+            )
+            if plan is None:
+                info.degraded = True
+                degraded.add(info.job_id)
+                infeasible = infeasible or info.job_id
+                plan = np.zeros(horizon, dtype=np.int64)
+            if info.sizes and w:
+                slack[info.job_id] = free_min >= int(info.sizes[-1])
+            info.min_share_plan = plan
+            plans[info.job_id] = plan
+            if old_plan is not None:
+                # A refill that reproduces the old plan exactly perturbs
+                # nothing (the common case when only bookkeeping ahead of
+                # the job moved); otherwise capacity changes from the
+                # first differing slot onward.
+                if not np.array_equal(old_plan, plan):
+                    lo = min(lo, int(np.argmax(old_plan != plan)))
+            else:
+                nonzero = np.flatnonzero(plan)
+                if nonzero.size:
+                    lo = min(lo, int(nonzero[0]))
+            if w:
+                used[:w] += plan[:w]
+        ledger = Ledger(capacity, horizon)
+        ledger.load_plans(plans, used)
+        self.delta_hits += 1
+        self.delta_reuses += reuses
+        self.delta_slack_reuses += slack_reuses
+        self.delta_refills += refills
+        return AdmissionResult(
+            admitted=infeasible is None,
+            plans=plans,
+            ledger=ledger,
+            infeasible_job=infeasible,
+            degraded=degraded,
+            slack=slack,
+        )
+
+    def _delta_fill_sequential(
+        self,
+        ordered: list[PlanningJob],
+        grid: SlotGrid,
+        retained: _RetainedFill,
+    ) -> AdmissionResult:
+        """Delta walk of the sequential solver generation.
+
+        Maintains ``delta`` = (old used prefix) − (new used prefix): a
+        surviving job whose view is unchanged and whose usable window sees
+        an all-zero delta faces bit-identical inputs, so its retained plan
+        (and degraded flag) is reused by reference; everything else —
+        arrivals, changed views, jobs behind a perturbed prefix — re-runs
+        :func:`progressive_filling` exactly as the cold fill would.
+        Departed jobs' plans enter ``delta`` as freed capacity.
+        """
+        horizon = grid.horizon
         old = retained.order
         old_plans = retained.plans
         n_old = len(old)
@@ -806,11 +1053,150 @@ class AdmissionController:
         *,
         stop_on_failure: bool,
     ) -> AdmissionResult:
+        ordered = sorted(infos, key=lambda i: (i.deadline, i.job_id))
+        if not stop_on_failure and cache_enabled() and batching_enabled():
+            return self._fill_batched(ordered, grid)
+        return self._fill_sequential(ordered, grid, stop_on_failure=stop_on_failure)
+
+    def _fill_batched(
+        self, ordered: list[PlanningJob], grid: SlotGrid
+    ) -> AdmissionResult:
+        """Cold soft fill as a batched commit walk (bit-identical).
+
+        Phase 1 packs every warm-hinted SLO job's usable-window weights
+        into :class:`repro.core.batch.WarmRowBatch` and evaluates all
+        hinted-cap and next-lower-cap cumulative-progress rows in a few
+        bucketed matrix passes — these rows are pure view functions, valid
+        regardless of how earlier jobs' plans land.  Phase 2 walks the
+        deadline order committing plans: when the minimum free capacity
+        across a job's window still covers its hinted cap (the fill is
+        unclamped), the precomputed rows decide hint verification with two
+        scalar comparisons and the plan is emitted straight from the
+        batched row; otherwise the job falls back to the sequential
+        :func:`progressive_filling` against exact availability.  Either
+        route performs the same comparisons on the same floats as the
+        sequential walk, so the fill is bit-identical (the property tests
+        and the scale benches assert this against
+        :func:`repro.perf.tables.batched_solver_disabled`).
+
+        The walk also records each job's window-slack flag — whether the
+        largest runnable size was free across its whole window — which the
+        next event's :meth:`_delta_fill_indexed` uses as its second reuse
+        tier.
+        """
+        horizon = grid.horizon
+        capacity = self.capacity
+        hints = self._warm_hints
+        batch = WarmRowBatch()
+        prepared: list[tuple[int, int, int] | None] = [None] * len(ordered)
+        for i, info in enumerate(ordered):
+            if info.best_effort or not info.sizes:
+                continue
+            if info.remaining_iterations <= _EPS:
+                continue
+            if info.window(0) == 0:
+                continue
+            cap = hints.get((info.job_id, 0))
+            if cap is None:
+                continue
+            consts = ladder_consts(
+                info.tables_token,
+                cap,
+                info.sizes,
+                info.sizes_array(),
+                info.size_table,
+                info.throughput_table,
+            )
+            if consts is None:
+                continue  # stale hint from a different table build
+            s_cap, thr_hint, _below, thr_below = consts
+            handle = batch.add(
+                info.weights[: info.window(0)], thr_hint, thr_below
+            )
+            prepared[i] = (handle, cap, s_cap)
+        batch.solve()
+
+        used = np.zeros(horizon, dtype=np.int64)
+        plans: dict[str, np.ndarray] = {}
+        slack: dict[str, bool] = {}
+        degraded: set[str] = set()
+        infeasible: str | None = None
+        zero_plan: np.ndarray | None = None
+        for i, info in enumerate(ordered):
+            info.degraded = False
+            if info.best_effort:
+                if zero_plan is None:
+                    zero_plan = np.zeros(horizon, dtype=np.int64)
+                info.min_share_plan = zero_plan
+                plans[info.job_id] = zero_plan
+                continue
+            w = info.window(0)
+            free_min = capacity - int(used[:w].max()) if w else capacity
+            plan = None
+            prep = prepared[i]
+            if prep is not None:
+                handle, cap, s_cap = prep
+                if free_min >= cap:
+                    # Unclamped: the batched rows are exactly the rows the
+                    # sequential warm verification would have built.
+                    required = info.remaining_iterations
+                    threshold = required - _EPS
+                    row = batch.hint_row(handle)
+                    if (
+                        row[-1] >= threshold
+                        and batch.below_total(handle) < threshold
+                    ):
+                        note_warm_fill(True)
+                        note_batch_fill(True)
+                        hints[(info.job_id, 0)] = cap
+                        plan = _emit_plan(
+                            info,
+                            np.zeros(horizon, dtype=np.int64),
+                            s_cap,
+                            row,
+                            required,
+                            threshold,
+                            info.weights[:w],
+                            0,
+                        )
+            if plan is None:
+                note_batch_fill(False)
+                plan = progressive_filling(
+                    info, capacity - used, warm_hints=hints
+                )
+            if plan is None:
+                infeasible = infeasible or info.job_id
+                info.degraded = True
+                degraded.add(info.job_id)
+                plan = np.zeros(horizon, dtype=np.int64)
+            if info.sizes and w:
+                slack[info.job_id] = free_min >= int(info.sizes[-1])
+            info.min_share_plan = plan
+            plans[info.job_id] = plan
+            if w:
+                used[:w] += plan[:w]
+        ledger = Ledger(capacity, horizon)
+        ledger.load_plans(plans, used)
+        return AdmissionResult(
+            admitted=infeasible is None,
+            plans=plans,
+            ledger=ledger,
+            infeasible_job=infeasible,
+            degraded=degraded,
+            slack=slack,
+        )
+
+    def _fill_sequential(
+        self,
+        ordered: list[PlanningJob],
+        grid: SlotGrid,
+        *,
+        stop_on_failure: bool,
+    ) -> AdmissionResult:
         ledger = Ledger(self.capacity, grid.horizon)
         plans: dict[str, np.ndarray] = {}
         infeasible: str | None = None
         degraded: set[str] = set()
-        ordered = sorted(infos, key=lambda i: (i.deadline, i.job_id))
         for info in ordered:
             info.degraded = False
             if info.best_effort:

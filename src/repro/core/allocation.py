@@ -22,10 +22,18 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.admission import PlanningJob, progressive_filling
+from repro.core.admission import PlanningJob, _emit_plan, progressive_filling
+from repro.core.batch import WarmRowBatch
 from repro.core.plan import Ledger
+from repro.numeric import EPS as _EPS
 from repro.perf.coherence import mutates
-from repro.perf.tables import cache_enabled
+from repro.perf.tables import (
+    batching_enabled,
+    cache_enabled,
+    ladder_consts,
+    note_batch_fill,
+    note_warm_fill,
+)
 
 __all__ = ["Upgrade", "allocate_leftover"]
 
@@ -54,6 +62,11 @@ class Upgrade:
     #: applied it becomes the job's *current* cost, so the follow-up
     #: proposal reuses it instead of recomputing the identical product.
     new_cost: float = 0.0
+    #: Whether the snapshot's usable window had at least the job's top
+    #: runnable size free in every slot.  The clamped snapshot vector is
+    #: then the constant ``top`` row, so revalidation reduces to a single
+    #: min over the current window (see :func:`_still_valid`).
+    top_free: bool = False
 
 
 def _gpu_seconds_to_completion(info: PlanningJob, n_gpus: int, slot_seconds: float) -> float:
@@ -120,6 +133,10 @@ def _propose(
         priority = (old_cost - new_cost) / added
         tiebreak = 0.0
         snapshot = available
+        # ``top_free`` stays False here: deciding it costs an extra
+        # O(window) min per proposal, which only pays off where the min is
+        # already in hand (the batched initial proposals).  False merely
+        # routes revalidation through the exact vector comparison.
         return Upgrade(
             job_id=info.job_id,
             plan=new_plan,
@@ -170,6 +187,16 @@ def _still_valid(upgrade: Upgrade, info: PlanningJob, ledger: Ledger) -> bool:
     top = info.sizes[-1] if info.sizes else 0
     current = ledger.plan_view(upgrade.job_id)
     stop = 1 + usable
+    if upgrade.top_free:
+        # The snapshot's clamped window is the constant ``top`` row, so the
+        # rebuilt vector equals it exactly when the current window also
+        # clears ``top`` everywhere — one add and one min instead of two
+        # clamps and a comparison (exact in both directions: a clamped
+        # vector is all-``top`` iff its unclamped min is >= ``top``).
+        now_min = int(
+            (ledger.available()[1:stop] + current[1:stop]).min()
+        )
+        return now_min >= top
     then = np.minimum(np.maximum(upgrade.available[1:stop], 0), top)
     now = np.minimum(
         np.maximum(
@@ -178,6 +205,117 @@ def _still_valid(upgrade: Upgrade, info: PlanningJob, ledger: Ledger) -> bool:
         top,
     )
     return bool(np.array_equal(then, now))
+
+
+def _initial_upgrades(
+    infos: list[PlanningJob],
+    ledger: Ledger,
+    slot_seconds: float,
+    warm_hints: dict[tuple[str, int], int] | None,
+) -> list[Upgrade]:
+    """Every job's first Algorithm 2 proposal, warm tail refills batched.
+
+    Pass 1 applies the exact scalar gates of :func:`_propose` and queues
+    every SLO job whose hinted tail cap is runnable and whose usable window
+    is unclamped (min leftover capacity >= cap) into one
+    :class:`WarmRowBatch`; pass 2 solves the batch; pass 3 verifies each
+    row exactly as the warm path of :func:`progressive_filling` does and
+    emits the proposal, falling back to :func:`_propose` for everything
+    else (best-effort, unhinted, clamped, trivially-satisfied, or failed
+    verification).  Proposals are bit-identical either way — see the batch
+    module's contract — and the resulting heap order is too, because it is
+    a total order over ``(priority, tiebreak, job_id)`` and never depends
+    on push order.
+    """
+    batch = WarmRowBatch()
+    prepared: list[tuple] = []
+    upgrades: list[Upgrade] = []
+    fallbacks: list[PlanningJob] = []
+    for info in infos:
+        current = ledger.plan_view(info.job_id)
+        current_size = int(current[0])
+        next_size = info.next_size_after(current_size)
+        if next_size is None:
+            continue
+        if info.throughput_table[next_size] <= info.throughput_table[current_size]:
+            continue
+        added = next_size - current_size
+        available = ledger.available() + current
+        if added > available[0] - current_size:
+            continue
+        if info.best_effort or info.degraded:
+            fallbacks.append(info)  # scalar-only proposal: nothing to batch
+            continue
+        cap = None if warm_hints is None else warm_hints.get((info.job_id, 1))
+        usable = info.window(1)
+        # Same single-product head shortcut as the start_slot=1 fill.
+        base = float(info.throughput_table[next_size]) * float(info.weights[0])
+        required = info.remaining_iterations - base
+        if cap is None or not usable or required <= _EPS or not info.sizes:
+            fallbacks.append(info)
+            continue
+        consts = ladder_consts(
+            info.tables_token,
+            cap,
+            info.sizes,
+            info.sizes_array(),
+            info.size_table,
+            info.throughput_table,
+        )
+        if consts is None:
+            fallbacks.append(info)  # stale hint from a different table build
+            continue
+        m = int(available[1 : 1 + usable].min())
+        if m < cap:
+            fallbacks.append(info)  # clamped window: per-slot takes differ
+            continue
+        s_cap, thr_hint, _below, thr_below = consts
+        handle = batch.add(info.weights[1 : 1 + usable], thr_hint, thr_below)
+        prepared.append(
+            (info, current, available, next_size, added, required, s_cap, handle, m)
+        )
+    batch.solve()
+    for info, current, available, next_size, added, required, s_cap, handle, m in prepared:
+        threshold = required - _EPS
+        row = batch.hint_row(handle)
+        if row[-1] >= threshold and batch.below_total(handle) < threshold:
+            note_warm_fill(True)
+            note_batch_fill(True)
+            plan = np.zeros(ledger.horizon, dtype=np.int64)
+            plan[0] = next_size
+            plan = _emit_plan(
+                info,
+                plan,
+                s_cap,
+                row,
+                required,
+                threshold,
+                info.weights[1 : 1 + len(row)],
+                1,
+            )
+            old_cost = info.gpu_seconds_of(current)
+            new_cost = info.gpu_seconds_of(plan)
+            upgrades.append(
+                Upgrade(
+                    job_id=info.job_id,
+                    plan=plan,
+                    added_gpus=added,
+                    priority=(old_cost - new_cost) / added,
+                    tiebreak=0.0,
+                    ledger_version=ledger.version,
+                    available=available,
+                    new_cost=new_cost,
+                    top_free=m >= info.sizes[-1],
+                )
+            )
+        else:
+            note_batch_fill(False)
+            fallbacks.append(info)
+    for info in fallbacks:
+        upgrade = _propose(info, ledger, slot_seconds, None, warm_hints)
+        if upgrade is not None:
+            upgrades.append(upgrade)
+    return upgrades
 
 
 @mutates("Ledger._plans", "Ledger._used")
@@ -220,10 +358,16 @@ def allocate_leftover(
                 heap, (-upgrade.priority, upgrade.tiebreak, upgrade.job_id, upgrade)
             )
 
-    for info in infos:
-        push(info)
-
     revalidate = cache_enabled()
+    if revalidate and batching_enabled():
+        for upgrade in _initial_upgrades(infos, ledger, slot_seconds, warm_hints):
+            heapq.heappush(
+                heap, (-upgrade.priority, upgrade.tiebreak, upgrade.job_id, upgrade)
+            )
+    else:
+        for info in infos:
+            push(info)
+
     while heap and ledger.available_at(0) > 0:
         _, _, _, upgrade = heapq.heappop(heap)
         info = by_id[upgrade.job_id]

@@ -144,8 +144,10 @@ class Ledger:
         both paths derive the pair from plans progressive filling already
         bounded by capacity).  Adopted arrays are frozen in place, like
         ``set_plan(trusted=True)``, so :meth:`plan_view` can keep handing
-        out stored arrays; ``used`` is adopted writable because the
-        incremental mutators update it in place.
+        out stored arrays.  ``used`` may be shared (even read-only): every
+        mutator *rebinds* ``_used`` to a fresh array instead of writing in
+        place, so adopted vectors — including the admission fill cache's
+        frozen snapshots — are never corrupted by later ledger edits.
         """
         for plan in plans.values():
             plan.flags.writeable = False
@@ -159,14 +161,16 @@ class Ledger:
         plan = self._plans.pop(job_id, None)
         if plan is None:
             raise SchedulingError(f"no plan registered for job {job_id!r}")
-        self._used -= plan
+        # Rebind rather than subtract in place: ``_used`` may be an array
+        # adopted from (and still referenced by) a cached fill snapshot.
+        self._used = self._used - plan
         self._bump_version()
 
     @mutates("_used", "_plans")
     def clear(self) -> None:
         """Forget every plan."""
         self._plans.clear()
-        self._used[:] = 0
+        self._used = np.zeros(self.horizon, dtype=np.int64)
         self._bump_version()
 
     # -------------------------------------------------------------- helpers

@@ -12,7 +12,8 @@ from __future__ import annotations
 
 import math
 from collections import OrderedDict
-from dataclasses import dataclass
+
+import numpy as np
 
 from repro.core.admission import AdmissionController, PlanningJob, planning_job
 from repro.core.allocation import allocate_leftover
@@ -22,33 +23,13 @@ from repro.core.slots import SlotGrid
 from repro.errors import ConfigurationError
 from repro.perf import probe
 from repro.perf.coherence import keyed
-from repro.perf.tables import cache_enabled, curve_revision
+from repro.perf.tables import cache_enabled, curve_revision, planning_tables_for
 from repro.sim.interface import SchedulerPolicy
 
 __all__ = ["ElasticFlowPolicy"]
 
 
-@dataclass
-class _RoundEntry:
-    """One remembered planning round for the event-level fingerprint cache.
-
-    Attributes:
-        key: The round fingerprint (see ``ElasticFlowPolicy._round_key``).
-        decisions: The *raw* Algorithm 1+2 decision vector, before
-            stability hysteresis — hysteresis reads the jobs' current
-            placement sizes, which are engine state outside the
-            fingerprint, so it re-runs on every hit.
-        minima: Slot-0 minimum satisfactory share per non-degraded SLO job
-            (absent means zero) — the only Algorithm 1 side product the
-            hysteresis pass needs.
-    """
-
-    key: tuple
-    decisions: dict[str, int]
-    minima: dict[str, int]
-
-
-@keyed(_info_cache="curve_revision", _round_cache="_round_key")
+@keyed(_info_cache="curve_revision")
 class ElasticFlowPolicy(SchedulerPolicy):
     """Deadline-driven serverless scheduling with elastic scaling.
 
@@ -135,13 +116,6 @@ class ElasticFlowPolicy(SchedulerPolicy):
         # switch.  Keys carry the curve revision: an online-profiling
         # correction invalidates every dependent view.
         self._info_cache: OrderedDict[tuple, PlanningJob] = OrderedDict()
-        # The previous planning round, keyed by the round fingerprint: an
-        # event whose planning inputs are bit-identical to the last round
-        # replays the remembered decision vector without touching
-        # Algorithms 1/2 (hysteresis still re-runs; see _RoundEntry).
-        self._round_cache: _RoundEntry | None = None
-        self.round_hits = 0
-        self.round_misses = 0
 
     # ------------------------------------------------------------ interface
     def _planning_capacity(self) -> int:
@@ -170,8 +144,9 @@ class ElasticFlowPolicy(SchedulerPolicy):
         mark = probe.tick()
         grid = self._grid(now, active + [job])
         controller = self._controller(self._planning_capacity())
-        candidate = self._info(job, grid)
-        admitted = [self._info(j, grid) for j in active if not j.spec.best_effort]
+        slo_active = [j for j in active if not j.spec.best_effort]
+        views = self._infos([job] + slo_active, grid)
+        candidate, admitted = views[0], views[1:]
         mark = probe.lap("views", mark)
         result = controller.try_admit(candidate, admitted, grid)
         probe.lap("alg1", mark)
@@ -190,11 +165,12 @@ class ElasticFlowPolicy(SchedulerPolicy):
     def allocate(self, active: list[Job], now: float) -> dict[str, int]:
         """Algorithms 1 + 2: minimum shares, then marginal-return leftovers.
 
-        The round fingerprint short-circuits the whole solve: when the
-        planning inputs (job views, grid, capacity) are bit-identical to
-        the previous round, the remembered raw decision vector is replayed
-        and only the stability hysteresis — which reads current placement
-        sizes, engine state outside the fingerprint — runs again.
+        (An earlier generation kept an event-level round-fingerprint cache
+        here; it was removed because grids are anchored at the event time,
+        so two distinct events can never share a fingerprint and the layer
+        structurally never hit — see ``docs/performance.md``.  Repeated
+        solves *within* one event are already replayed by the admission
+        controller's fill memo.)
         """
         if not active:
             return {}
@@ -204,23 +180,10 @@ class ElasticFlowPolicy(SchedulerPolicy):
         mark = probe.tick()
         grid = self._grid(now, active)
         controller = self._controller(capacity)
-        infos = [self._info(job, grid) for job in active]
+        infos = self._infos(active, grid)
+        if cache_enabled() and len(controller.warm_hints) > 2 * len(active) + 64:
+            controller.prune_warm_hints({job.job_id for job in active})
         mark = probe.lap("views", mark)
-        key = None
-        if cache_enabled():
-            key = self._round_key(infos, grid, capacity)
-            entry = self._round_cache
-            if key is not None and entry is not None and entry.key == key:
-                self.round_hits += 1
-                decisions = dict(entry.decisions)
-                if self.stability_threshold > 0:
-                    decisions = self._stabilize(
-                        decisions, infos, active, entry.minima
-                    )
-                probe.lap("alg2", mark)
-                return decisions
-            if key is not None:
-                self.round_misses += 1
         result = controller.plan_shares(infos, grid, stop_on_failure=False)
         mark = probe.lap("alg1", mark)
         decisions = allocate_leftover(
@@ -229,13 +192,10 @@ class ElasticFlowPolicy(SchedulerPolicy):
             grid.slot_seconds,
             warm_hints=controller.warm_hints if cache_enabled() else None,
         )
-        minima = self._share_minima(infos)
-        if key is not None:
-            self._round_cache = _RoundEntry(
-                key=key, decisions=dict(decisions), minima=minima
-            )
         if self.stability_threshold > 0:
-            decisions = self._stabilize(decisions, infos, active, minima)
+            decisions = self._stabilize(
+                decisions, infos, active, self._share_minima(infos)
+            )
         probe.lap("alg2", mark)
         return decisions
 
@@ -264,8 +224,8 @@ class ElasticFlowPolicy(SchedulerPolicy):
         size changes its throughput by less than ``stability_threshold``,
         and (iii) cluster capacity still holds.  This suppresses the
         checkpoint/restore churn of re-solving Algorithm 2 at every event.
-        ``minima`` carries Algorithm 1's slot-0 minimum shares so a
-        round-cache replay can run hysteresis without re-solving.
+        ``minima`` carries Algorithm 1's slot-0 minimum shares so
+        hysteresis never has to re-solve to learn them.
         """
         by_id = {info.job_id: info for info in infos}
         total = sum(decisions.values())
@@ -305,42 +265,6 @@ class ElasticFlowPolicy(SchedulerPolicy):
             self._controllers.move_to_end(capacity)
         return controller
 
-    def _round_key(
-        self, infos: list[PlanningJob], grid: SlotGrid, capacity: int
-    ) -> tuple | None:
-        """Fingerprint of one planning round, or ``None`` when uncacheable.
-
-        Covers everything the raw Algorithm 1+2 decision vector is a
-        function of: the grid (origin, slot width, horizon), the planning
-        capacity, and every active job's planning view — id, remaining
-        work, padded deadline, best-effort flag, and the planning-table
-        token, which is the freshness surrogate for the scaling curve (an
-        online-profiling correction bumps the curve revision, which forces
-        a table rebuild, which mints a new token).  Hand-built views
-        (token ``-1``) make the round uncacheable, mirroring the fill
-        fingerprint's discipline.
-        """
-        jobs = []
-        for info in infos:
-            if info.tables_token < 0:
-                return None
-            jobs.append(
-                (
-                    info.job_id,
-                    info.remaining_iterations,
-                    info.deadline,
-                    info.best_effort,
-                    info.tables_token,
-                )
-            )
-        return (
-            grid.origin,
-            grid.slot_seconds,
-            grid.horizon,
-            capacity,
-            tuple(sorted(jobs)),
-        )
-
     def _grid(self, now: float, jobs: list[Job]) -> SlotGrid:
         """Planning grid covering every finite deadline from ``now``.
 
@@ -369,6 +293,94 @@ class ElasticFlowPolicy(SchedulerPolicy):
     #: Bound on memoized planning views; LRU-evicted beyond this.
     INFO_CACHE_LIMIT = 512
 
+    def _info_key(self, job: Job, revision: int, grid: SlotGrid) -> tuple:
+        """Memo key of one planning view (``revision`` is the job curve's
+        ``curve_revision`` — computed by the caller at the write site).
+
+        The grid's *horizon* is deliberately absent: a view's weights run
+        up to its own (padded) deadline, and every grid that includes the
+        job covers that deadline, so all weight-window consumers see
+        identical values on any same-origin/same-width grid.  This lets
+        the admission pass and the same-event allocation pass share one
+        view build even when the candidate's deadline stretched the
+        admission grid's horizon.
+        """
+        spec = job.spec
+        return (
+            job.job_id,
+            job.remaining_iterations,
+            spec.effective_deadline,
+            spec.best_effort,
+            spec.model_name,
+            spec.global_batch_size,
+            revision,
+            grid.origin,
+            grid.slot_seconds,
+            self.context.total_gpus,
+        )
+
+    def _infos(self, jobs: list[Job], grid: SlotGrid) -> list[PlanningJob]:
+        """Planning views for every job, missing ones built in one batch.
+
+        Cache hits are served exactly like :meth:`_info`; the misses share
+        a single :meth:`SlotGrid.weights_matrix` build (one vectorized clip
+        over a deadlines-by-slots matrix) instead of one ``weights_until``
+        call per job, and their usable windows come from one
+        ``searchsorted`` (:meth:`SlotGrid.window_ends`) pre-seeded into the
+        per-view window memo.  Every row is bit-identical to the
+        single-job path, so views from either route are interchangeable —
+        including under the fill fingerprint.
+        """
+        if not cache_enabled():
+            return [self._info(job, grid) for job in jobs]
+        views: list[PlanningJob | None] = [None] * len(jobs)
+        misses: list[tuple[int, Job, object, tuple]] = []
+        for idx, job in enumerate(jobs):
+            curve = self._planning_curve(job)
+            key = self._info_key(job, curve_revision(curve), grid)
+            info = self._info_cache.get(key)
+            if info is None:
+                misses.append((idx, job, curve, key))
+            else:
+                self._info_cache.move_to_end(key)
+                views[idx] = info
+        if misses:
+            # Identical scalar padding math to planning_job, batched rows.
+            deadlines = np.empty(len(misses), dtype=np.float64)
+            for row, (_, job, _, _) in enumerate(misses):
+                deadline = job.spec.effective_deadline
+                if not math.isinf(deadline) and self.deadline_padding_s:
+                    padding = min(
+                        self.deadline_padding_s,
+                        0.1 * max(0.0, deadline - grid.origin),
+                    )
+                    deadline = deadline - padding
+                deadlines[row] = deadline
+            weight_rows = grid.weights_matrix(deadlines)
+            ends = grid.window_ends(deadlines)
+            for row, (idx, job, curve, key) in enumerate(misses):
+                tables = planning_tables_for(curve, self.context.total_gpus)
+                info = PlanningJob(
+                    job_id=job.job_id,
+                    remaining_iterations=job.remaining_iterations
+                    * (1.0 + self.safety_margin),
+                    deadline=float(deadlines[row]),
+                    weights=weight_rows[row],
+                    throughput_table=tables.throughput_table,
+                    size_table=tables.size_table,
+                    sizes=tables.sizes,
+                    best_effort=job.spec.best_effort,
+                    tables_token=tables.token,
+                )
+                w0 = int(ends[row])
+                # Window from slot 1 drops at most the slot-0 weight.
+                info.__dict__["_windows"] = {0: w0, 1: max(w0 - 1, 0)}
+                self._info_cache[key] = info
+                views[idx] = info
+            while len(self._info_cache) > self.INFO_CACHE_LIMIT:
+                self._info_cache.popitem(last=False)
+        return views
+
     def _info(self, job: Job, grid: SlotGrid) -> PlanningJob:
         curve = self._planning_curve(job)
         if not cache_enabled():
@@ -380,26 +392,7 @@ class ElasticFlowPolicy(SchedulerPolicy):
                 safety_margin=self.safety_margin,
                 deadline_padding_s=self.deadline_padding_s,
             )
-        spec = job.spec
-        # The grid's *horizon* is deliberately absent: a view's weights run
-        # up to its own (padded) deadline, and every grid that includes the
-        # job covers that deadline, so all weight-window consumers see
-        # identical values on any same-origin/same-width grid.  This lets
-        # the admission pass and the same-event allocation pass share one
-        # view build even when the candidate's deadline stretched the
-        # admission grid's horizon.
-        key = (
-            job.job_id,
-            job.remaining_iterations,
-            spec.effective_deadline,
-            spec.best_effort,
-            spec.model_name,
-            spec.global_batch_size,
-            curve_revision(curve),
-            grid.origin,
-            grid.slot_seconds,
-            self.context.total_gpus,
-        )
+        key = self._info_key(job, curve_revision(curve), grid)
         info = self._info_cache.get(key)
         if info is None:
             info = planning_job(

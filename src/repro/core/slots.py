@@ -86,6 +86,37 @@ class SlotGrid:
             return np.full(self.horizon, self.slot_seconds, dtype=np.float64)
         return np.clip(deadline - self._starts, 0.0, self.slot_seconds)
 
+    def weights_matrix(self, deadlines: np.ndarray) -> np.ndarray:
+        """:meth:`weights_until` for a batch of deadlines, one row each.
+
+        Row ``i`` is bit-identical to ``weights_until(deadlines[i])``: the
+        clip expression is evaluated elementwise either way, and an
+        infinite deadline clips ``inf - start`` to exactly
+        ``slot_seconds``, matching the full-weights special case.  The
+        matrix is frozen so its rows can be handed out as shared read-only
+        views.
+        """
+        rows = np.clip(
+            np.asarray(deadlines, dtype=np.float64)[:, None] - self._starts,
+            0.0,
+            self.slot_seconds,
+        )
+        rows.flags.writeable = False
+        return rows
+
+    def window_ends(self, deadlines: np.ndarray) -> np.ndarray:
+        """Index one past the last nonzero weight, per deadline.
+
+        ``weights_until(d)[t] > 0`` exactly when ``starts[t] < d``, so the
+        usable-window length is the number of slot starts strictly before
+        the deadline — a ``searchsorted`` over the cached start times
+        (infinite deadlines yield the full horizon).  This is the batched
+        form of ``PlanningJob.window(0)``.
+        """
+        return np.searchsorted(
+            self._starts, np.asarray(deadlines, dtype=np.float64), side="left"
+        )
+
     @staticmethod
     def for_jobs(
         now: float,

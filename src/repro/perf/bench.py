@@ -9,10 +9,21 @@ once with the planning caches on and once through the
 the speedup *and* verifying that both runs made byte-identical scheduling
 decisions (same admissions, same per-job outcomes).
 
+Four scales are available (``--scale``): ``quick`` (200 jobs / 1024 GPUs,
+the CI smoke), ``full`` (2000 / 1024, the recorded trajectory), ``mid``
+(5000 / 4096) and ``xl`` (20000 / 16384).  The two large scales model an
+Aryl/VirtualFlow-style large-model cluster (heavier requested-size mix, so
+the active set stays in the hundreds) and verify the batched solver against
+the *sequential* solver (``batched_solver_disabled``) instead of the
+cache-disabled reference, which is intractable at that size; the
+``reference_mode`` field records which yardstick produced
+``decisions_match``.
+
 Usage::
 
-    python -m repro.perf             # full benchmark (2000-job trace)
-    python -m repro.perf --quick     # CI smoke (200-job trace)
+    python -m repro.perf               # full benchmark (2000-job trace)
+    python -m repro.perf --quick       # CI smoke (200-job trace)
+    python -m repro.perf --scale xl    # 16k-GPU / 20k-job scale probe
     python -m repro.perf -o out.json
 """
 
@@ -29,7 +40,12 @@ from repro.cluster.topology import ClusterSpec
 from repro.core.admission import planning_job
 from repro.core.scheduler import ElasticFlowPolicy
 from repro.perf import probe
-from repro.perf.tables import cache_stats, planning_cache_disabled, reset_cache
+from repro.perf.tables import (
+    batched_solver_disabled,
+    cache_stats,
+    planning_cache_disabled,
+    reset_cache,
+)
 from repro.profiles.throughput import ThroughputModel
 from repro.sim.engine import Simulator
 from repro.sim.events import Event
@@ -45,6 +61,41 @@ QUICK_JOBS = 200
 BENCH_CLUSTER_GPUS = 1024
 BENCH_SLOT_SECONDS = 600.0
 DEFAULT_OUTPUT = "BENCH_core.json"
+
+#: Requested-size mix for the large scales: a large-model cluster serves
+#: far fewer, far wider jobs per GPU than the Philly mix (mean request
+#: ~24 GPUs vs ~4), keeping the simultaneous active set in the hundreds
+#: even at 16k GPUs.
+HEAVY_GPU_WEIGHTS = {4: 0.20, 8: 0.25, 16: 0.25, 32: 0.15, 64: 0.10, 128: 0.05}
+
+#: Benchmark scales: trace size, cluster size, requested-size mix, and the
+#: yardstick the decision digest is checked against.
+SCALES: dict[str, dict[str, Any]] = {
+    "quick": {
+        "n_jobs": QUICK_JOBS,
+        "cluster_gpus": BENCH_CLUSTER_GPUS,
+        "gpu_weights": None,
+        "reference_mode": "cache-disabled",
+    },
+    "full": {
+        "n_jobs": FULL_JOBS,
+        "cluster_gpus": BENCH_CLUSTER_GPUS,
+        "gpu_weights": None,
+        "reference_mode": "cache-disabled",
+    },
+    "mid": {
+        "n_jobs": 5000,
+        "cluster_gpus": 4096,
+        "gpu_weights": HEAVY_GPU_WEIGHTS,
+        "reference_mode": "sequential-solver",
+    },
+    "xl": {
+        "n_jobs": 20000,
+        "cluster_gpus": 16384,
+        "gpu_weights": HEAVY_GPU_WEIGHTS,
+        "reference_mode": "sequential-solver",
+    },
+}
 
 
 class _TimedSimulator(Simulator):
@@ -112,19 +163,29 @@ def _decision_digest(result: SimulationResult) -> list[tuple]:
     )
 
 
-def _benchmark_workload(n_jobs: int, seed: int):
+def _benchmark_workload(
+    n_jobs: int,
+    seed: int,
+    *,
+    cluster_gpus: int = BENCH_CLUSTER_GPUS,
+    gpu_weights: dict[int, float] | None = None,
+):
+    kwargs: dict[str, Any] = {}
+    if gpu_weights is not None:
+        kwargs["gpu_weights"] = gpu_weights
     config = ClusterTraceConfig(
         "bench-philly",
-        BENCH_CLUSTER_GPUS,
+        cluster_gpus,
         n_jobs,
         target_load=1.1,
         duration_median_s=3000.0,
         duration_sigma=1.2,
+        **kwargs,
     )
     trace = generate_trace(config, seed=seed)
     throughput = ThroughputModel()
     specs = build_jobs(trace, throughput, seed=seed)
-    cluster = ClusterSpec(n_nodes=BENCH_CLUSTER_GPUS // 8, gpus_per_node=8)
+    cluster = ClusterSpec(n_nodes=cluster_gpus // 8, gpus_per_node=8)
     return cluster, specs, throughput
 
 
@@ -135,8 +196,16 @@ def _policy() -> ElasticFlowPolicy:
     )
 
 
-def _run_sim(n_jobs: int, seed: int) -> tuple[dict[str, Any], SimulationResult]:
-    cluster, specs, throughput = _benchmark_workload(n_jobs, seed)
+def _run_sim(
+    n_jobs: int,
+    seed: int,
+    *,
+    cluster_gpus: int = BENCH_CLUSTER_GPUS,
+    gpu_weights: dict[int, float] | None = None,
+) -> tuple[dict[str, Any], SimulationResult]:
+    cluster, specs, throughput = _benchmark_workload(
+        n_jobs, seed, cluster_gpus=cluster_gpus, gpu_weights=gpu_weights
+    )
     policy = _policy()
     sim = _TimedSimulator(
         cluster,
@@ -152,12 +221,11 @@ def _run_sim(n_jobs: int, seed: int) -> tuple[dict[str, Any], SimulationResult]:
         result = sim.run()
     wall = time.perf_counter() - start
     incremental = {
-        "round_hits": policy.round_hits,
-        "round_misses": policy.round_misses,
         "fill_cache_hits": 0,
         "fill_cache_misses": 0,
         "delta_hits": 0,
         "delta_reuses": 0,
+        "delta_slack_reuses": 0,
         "delta_refills": 0,
     }
     for controller in policy._controllers.values():
@@ -165,6 +233,7 @@ def _run_sim(n_jobs: int, seed: int) -> tuple[dict[str, Any], SimulationResult]:
         incremental["fill_cache_misses"] += controller.fill_cache_misses
         incremental["delta_hits"] += controller.delta_hits
         incremental["delta_reuses"] += controller.delta_reuses
+        incremental["delta_slack_reuses"] += controller.delta_slack_reuses
         incremental["delta_refills"] += controller.delta_refills
     metrics: dict[str, Any] = {
         "wall_s": wall,
@@ -177,13 +246,38 @@ def _run_sim(n_jobs: int, seed: int) -> tuple[dict[str, Any], SimulationResult]:
     return metrics, result
 
 
-def bench_end_to_end(n_jobs: int, seed: int) -> dict[str, Any]:
-    """Run the benchmark trace cached and uncached; verify equivalence."""
+def bench_end_to_end(
+    n_jobs: int,
+    seed: int,
+    *,
+    cluster_gpus: int = BENCH_CLUSTER_GPUS,
+    gpu_weights: dict[int, float] | None = None,
+    reference_mode: str = "cache-disabled",
+) -> dict[str, Any]:
+    """Run the benchmark trace twice and verify decision equivalence.
+
+    ``reference_mode`` picks the comparison run: ``"cache-disabled"`` is
+    the from-scratch reference solver (the strongest yardstick), while
+    ``"sequential-solver"`` keeps the caches but disables the batched
+    multi-job solver — the tractable yardstick for the large scales.  The
+    comparison run's metrics keep the historical ``"uncached"`` key either
+    way so downstream readers need no schema branch.
+    """
     reset_cache()
-    cached_metrics, cached_result = _run_sim(n_jobs, seed)
+    cached_metrics, cached_result = _run_sim(
+        n_jobs, seed, cluster_gpus=cluster_gpus, gpu_weights=gpu_weights
+    )
     cached_metrics["cache"] = cache_stats()
-    with planning_cache_disabled():
-        uncached_metrics, uncached_result = _run_sim(n_jobs, seed)
+    if reference_mode == "sequential-solver":
+        with batched_solver_disabled():
+            uncached_metrics, uncached_result = _run_sim(
+                n_jobs, seed, cluster_gpus=cluster_gpus, gpu_weights=gpu_weights
+            )
+    else:
+        with planning_cache_disabled():
+            uncached_metrics, uncached_result = _run_sim(
+                n_jobs, seed, cluster_gpus=cluster_gpus, gpu_weights=gpu_weights
+            )
     speedup = (
         uncached_metrics["wall_s"] / cached_metrics["wall_s"]
         if cached_metrics["wall_s"] > 0
@@ -191,7 +285,8 @@ def bench_end_to_end(n_jobs: int, seed: int) -> dict[str, Any]:
     )
     return {
         "n_jobs": n_jobs,
-        "cluster_gpus": BENCH_CLUSTER_GPUS,
+        "cluster_gpus": cluster_gpus,
+        "reference_mode": reference_mode,
         "cached": cached_metrics,
         "uncached": uncached_metrics,
         "speedup": speedup,
@@ -267,18 +362,39 @@ def bench_allocation(n_jobs: int, rounds: int, seed: int) -> dict[str, Any]:
     }
 
 
-def run_benchmarks(*, quick: bool = False, seed: int = 0) -> dict[str, Any]:
-    """Run the full harness and return the report dictionary."""
-    n_jobs = QUICK_JOBS if quick else FULL_JOBS
-    report = {
-        "schema": 1,
+def run_benchmarks(
+    *, quick: bool = False, seed: int = 0, scale: str | None = None
+) -> dict[str, Any]:
+    """Run the harness at one scale and return the report dictionary.
+
+    ``--quick`` remains an alias for ``scale="quick"``.  The two large
+    scales run only the end-to-end benchmark (the micro benches measure
+    per-call dispatch, which does not change with cluster size).
+    """
+    if scale is None:
+        scale = "quick" if quick else "full"
+    params = SCALES[scale]
+    report: dict[str, Any] = {
+        "schema": 2,
         "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
-        "quick": quick,
+        "quick": scale == "quick",
+        "scale": scale,
         "seed": seed,
-        "admission": bench_admission(100 if quick else 400, seed),
-        "allocation": bench_allocation(n_jobs, 20 if quick else 60, seed),
-        "end_to_end": bench_end_to_end(n_jobs, seed),
     }
+    if scale in ("quick", "full"):
+        report["admission"] = bench_admission(
+            100 if scale == "quick" else 400, seed
+        )
+        report["allocation"] = bench_allocation(
+            params["n_jobs"], 20 if scale == "quick" else 60, seed
+        )
+    report["end_to_end"] = bench_end_to_end(
+        params["n_jobs"],
+        seed,
+        cluster_gpus=params["cluster_gpus"],
+        gpu_weights=params["gpu_weights"],
+        reference_mode=params["reference_mode"],
+    )
     return report
 
 
@@ -297,7 +413,14 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--quick",
         action="store_true",
-        help="small trace for CI smoke runs",
+        help="small trace for CI smoke runs (alias for --scale quick)",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=tuple(SCALES),
+        default=None,
+        help="benchmark scale (mid/xl run only the end-to-end trace and "
+        "verify against the sequential solver)",
     )
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument(
@@ -333,22 +456,27 @@ def main(argv: list[str] | None = None) -> int:
         )
         print(f"report written to {output}")
         return 0
-    report = run_benchmarks(quick=args.quick, seed=args.seed)
+    report = run_benchmarks(quick=args.quick, seed=args.seed, scale=args.scale)
     output = args.output or DEFAULT_OUTPUT
     with open(output, "w") as handle:
         json.dump(report, handle, indent=2)
         handle.write("\n")
     e2e = report["end_to_end"]
     print(
-        f"end-to-end ({e2e['n_jobs']} jobs): "
+        f"end-to-end ({e2e['n_jobs']} jobs, {e2e['cluster_gpus']} GPUs): "
         f"{e2e['cached']['wall_s']:.2f}s cached vs "
-        f"{e2e['uncached']['wall_s']:.2f}s uncached "
+        f"{e2e['uncached']['wall_s']:.2f}s {e2e['reference_mode']} "
         f"({e2e['speedup']:.2f}x, decisions_match={e2e['decisions_match']})"
     )
+    micro = ""
+    if "admission" in report:
+        micro = (
+            f"admission: {report['admission']['ops_per_sec']:.1f} ops/s | "
+            f"allocation: {report['allocation']['allocs_per_sec']:.1f} allocs/s | "
+        )
     print(
-        f"admission: {report['admission']['ops_per_sec']:.1f} ops/s | "
-        f"allocation: {report['allocation']['allocs_per_sec']:.1f} allocs/s | "
-        f"events: {e2e['cached']['events_per_sec']:.1f}/s "
+        micro
+        + f"events: {e2e['cached']['events_per_sec']:.1f}/s "
         f"(p50 {e2e['cached']['p50_ms']:.2f} ms, p95 {e2e['cached']['p95_ms']:.2f} ms)"
     )
     phases = e2e["cached"]["phases"]
@@ -359,8 +487,8 @@ def main(argv: list[str] | None = None) -> int:
     )
     inc = e2e["cached"]["incremental"]
     print(
-        f"incremental: round {inc['round_hits']}/{inc['round_hits'] + inc['round_misses']} hits, "
-        f"delta {inc['delta_hits']} fills ({inc['delta_reuses']} reused / "
+        f"incremental: delta {inc['delta_hits']} fills ({inc['delta_reuses']} "
+        f"reused, {inc['delta_slack_reuses']} via slack / "
         f"{inc['delta_refills']} refilled), fill-memo {inc['fill_cache_hits']} hits"
     )
     print(f"report written to {output}")

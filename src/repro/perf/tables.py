@@ -47,8 +47,13 @@ __all__ = [
     "cache_enabled",
     "set_cache_enabled",
     "planning_cache_disabled",
+    "batching_enabled",
+    "set_batching_enabled",
+    "batched_solver_disabled",
     "cache_stats",
+    "ladder_consts",
     "note_warm_fill",
+    "note_batch_fill",
     "reset_cache",
 ]
 
@@ -79,6 +84,7 @@ _token_counter = itertools.count()
 _store: "WeakKeyDictionary[object, dict[int, PlanningTables]]" = WeakKeyDictionary()
 _revisions: "WeakKeyDictionary[object, int]" = WeakKeyDictionary()
 _enabled: bool = True
+_batching: bool = True
 _stats = {
     "hits": 0,
     "misses": 0,
@@ -86,6 +92,8 @@ _stats = {
     "invalidations": 0,
     "warm_hits": 0,
     "warm_misses": 0,
+    "batch_hits": 0,
+    "batch_misses": 0,
 }
 
 
@@ -152,6 +160,72 @@ def invalidate_planning_tables(curve) -> None:
         _stats["invalidations"] += 1
 
 
+#: Per-(table build, cap) ladder constants for warm-hint verification.
+#: Each entry holds ``(sizes, value)`` where ``sizes`` is the build's
+#: ladder tuple (kept for identity validation) and ``value`` is
+#: ``(S[cap], T[S[cap]], next-lower cap, T[S[below]])`` — or ``None``
+#: when the cap is not in that build's ladder.  The values are pure
+#: functions of the table build, so entries can never go stale; the
+#: bound only exists to keep a pathological run from growing the dict
+#: without limit.
+_ladder_consts: dict[
+    tuple[int, int], tuple[object, tuple[int, float, int, float] | None]
+] = {}
+_LADDER_CONSTS_LIMIT = 65536
+
+
+def ladder_consts(
+    token: int,
+    cap: int,
+    sizes: object,
+    sizes_arr: np.ndarray,
+    size_table: np.ndarray,
+    throughput_table: np.ndarray,
+) -> tuple[int, float, int, float] | None:
+    """Hint-cap constants of one table build, memoized by ``(token, cap)``.
+
+    Returns ``(s_cap, thr_hint, below, thr_below)`` — the GPUs actually
+    used at the hinted cap, its constant per-slot throughput, the
+    next-lower ladder cap (``0`` when the hint is already the smallest)
+    and that cap's throughput — or ``None`` when ``cap`` is not in the
+    ladder (a stale hint from a different build).  These are exactly the
+    scalars the warm verification derives per call; hoisting them here
+    removes a ``searchsorted`` and four table lookups from every
+    warm-hinted fill.
+
+    A hit additionally requires the entry's ``sizes`` to be the *same
+    object* as the caller's: every view of one memoized table build
+    shares the build's ladder tuple, so real tokens always validate,
+    while hand-built views that stamp non-unique tokens (test fixtures)
+    fail the identity check and recompute instead of reading another
+    ladder's constants.  Hand-built views (``token == -1``) and the
+    cache-disabled mode always compute fresh.
+    """
+    memoize = token >= 0 and _enabled
+    if memoize:
+        key = (token, cap)
+        entry = _ladder_consts.get(key)
+        if entry is not None and entry[0] is sizes:
+            return entry[1]
+    idx = int(np.searchsorted(sizes_arr, cap))
+    if idx >= sizes_arr.size or int(sizes_arr[idx]) != cap:
+        value = None
+    else:
+        s_cap = int(size_table[cap])
+        thr_hint = float(throughput_table[s_cap])
+        if idx > 0:
+            below = int(sizes_arr[idx - 1])
+            thr_below = float(throughput_table[int(size_table[below])])
+        else:
+            below, thr_below = 0, 0.0
+        value = (s_cap, thr_hint, below, thr_below)
+    if memoize:
+        if len(_ladder_consts) >= _LADDER_CONSTS_LIMIT:
+            _ladder_consts.clear()
+        _ladder_consts[key] = (sizes, value)
+    return value
+
+
 def curve_revision(curve) -> int:
     """Monotone per-curve invalidation counter (0 until first invalidation).
 
@@ -189,6 +263,43 @@ def planning_cache_disabled():
         set_cache_enabled(previous)
 
 
+def batching_enabled() -> bool:
+    """Whether the batched multi-job solver layer is currently on.
+
+    The batched solver (see ``repro.core.batch`` and the admission
+    controller's ``_fill_batched``/``_delta_fill_indexed``) is a separate
+    toggle from the memo switch: turning it off while leaving the caches on
+    yields the sequential per-job solver of the previous generation, which
+    is the reference the scale-equivalence benchmarks compare against
+    (running the fully uncached reference at 16k GPUs is intractable).
+    Call sites must still gate on :func:`cache_enabled` first — the
+    cache-disabled escape hatch always routes to the reference scan.
+    """
+    return _batching
+
+
+def set_batching_enabled(enabled: bool) -> bool:
+    """Flip the batched-solver switch; returns the previous setting."""
+    global _batching
+    previous = _batching
+    _batching = bool(enabled)
+    return previous
+
+
+@contextmanager
+def batched_solver_disabled():
+    """Context manager: solve sequentially per job, caches still on.
+
+    The mid/xl-scale decision-digest checks run under this to compare the
+    batched commit walk against the sequential fill it replaced.
+    """
+    previous = set_batching_enabled(False)
+    try:
+        yield
+    finally:
+        set_batching_enabled(previous)
+
+
 def cache_stats() -> dict[str, int]:
     """Hit/miss/bypass/invalidation counters (copies; for tests & bench)."""
     return dict(_stats)
@@ -207,9 +318,19 @@ def note_warm_fill(hit: bool) -> None:
         _stats["warm_misses"] += 1
 
 
+def note_batch_fill(hit: bool) -> None:
+    """Count one batched-row fill attempt (emitted from the batch vs fell
+    back to the per-job sequential fill)."""
+    if hit:
+        _stats["batch_hits"] += 1
+    else:
+        _stats["batch_misses"] += 1
+
+
 @invalidates("planning_tables")
 def reset_cache() -> None:
     """Forget every cached table and zero the counters."""
     _store.clear()
+    _ladder_consts.clear()
     for key in _stats:
         _stats[key] = 0

@@ -4,13 +4,14 @@ import json
 
 import pytest
 
-from repro.perf import bench
+from repro.perf import bench, delta
 
 
 @pytest.fixture
 def tiny_bench(monkeypatch):
     """Shrink the benchmark trace so the smoke run stays fast."""
     monkeypatch.setattr(bench, "QUICK_JOBS", 30)
+    monkeypatch.setitem(bench.SCALES["quick"], "n_jobs", 30)
     return bench
 
 
@@ -19,8 +20,9 @@ def test_main_writes_report(tmp_path, tiny_bench, capsys):
     code = tiny_bench.main(["--quick", "--seed", "5", "-o", str(out)])
     assert code == 0
     report = json.loads(out.read_text())
-    assert report["schema"] == 1
+    assert report["schema"] == 2
     assert report["quick"] is True
+    assert report["scale"] == "quick"
     assert report["seed"] == 5
 
     e2e = report["end_to_end"]
@@ -53,3 +55,83 @@ def test_decision_digest_orders_outcomes(tiny_bench):
     digest = bench._decision_digest(result)
     assert digest == sorted(digest)
     assert len(digest) == 12
+
+
+# ------------------------------------------------------- perf-delta gate
+def _report(phases, wall=10.0):
+    return {
+        "scale": "quick",
+        "seed": 0,
+        "end_to_end": {
+            "cached": {
+                "wall_s": wall,
+                "events_per_sec": 100.0,
+                "phases": phases,
+            }
+        },
+    }
+
+
+class TestDeltaGate:
+    def test_roundtrip_report_passes_against_itself(self):
+        report = _report({"alg1_s": 3.0, "alg2_s": 5.0, "other_s": 2.0})
+        baseline = delta.extract_baseline(report)
+        assert delta.check_phases(report, baseline) == []
+
+    def test_uniform_slowdown_passes(self):
+        """A slow runner scales every phase equally — shares unchanged."""
+        baseline = delta.extract_baseline(
+            _report({"alg1_s": 3.0, "alg2_s": 5.0}, wall=10.0)
+        )
+        slower = _report({"alg1_s": 9.0, "alg2_s": 15.0}, wall=30.0)
+        assert delta.check_phases(slower, baseline) == []
+
+    def test_single_phase_regression_fails(self):
+        baseline = delta.extract_baseline(
+            _report({"alg1_s": 3.0, "alg2_s": 5.0}, wall=10.0)
+        )
+        regressed = _report({"alg1_s": 3.0, "alg2_s": 9.0}, wall=14.0)
+        failures = delta.check_phases(regressed, baseline)
+        assert len(failures) == 1 and "alg2_s" in failures[0]
+
+    def test_missing_phase_fails(self):
+        baseline = delta.extract_baseline(
+            _report({"alg1_s": 3.0, "alg2_s": 5.0})
+        )
+        failures = delta.check_phases(_report({"alg1_s": 3.0}), baseline)
+        assert any("missing" in line for line in failures)
+
+    def test_cli_write_then_gate(self, tmp_path):
+        report_path = tmp_path / "report.json"
+        baseline_path = tmp_path / "baseline.json"
+        report_path.write_text(
+            json.dumps(_report({"alg1_s": 3.0, "alg2_s": 5.0}))
+        )
+        assert (
+            delta.main(
+                [
+                    "--report",
+                    str(report_path),
+                    "--baseline",
+                    str(baseline_path),
+                    "--write-baseline",
+                ]
+            )
+            == 0
+        )
+        assert (
+            delta.main(
+                ["--report", str(report_path), "--baseline", str(baseline_path)]
+            )
+            == 0
+        )
+        regressed = tmp_path / "regressed.json"
+        regressed.write_text(
+            json.dumps(_report({"alg1_s": 3.0, "alg2_s": 9.0}, wall=14.0))
+        )
+        assert (
+            delta.main(
+                ["--report", str(regressed), "--baseline", str(baseline_path)]
+            )
+            == 1
+        )

@@ -9,19 +9,26 @@ Two layers of evidence:
   job for job (admission, completion time, scale events).
 """
 
+from dataclasses import replace
+
 import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.admission import (
+    AdmissionController,
     _progressive_filling_reference,
     progressive_filling,
 )
 from repro.core.scheduler import ElasticFlowPolicy
 from repro.core.slots import SlotGrid
 from repro.cluster.topology import ClusterSpec
-from repro.perf.tables import planning_cache_disabled, reset_cache
+from repro.perf.tables import (
+    batched_solver_disabled,
+    planning_cache_disabled,
+    reset_cache,
+)
 from repro.profiles import ThroughputModel
 from repro.sim.engine import Simulator
 from repro.traces.synthetic import ClusterTraceConfig, generate_trace
@@ -104,6 +111,126 @@ class TestFillEquivalence:
         reference = _progressive_filling_reference(info, available)
         assert fast is not None and reference is not None
         assert np.array_equal(fast, reference)
+
+
+# -------------------------------------------------------- controller level
+@st.composite
+def controller_scenarios(draw):
+    """A randomized multi-job admission instance plus a perturbation
+    sequence: each step re-plans some subset of the jobs with rescaled
+    remaining work, exercising the delta path's departures, arrivals,
+    watermark reuses, slack reuses, and refills."""
+    horizon = draw(st.integers(min_value=4, max_value=10))
+    capacity = draw(st.sampled_from([4, 8]))
+    n_jobs = draw(st.integers(min_value=2, max_value=5))
+    jobs = []
+    for i in range(n_jobs):
+        n_sizes = draw(st.integers(min_value=1, max_value=3))
+        sizes = sorted(
+            draw(
+                st.lists(
+                    st.sampled_from([1, 2, 3, 4, 6, 8]),
+                    min_size=n_sizes,
+                    max_size=n_sizes,
+                    unique=True,
+                )
+            )
+        )
+        sizes = [s for s in sizes if s <= capacity] or [1]
+        thr = {}
+        last = 0.0
+        for s in sizes:
+            last += draw(st.floats(min_value=0.1, max_value=2.0))
+            thr[s] = last
+        remaining = draw(st.floats(min_value=0.5, max_value=30.0))
+        best_effort = i > 0 and draw(st.booleans())
+        deadline = (
+            float("inf")
+            if best_effort
+            else draw(st.floats(min_value=0.5, max_value=float(horizon)))
+        )
+        jobs.append((f"j{i}", remaining, deadline, thr, best_effort))
+    n_steps = draw(st.integers(min_value=2, max_value=4))
+    steps = []
+    for _ in range(n_steps):
+        live = sorted(
+            draw(
+                st.sets(
+                    st.integers(min_value=0, max_value=n_jobs - 1), min_size=1
+                )
+            )
+        )
+        steps.append(
+            [
+                (idx, draw(st.floats(min_value=0.3, max_value=1.0)))
+                for idx in live
+            ]
+        )
+    return horizon, capacity, jobs, steps
+
+
+def _run_scenario(scenario, mode):
+    """Drive one controller through the whole perturbation sequence.
+
+    Fresh planning views are built per run from the same concrete scenario
+    data, so every mode plans identical inputs; ``reference`` re-solves
+    each step from scratch under the cache-disabled escape hatch."""
+    horizon, capacity, jobs, steps = scenario
+    grid = SlotGrid(origin=0.0, slot_seconds=1.0, horizon=horizon)
+    ctrl = AdmissionController(capacity)
+    outputs = []
+    for step in steps:
+        infos = []
+        for idx, factor in step:
+            job_id, remaining, deadline, thr, best_effort = jobs[idx]
+            info = synthetic_planning_job(
+                job_id,
+                remaining * factor,
+                deadline,
+                grid,
+                capacity,
+                thr,
+                best_effort=best_effort,
+            )
+            infos.append(replace(info, tables_token=idx + 1))
+        if mode == "reference":
+            with planning_cache_disabled():
+                result = ctrl.plan_shares(infos, grid, stop_on_failure=False)
+        else:
+            result = ctrl.plan_shares(infos, grid, stop_on_failure=False)
+        outputs.append(
+            (
+                {k: v.copy() for k, v in result.plans.items()},
+                set(result.degraded),
+                result.admitted,
+                result.infeasible_job,
+                result.ledger.used.copy(),
+            )
+        )
+    return outputs
+
+
+class TestBatchedSolverEquivalence:
+    """The batched multi-job solver (with its interval index and slack
+    tier) must be bit-identical to the sequential per-job solver and to the
+    cache-disabled reference across whole perturbation sequences."""
+
+    @settings(max_examples=80, deadline=None)
+    @given(controller_scenarios())
+    def test_batched_sequential_and_reference_agree(self, scenario):
+        batched = _run_scenario(scenario, "batched")
+        with batched_solver_disabled():
+            sequential = _run_scenario(scenario, "sequential")
+        reference = _run_scenario(scenario, "reference")
+        for fast, slow, ref in zip(batched, sequential, reference):
+            for other in (slow, ref):
+                assert set(fast[0]) == set(other[0])
+                for job_id in fast[0]:
+                    assert np.array_equal(fast[0][job_id], other[0][job_id])
+                assert fast[1] == other[1]  # degraded sets
+                assert fast[2] == other[2]  # admitted
+                assert fast[3] == other[3]  # infeasible job
+                assert np.array_equal(fast[4], other[4])  # ledger used
 
 
 # --------------------------------------------------------------- end to end

@@ -1,12 +1,12 @@
 """Tests for the incremental replanning layer.
 
-Covers the three reuse tiers added on top of the exact-match fill memo —
-the round fingerprint in ``ElasticFlowPolicy.allocate``, the retained-fill
-event-delta path in ``AdmissionController``, and warm-started progressive
-filling — plus the phase probe and the bounded controller cache.  The
-load-bearing property throughout is *bit-identical decisions*: every fast
-path must reproduce exactly what the cold solve (and the cache-disabled
-reference) would have produced.
+Covers the reuse tiers added on top of the exact-match fill memo — the
+interval-indexed retained-fill event-delta path in ``AdmissionController``
+(watermark reuse plus the slack tier), warm-started progressive filling,
+and the batched cold fill — plus the phase probe, warm-hint pruning, and
+the bounded controller cache.  The load-bearing property throughout is
+*bit-identical decisions*: every fast path must reproduce exactly what the
+cold solve (and the cache-disabled reference) would have produced.
 """
 
 from dataclasses import replace
@@ -22,6 +22,7 @@ from repro.core.plan import Ledger
 from repro.core.slots import SlotGrid
 from repro.perf import probe
 from repro.perf.tables import (
+    batched_solver_disabled,
     cache_stats,
     planning_cache_disabled,
     reset_cache,
@@ -68,69 +69,7 @@ def _plans_equal(a: dict[str, np.ndarray], b: dict[str, np.ndarray]) -> bool:
     return set(a) == set(b) and all(np.array_equal(a[k], b[k]) for k in a)
 
 
-# ------------------------------------------------------- round fingerprint
-class TestRoundFingerprint:
-    """Every planning input must perturb the round key (or void it)."""
-
-    def setup_method(self):
-        self.policy = ElasticFlowPolicy()
-        self.grid = SlotGrid(origin=0.0, slot_seconds=1.0, horizon=6)
-        self.infos = [
-            tokened_job("a", 2.0, 2.0, self.grid, 8, token=1),
-            tokened_job("b", 6.0, 4.0, self.grid, 8, token=2),
-        ]
-        self.baseline = self.policy._round_key(self.infos, self.grid, 8)
-
-    def _key_with(self, infos=None, grid=None, capacity=8):
-        return self.policy._round_key(
-            infos if infos is not None else self.infos,
-            grid if grid is not None else self.grid,
-            capacity,
-        )
-
-    def test_baseline_is_cacheable_and_stable(self):
-        assert self.baseline is not None
-        assert self._key_with() == self.baseline
-
-    def test_order_independent(self):
-        assert self._key_with(infos=list(reversed(self.infos))) == self.baseline
-
-    @pytest.mark.parametrize(
-        "mutate",
-        [
-            lambda i: replace(i, job_id="renamed"),
-            lambda i: replace(i, remaining_iterations=i.remaining_iterations + 1),
-            lambda i: replace(i, deadline=i.deadline + 0.5),
-            lambda i: replace(i, best_effort=True),
-            lambda i: replace(i, tables_token=i.tables_token + 1),
-        ],
-        ids=["job_id", "remaining", "deadline", "best_effort", "token"],
-    )
-    def test_each_job_field_perturbs_the_key(self, mutate):
-        varied = [mutate(self.infos[0]), self.infos[1]]
-        assert self._key_with(infos=varied) != self.baseline
-
-    @pytest.mark.parametrize(
-        "grid",
-        [
-            SlotGrid(origin=1.0, slot_seconds=1.0, horizon=6),
-            SlotGrid(origin=0.0, slot_seconds=2.0, horizon=6),
-            SlotGrid(origin=0.0, slot_seconds=1.0, horizon=7),
-        ],
-        ids=["origin", "slot_seconds", "horizon"],
-    )
-    def test_each_grid_field_perturbs_the_key(self, grid):
-        assert self._key_with(grid=grid) != self.baseline
-
-    def test_capacity_perturbs_the_key(self):
-        assert self._key_with(capacity=7) != self.baseline
-
-    def test_hand_built_tables_are_uncacheable(self):
-        varied = [replace(self.infos[0], tables_token=-1), self.infos[1]]
-        assert self._key_with(infos=varied) is None
-
-
-# ------------------------------------------------------- round-cache replay
+# ---------------------------------------------------------- bound policies
 def _bound_policy(**kwargs) -> ElasticFlowPolicy:
     policy = ElasticFlowPolicy(**kwargs)
     policy.bind(
@@ -159,61 +98,48 @@ def _runtime_jobs(n=3) -> list[Job]:
     return jobs
 
 
-class TestRoundCacheReplay:
-    def test_identical_round_is_replayed(self):
+class TestRepeatedRounds:
+    """Identical repeat rounds replay from the admission fill memo (the
+    round-fingerprint layer that used to sit above it structurally never
+    hit across events and was removed — see ``docs/performance.md``)."""
+
+    def test_identical_round_is_stable(self):
         policy = _bound_policy()
         jobs = _runtime_jobs()
         first = policy.allocate(jobs, 0.0)
-        assert policy.round_misses == 1 and policy.round_hits == 0
         second = policy.allocate(jobs, 0.0)
-        assert policy.round_hits == 1
         assert second == first
-        # Replays hand out copies: mutating one must not poison the cache.
+        controller = next(iter(policy._controllers.values()))
+        assert controller.fill_cache_hits >= 1
+        # Decision dicts are fresh objects: mutating one is harmless.
         second["j0"] = second.get("j0", 0) + 99
         assert policy.allocate(jobs, 0.0) == first
 
-    def test_progress_invalidates(self):
-        policy = _bound_policy()
-        jobs = _runtime_jobs()
-        policy.allocate(jobs, 0.0)
-        jobs[0].iterations_done += 10.0
-        policy.allocate(jobs, 0.0)
-        assert policy.round_hits == 0 and policy.round_misses == 2
-
-    def test_time_invalidates(self):
-        policy = _bound_policy()
-        jobs = _runtime_jobs()
-        policy.allocate(jobs, 0.0)
-        policy.allocate(jobs, 600.0)  # new grid origin -> new fingerprint
-        assert policy.round_hits == 0 and policy.round_misses == 2
-
-    def test_capacity_invalidates(self):
-        policy = _bound_policy()
-        jobs = _runtime_jobs()
-        policy.allocate(jobs, 0.0)
-        policy.context.usable_gpus = 8  # node failure shrinks the cluster
-        policy.allocate(jobs, 0.0)
-        assert policy.round_hits == 0 and policy.round_misses == 2
-
-    def test_disabled_cache_skips_fingerprinting_and_matches(self):
+    def test_disabled_cache_matches(self):
         policy = _bound_policy()
         jobs = _runtime_jobs()
         cached = policy.allocate(jobs, 0.0)
         with planning_cache_disabled():
             uncached = policy.allocate(jobs, 0.0)
         assert uncached == cached
-        assert policy.round_misses == 1  # the reference pass never counted
 
-    def test_hysteresis_reruns_on_hit(self):
+    def test_sequential_solver_matches(self):
+        policy = _bound_policy()
+        jobs = _runtime_jobs()
+        batched = policy.allocate(jobs, 0.0)
+        with batched_solver_disabled():
+            sequential = _bound_policy().allocate(jobs, 0.0)
+        assert sequential == batched
+
+    def test_hysteresis_reruns_stably(self):
         policy = _bound_policy(stability_threshold=0.3)
         jobs = _runtime_jobs()
         first = policy.allocate(jobs, 0.0)
         for job in jobs:
             job.n_gpus = first.get(job.job_id, 0)
         second = policy.allocate(jobs, 0.0)
-        assert policy.round_hits == 1
         # Current placements equal the targets, so hysteresis is a no-op
-        # and the replay must match the solved round exactly.
+        # and the repeat round must match the solved round exactly.
         assert second == first
 
 
@@ -250,10 +176,13 @@ class TestDeltaFill:
         second = ctrl.plan_shares([self.a, self.c], self.grid,
                                   stop_on_failure=False)
         assert ctrl.delta_hits == 1
-        # `a` precedes the departure: reused by reference.  `c` sits behind
-        # the freed capacity: re-filled.
+        # `a` precedes the departure: watermark-reused by reference.  `c`
+        # sits behind the freed capacity, but its retained fill had top-size
+        # headroom, so the slack tier reuses it too — nothing refills.
         assert second.plans["a"] is first.plans["a"]
-        assert ctrl.delta_reuses == 1 and ctrl.delta_refills == 1
+        assert second.plans["c"] is first.plans["c"]
+        assert ctrl.delta_reuses == 2 and ctrl.delta_refills == 0
+        assert ctrl.delta_slack_reuses == 1
         self._assert_matches_cold(second, [self.a, self.c])
 
     def test_arrival_refills_only_the_suffix(self):
@@ -264,7 +193,10 @@ class TestDeltaFill:
                                   stop_on_failure=False)
         assert ctrl.delta_hits == 1
         assert second.plans["a"] is first.plans["a"]
-        assert ctrl.delta_reuses == 1 and ctrl.delta_refills == 2
+        # Only the arrival itself refills; `c` had slack headroom and is
+        # reused by reference despite sitting behind the new plan.
+        assert second.plans["c"] is first.plans["c"]
+        assert ctrl.delta_reuses == 2 and ctrl.delta_refills == 1
         self._assert_matches_cold(second, [self.a, self.b, self.c])
 
     @pytest.mark.parametrize(
@@ -344,6 +276,75 @@ class TestDeltaFill:
         assert ctrl.fill_cache_hits == 1 and ctrl.delta_hits == 0
         assert _plans_equal(first.plans, second.plans)
         assert second.plans["a"] is first.plans["a"]  # shared, not copied
+
+
+# ------------------------------------------------------------- slack reuse
+class TestSlackReuse:
+    """The slack tier: a retained fill whose usable window kept top-size
+    headroom is availability-independent, so the delta path may reuse it by
+    reference even when capacity ahead of it was perturbed."""
+
+    def setup_method(self):
+        self.grid = SlotGrid(origin=0.0, slot_seconds=1.0, horizon=6)
+
+    def _jobs(self, capacity):
+        return (
+            tokened_job("a", 2.0, 2.0, self.grid, capacity, token=1),
+            tokened_job("b", 6.0, 4.0, self.grid, capacity, token=2),
+            tokened_job("c", 8.0, 6.0, self.grid, capacity, token=3),
+        )
+
+    def test_saturated_window_refills_instead(self):
+        # At capacity 5 the retained fill of `c` has free headroom of only
+        # 5 - 3 = 2 < top size 4, so the slack tier must not fire and the
+        # departure-perturbed suffix refills normally.
+        a, b, c = self._jobs(5)
+        ctrl = AdmissionController(5)
+        ctrl.plan_shares([a, b, c], self.grid, stop_on_failure=False)
+        second = ctrl.plan_shares([a, c], self.grid, stop_on_failure=False)
+        assert ctrl.delta_slack_reuses == 0
+        assert ctrl.delta_reuses == 1 and ctrl.delta_refills == 1
+        cold = AdmissionController(5)._fill([a, c], self.grid,
+                                            stop_on_failure=False)
+        assert _plans_equal(second.plans, cold.plans)
+
+    def test_slack_reuse_survives_the_sequential_solver_check(self):
+        # The batched and sequential delta paths must agree bit for bit on
+        # the same perturbation sequence (slack reuse is batched-only).
+        a, b, c = self._jobs(8)
+        batched = AdmissionController(8)
+        batched.plan_shares([a, b, c], self.grid, stop_on_failure=False)
+        fast = batched.plan_shares([a, c], self.grid, stop_on_failure=False)
+        assert batched.delta_slack_reuses == 1
+        with batched_solver_disabled():
+            sequential = AdmissionController(8)
+            sequential.plan_shares([a, b, c], self.grid,
+                                   stop_on_failure=False)
+            slow = sequential.plan_shares([a, c], self.grid,
+                                          stop_on_failure=False)
+        assert _plans_equal(fast.plans, slow.plans)
+        assert fast.degraded == slow.degraded
+        assert np.array_equal(fast.ledger.used, slow.ledger.used)
+
+
+# --------------------------------------------------------- warm-hint bound
+class TestWarmHintPruning:
+    def test_prune_drops_only_stale_jobs(self):
+        grid = SlotGrid(origin=0.0, slot_seconds=1.0, horizon=6)
+        a = tokened_job("a", 2.0, 2.0, grid, 8, token=1)
+        b = tokened_job("b", 6.0, 4.0, grid, 8, token=2)
+        ctrl = AdmissionController(8)
+        ctrl.plan_shares([a, b], grid, stop_on_failure=False)
+        assert {key[0] for key in ctrl.warm_hints} == {"a", "b"}
+        dropped = ctrl.prune_warm_hints({"a"})
+        assert dropped == 1
+        assert {key[0] for key in ctrl.warm_hints} == {"a"}
+        # Pruning is decision-neutral: hints are verified before use, so a
+        # re-solve after pruning reproduces the cold fill exactly.
+        second = ctrl.plan_shares([a, b], grid, stop_on_failure=False)
+        cold = AdmissionController(8)._fill([a, b], grid,
+                                            stop_on_failure=False)
+        assert _plans_equal(second.plans, cold.plans)
 
 
 # ------------------------------------------------------------- warm hints
@@ -491,9 +492,9 @@ class TestPhaseProbe:
             policy.allocate(jobs, 0.0)
             replayed = probe.end_event()
         assert {"views", "alg1", "alg2"} <= set(solved)
-        # A round-cache hit skips Algorithm 1 entirely.
-        assert policy.round_hits == 1
-        assert "alg1" not in replayed and "alg2" in replayed
+        # The repeat round replays from the fill memo, which lives inside
+        # the alg1 lap — every phase still shows up.
+        assert {"views", "alg1", "alg2"} <= set(replayed)
 
 
 # --------------------------------------------------- end-to-end equivalence
@@ -597,4 +598,3 @@ def test_disrupted_trace_equivalence_and_reuse():
     assert sum(c.delta_hits for c in controllers) > 0
     assert sum(c.delta_reuses for c in controllers) > 0
     assert stats["warm_hits"] > 0
-    assert policy.round_misses > 0  # fingerprinting engaged throughout
