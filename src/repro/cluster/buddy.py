@@ -6,15 +6,40 @@ subtree of the topology (maximally compact).  Free buddies coalesce on
 release.  Allocation is best-fit by construction: a request is served by
 splitting the *smallest* free block that fits, which is the paper's Best-Fit
 heuristic specialised to power-of-two subtrees.
+
+Hot-path data structures (the observable behavior is identical to the
+original scan-based implementation; only the cost changed):
+
+- ``_free`` maps size -> set of free offsets and remains the ground truth
+  for membership tests.
+- ``_heaps`` shadows each free set with a lazy-deletion min-heap so
+  :meth:`allocate` pops the lowest offset in O(log n) instead of
+  ``min(set)``.  Entries whose offset left the set are skipped on pop, and
+  a heap is cleared wholesale whenever its set empties, which bounds the
+  stale backlog by the number of frees since the last exhaustion.
+- ``_mask`` is a bitmask whose set bits *are* the sizes with a non-empty
+  free set (sizes are powers of two, so ``size`` doubles as the bit).
+  ``can_allocate`` becomes one mask-and, :meth:`largest_free_block` one
+  ``bit_length``, and allocate's smallest-fit size is the lowest set bit of
+  ``mask & ~(size - 1)`` — exactly the ``sorted(...)[0]`` of the old scan.
+- ``_free_total`` carries :attr:`free_gpus` incrementally.
+
+:meth:`repack_plan` packs against an explicit sorted gap list (the
+complement of the already-placed blocks) instead of re-walking the full
+occupied list per block: placing a block splits one gap, and because
+movable blocks are processed in descending size order, a gap that failed
+for the current size can be skipped for the rest of that size class (the
+left remainder of a split is always shorter than the size that split it).
 """
 
 from __future__ import annotations
 
-from bisect import insort
 from dataclasses import dataclass
+from heapq import heappop, heappush
 
 from repro.errors import AllocationError, ConfigurationError
 from repro.numeric import floor_power_of_two, is_power_of_two
+from repro.perf import probe
 
 __all__ = ["Block", "BuddyAllocator"]
 
@@ -35,8 +60,9 @@ class Block:
             )
 
     @property
-    def gpu_indices(self) -> list[int]:
-        return list(range(self.offset, self.offset + self.size))
+    def gpu_indices(self) -> range:
+        """The block's GPU indices as a lazy ``range`` (no list per call)."""
+        return range(self.offset, self.offset + self.size)
 
     @property
     def buddy_offset(self) -> int:
@@ -60,18 +86,59 @@ class BuddyAllocator:
             )
         self.capacity = capacity
         self._free: dict[int, set[int]] = {}  # size -> set of free offsets
+        self._heaps: dict[int, list[int]] = {}  # size -> lazy min-heap of offsets
+        self._mask = 0  # OR of sizes with a non-empty free set
+        self._free_total = 0
         self._allocated: set[Block] = set()
-        self._free.setdefault(capacity, set()).add(0)
+        self._free_add(capacity, 0)
+
+    # ------------------------------------------------------ free-list helpers
+    def _free_add(self, size: int, offset: int) -> None:
+        """Insert ``offset`` into the size bucket (set + heap + summaries)."""
+        bucket = self._free.get(size)
+        if bucket is None:
+            bucket = set()
+            self._free[size] = bucket
+            self._heaps[size] = []
+        bucket.add(offset)
+        heappush(self._heaps[size], offset)
+        self._mask |= size
+        self._free_total += size
+
+    def _free_discard(self, size: int, offset: int) -> None:
+        """Remove ``offset`` from the size bucket, leaving its heap entry
+        stale (skipped lazily on pop; cleared when the bucket empties)."""
+        bucket = self._free[size]
+        bucket.remove(offset)
+        self._free_total -= size
+        if not bucket:
+            self._mask &= ~size
+            self._heaps[size].clear()
+
+    def _free_pop_min(self, size: int) -> int:
+        """Pop the lowest free offset of ``size`` (bucket must be non-empty)."""
+        bucket = self._free[size]
+        heap = self._heaps[size]
+        while True:
+            offset = heappop(heap)
+            if offset in bucket:
+                break
+        bucket.remove(offset)
+        self._free_total -= size
+        if not bucket:
+            self._mask &= ~size
+            heap.clear()
+        return offset
 
     # ----------------------------------------------------------- inspection
     @property
     def free_gpus(self) -> int:
         """Total number of unallocated GPUs."""
-        return sum(size * len(offsets) for size, offsets in self._free.items())
+        return self._free_total
 
     @property
     def allocated_gpus(self) -> int:
-        return self.capacity - self.free_gpus
+        return self.capacity - self._free_total
 
     @property
     def allocated_blocks(self) -> list[Block]:
@@ -79,14 +146,15 @@ class BuddyAllocator:
 
     def largest_free_block(self) -> int:
         """Size of the biggest allocatable block (0 when full)."""
-        sizes = [size for size, offsets in self._free.items() if offsets]
-        return max(sizes, default=0)
+        if not self._mask:
+            return 0
+        return floor_power_of_two(self._mask)
 
     def can_allocate(self, size: int) -> bool:
         """Whether a block of ``size`` can be carved out *without* migration."""
         if not is_power_of_two(size):
             return False
-        return any(s >= size and offsets for s, offsets in self._free.items())
+        return bool(self._mask & ~(size - 1))
 
     # ------------------------------------------------------------- mutation
     def allocate(self, size: int) -> Block:
@@ -102,20 +170,18 @@ class BuddyAllocator:
             raise AllocationError(
                 f"requested {size} GPUs from a {self.capacity}-GPU cluster"
             )
-        candidates = sorted(
-            s for s, offsets in self._free.items() if s >= size and offsets
-        )
-        if not candidates:
+        fits = self._mask & ~(size - 1)
+        if not fits:
             raise AllocationError(
                 f"no free block of size {size} "
                 f"(free={self.free_gpus}, largest={self.largest_free_block()})"
             )
-        current = candidates[0]
-        offset = min(self._free[current])
-        self._free[current].remove(offset)
+        probe.bump("buddy_allocs")
+        current = fits & -fits  # smallest free size that fits (best-fit)
+        offset = self._free_pop_min(current)
         while current > size:
             current //= 2
-            self._free.setdefault(current, set()).add(offset + current)
+            self._free_add(current, offset + current)
         block = Block(offset=offset, size=size)
         self._allocated.add(block)
         return block
@@ -128,17 +194,18 @@ class BuddyAllocator:
         """
         if block not in self._allocated:
             raise AllocationError(f"block {block} is not allocated")
+        probe.bump("buddy_frees")
         self._allocated.remove(block)
         offset, size = block.offset, block.size
         while size < self.capacity:
             buddy = offset ^ size
-            peers = self._free.get(size, set())
-            if buddy not in peers:
+            peers = self._free.get(size)
+            if not peers or buddy not in peers:
                 break
-            peers.remove(buddy)
+            self._free_discard(size, buddy)
             offset = min(offset, buddy)
             size *= 2
-        self._free.setdefault(size, set()).add(offset)
+        self._free_add(size, offset)
 
     def reserve_exact(self, offset: int, size: int) -> Block:
         """Carve out one *specific* aligned block (e.g. a failed node).
@@ -156,29 +223,31 @@ class BuddyAllocator:
                 raise AllocationError(
                     f"cannot reserve {target}: overlaps allocated {block}"
                 )
-        # Find the free block containing the range and split it down.
+        # Find the free block containing the range: free blocks are disjoint
+        # and size-aligned, so for each candidate size the only possible
+        # container starts at ``offset`` rounded down to that size — one
+        # membership probe per set bit of the mask instead of a full scan.
         container: tuple[int, int] | None = None
-        for free_size, offsets in self._free.items():
-            if free_size < size:
-                continue
-            for free_offset in offsets:
-                if free_offset <= offset < free_offset + free_size:
-                    container = (free_offset, free_size)
-                    break
-            if container:
+        fits = self._mask & ~(size - 1)
+        while fits:
+            free_size = fits & -fits
+            fits &= fits - 1
+            candidate = offset - offset % free_size
+            if candidate in self._free[free_size]:
+                container = (candidate, free_size)
                 break
         if container is None:  # pragma: no cover - guarded by overlap check
             raise AllocationError(f"no free block contains {target}")
         free_offset, free_size = container
-        self._free[free_size].remove(free_offset)
+        self._free_discard(free_size, free_offset)
         while free_size > size:
             free_size //= 2
             if offset < free_offset + free_size:
                 # Target is in the left half; release the right half.
-                self._free.setdefault(free_size, set()).add(free_offset + free_size)
+                self._free_add(free_size, free_offset + free_size)
             else:
                 # Target is in the right half; release the left half.
-                self._free.setdefault(free_size, set()).add(free_offset)
+                self._free_add(free_size, free_offset)
                 free_offset += free_size
         self._allocated.add(target)
         return target
@@ -205,7 +274,7 @@ class BuddyAllocator:
         self._allocated.add(kept)
         size = new_size
         while size < block.size:
-            self._free.setdefault(size, set()).add(block.offset + size)
+            self._free_add(size, block.offset + size)
             size *= 2
         return kept
 
@@ -227,42 +296,57 @@ class BuddyAllocator:
                 the pinned ones (only possible when pins fragment the space).
         """
         pins = pinned or frozenset()
-        occupied: list[Block] = sorted(pins)
         plan: dict[Block, Block] = {}
+        # Gap list: the complement of the pinned blocks, kept sorted.  The
+        # lowest aligned address avoiding all placed blocks is the lowest
+        # gap whose aligned start still fits — identical to probing every
+        # aligned address against the occupied list, without the re-walk.
+        gaps: list[tuple[int, int]] = []  # [start, end) intervals
+        cursor = 0
+        for pin in sorted(pins):
+            if pin.offset > cursor:
+                gaps.append((cursor, pin.offset))
+            cursor = pin.offset + pin.size
+        if cursor < self.capacity:
+            gaps.append((cursor, self.capacity))
         movable = sorted(
             self._allocated - pins, key=lambda b: (-b.size, b.offset)
         )
+        scan = 0  # first gap worth probing for the current size class
+        last_size = 0
         for block in movable:
-            address = self._first_fit(block.size, occupied)
+            size = block.size
+            if size != last_size:
+                # Smaller blocks may fit gaps the larger class skipped.
+                scan = 0
+                last_size = size
+            address = None
+            while scan < len(gaps):
+                start, end = gaps[scan]
+                aligned = -(-start // size) * size  # round up to alignment
+                if aligned + size <= end:
+                    address = aligned
+                    break
+                scan += 1  # too small for this size class — and every later
+                # block of the class too, so never re-probed this pass
             if address is None:
                 raise AllocationError(
                     f"cannot repack {block} around pinned blocks {sorted(pins)}"
                 )
-            target = Block(offset=address, size=block.size)
+            start, end = gaps[scan]
+            remainders = []
+            if address > start:
+                remainders.append((start, address))
+            if address + size < end:
+                remainders.append((address + size, end))
+            gaps[scan : scan + 1] = remainders
+            # A left remainder is shorter than ``size`` (aligned - start <
+            # size), so the while loop above skips it and lands on the right
+            # remainder for the next same-size block.
+            target = Block(offset=address, size=size)
             if target != block:
                 plan[block] = target
-            insort(occupied, target)
         return plan
-
-    def _first_fit(self, size: int, occupied: list[Block]) -> int | None:
-        """Lowest aligned address for a ``size`` block avoiding ``occupied``.
-
-        ``occupied`` must be sorted by offset and non-overlapping.  Walks
-        the blocks once instead of probing every aligned address: a
-        candidate that overlaps a block cannot succeed before that block's
-        end, so it jumps straight to the next aligned address past it.
-        """
-        address = 0
-        for block in occupied:
-            block_end = block.offset + block.size
-            if block_end <= address:
-                continue  # entirely before the candidate
-            if address + size <= block.offset:
-                return address  # gap before this block fits
-            address = -(-block_end // size) * size  # round up to alignment
-        if address + size <= self.capacity:
-            return address
-        return None
 
     def apply_repack(self, plan: dict[Block, Block]) -> None:
         """Apply a plan produced by :meth:`repack_plan`."""
@@ -287,6 +371,9 @@ class BuddyAllocator:
     def _rebuild_free_lists(self) -> None:
         """Recompute free lists from the allocated set (after repack)."""
         self._free = {}
+        self._heaps = {}
+        self._mask = 0
+        self._free_total = 0
         taken = sorted(self._allocated)
         cursor = 0
         gaps: list[tuple[int, int]] = []
@@ -309,6 +396,6 @@ class BuddyAllocator:
                 size //= 2
             largest = floor_power_of_two(length)
             size = min(size, largest)
-            self._free.setdefault(size, set()).add(start)
+            self._free_add(size, start)
             start += size
             length -= size

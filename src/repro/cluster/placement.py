@@ -39,7 +39,7 @@ class JobPlacement:
         return self.block.size
 
     @property
-    def gpu_indices(self) -> list[int]:
+    def gpu_indices(self) -> range:
         return self.block.gpu_indices
 
 

@@ -11,6 +11,7 @@ compact.
 from __future__ import annotations
 
 import enum
+from collections.abc import Sequence
 from dataclasses import dataclass, field
 
 from repro.errors import ConfigurationError
@@ -80,7 +81,7 @@ class ClusterSpec:
         self._check_gpu(gpu_index)
         return gpu_index // self.gpus_per_node
 
-    def nodes_spanned(self, gpu_indices: list[int]) -> int:
+    def nodes_spanned(self, gpu_indices: Sequence[int]) -> int:
         """How many distinct servers a GPU set touches."""
         if not gpu_indices:
             raise ConfigurationError("gpu_indices must not be empty")

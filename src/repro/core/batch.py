@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.kernels import kernels_enabled, ladder_rows
 from repro.numeric import next_power_of_two
 
 __all__ = ["WarmRowBatch", "bucket_width"]
@@ -65,7 +66,7 @@ class WarmRowBatch:
         self._thr_hint: list[float] = []
         self._thr_below: list[float] = []
         self._rows: list[np.ndarray] = []
-        self._below_totals: np.ndarray | None = None
+        self._below_totals: list[float] = []
 
     def __len__(self) -> int:
         return len(self._weights)
@@ -96,21 +97,37 @@ class WarmRowBatch:
 
     def solve(self) -> None:
         """Evaluate every queued candidate, bucket by window span."""
+        self.solve_pending()
+
+    def solve_pending(self) -> None:
+        """Evaluate only candidates queued since the last solve.
+
+        The batch is append-only: already-solved rows keep their results,
+        and each call buckets just the pending tail.  Because the direct
+        and bucketed paths are bit-identical (module docstring), splitting
+        the same candidates across several solves yields exactly the rows
+        a single all-at-once :meth:`solve` would have — which is what lets
+        Algorithm 2's upgrade engine re-propose follow-up rows through the
+        same batch that solved the seed proposals.
+        """
         n = len(self._weights)
-        self._rows = [np.empty(0)] * n
-        self._below_totals = np.zeros(n, dtype=np.float64)
-        if not n:
+        solved = len(self._rows)
+        if solved == n:
             return
-        if n < self.SMALL_BATCH:
-            for i, weights in enumerate(self._weights):
+        pending = range(solved, n)
+        self._rows.extend([np.empty(0)] * (n - solved))
+        self._below_totals.extend([0.0] * (n - solved))
+        if len(pending) < self.SMALL_BATCH:
+            for i in pending:
+                weights = self._weights[i]
                 self._rows[i] = np.cumsum(self._thr_hint[i] * weights)
-                self._below_totals[i] = np.cumsum(
-                    self._thr_below[i] * weights
-                )[-1]
+                self._below_totals[i] = float(
+                    np.cumsum(self._thr_below[i] * weights)[-1]
+                )
             return
         buckets: dict[int, list[int]] = {}
-        for i, weights in enumerate(self._weights):
-            buckets.setdefault(bucket_width(len(weights)), []).append(i)
+        for i in pending:
+            buckets.setdefault(bucket_width(len(self._weights[i])), []).append(i)
         for width, members in buckets.items():
             lengths = np.array(
                 [len(self._weights[i]) for i in members], dtype=np.int64
@@ -124,18 +141,24 @@ class WarmRowBatch:
             thr_below = np.array(
                 [self._thr_below[i] for i in members], dtype=np.float64
             )
-            hint_rows = np.cumsum(thr_hint[:, None] * padded, axis=1)
-            below_rows = np.cumsum(thr_below[:, None] * padded, axis=1)
-            ends = below_rows[np.arange(len(members)), lengths - 1]
+            if kernels_enabled():
+                # Compiled fused row loop: same IEEE ops, same order (see
+                # repro.core.kernels for the bit-identity argument).
+                hint_rows, ends = ladder_rows(padded, thr_hint, thr_below, lengths)
+            else:
+                hint_rows = np.cumsum(thr_hint[:, None] * padded, axis=1)
+                below_rows = np.cumsum(thr_below[:, None] * padded, axis=1)
+                ends = below_rows[np.arange(len(members)), lengths - 1]
             for row, i in enumerate(members):
                 self._rows[i] = hint_rows[row, : lengths[row]]
-                self._below_totals[i] = ends[row]
+                self._below_totals[i] = float(ends[row])
 
     def hint_row(self, handle: int) -> np.ndarray:
         """The hinted cap's sequential cumulative-progress row (length w)."""
+        assert handle < len(self._rows), "solve() not called for this handle"
         return self._rows[handle]
 
     def below_total(self, handle: int) -> float:
         """Feasibility total of the next-lower cap's row."""
-        assert self._below_totals is not None, "solve() not called"
-        return float(self._below_totals[handle])
+        assert handle < len(self._below_totals), "solve() not called for this handle"
+        return self._below_totals[handle]

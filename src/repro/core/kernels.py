@@ -1,0 +1,150 @@
+"""Optional compiled kernel for the fused ladder-cumsum solve.
+
+:class:`repro.core.batch.WarmRowBatch` spends its bucketed solve in two
+``np.cumsum(axis=1)`` passes over a padded weight matrix.  When `numba
+<https://numba.pydata.org/>`_ happens to be importable, the two passes (plus
+the broadcast multiplies and the end-of-window gather) fuse into one
+compiled row loop with no intermediate matrices.  The dependency is strictly
+optional:
+
+- ``import numba`` is attempted once at import time; on ``ImportError`` the
+  module degrades to ``kernels_available() == False`` and the batch layer
+  keeps its pure-numpy path.  Nothing else in the tree imports numba.
+- The toggle mirrors the batched-solver escape hatch
+  (:func:`repro.perf.tables.batched_solver_disabled`): even with numba
+  installed, ``compiled_kernels_disabled()`` forces the numpy path so the
+  equivalence suite can compare all three configurations.
+- Compilation is lazy — the first enabled :func:`ladder_rows` call pays the
+  JIT cost; dormant installs pay nothing.
+
+Bit-identity contract: :func:`_ladder_rows_py` (the kernel source, also the
+pure-python reference the tests run without numba) performs, per row, the
+literal sequence ``acc = acc + thr * w[j]`` — a float64 multiply then a
+float64 add, the same IEEE-754 operations in the same order as numpy's
+elementwise product followed by a sequential ``cumsum``.  Numba's default
+strict-IEEE mode (``fastmath=False``) forbids the reassociation and FMA
+contraction that could change a ulp, so compiled and numpy rows are
+identical bit for bit — the same argument the batch layer's docstring makes
+for padded-matrix vs per-job solves.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Callable
+
+import numpy as np
+
+try:  # pragma: no cover - exercised only where numba is installed
+    import numba
+except ImportError:  # the supported configuration in this repo's CI image
+    numba = None
+
+__all__ = [
+    "kernels_available",
+    "kernels_enabled",
+    "set_kernels_enabled",
+    "compiled_kernels_disabled",
+    "ladder_rows",
+]
+
+_enabled = True
+_compiled: Callable[..., Any] | None = None
+
+
+def kernels_available() -> bool:
+    """Whether numba was importable (never a hard requirement)."""
+    return numba is not None
+
+
+def kernels_enabled() -> bool:
+    """Whether :func:`ladder_rows` would use the compiled kernel."""
+    return _enabled and numba is not None
+
+
+def set_kernels_enabled(enabled: bool) -> bool:
+    """Flip the compiled-kernel switch; returns the previous setting.
+
+    The switch is advisory when numba is missing: ``kernels_enabled()``
+    stays ``False`` regardless.
+    """
+    global _enabled
+    previous = _enabled
+    _enabled = bool(enabled)
+    return previous
+
+
+@contextmanager
+def compiled_kernels_disabled():
+    """Context manager: force the pure-numpy batch solve.
+
+    The equivalence benchmarks run under this to prove the compiled and
+    numpy paths produce byte-identical decisions.
+    """
+    previous = set_kernels_enabled(False)
+    try:
+        yield
+    finally:
+        set_kernels_enabled(previous)
+
+
+def _ladder_rows_py(
+    padded: np.ndarray,
+    thr_hint: np.ndarray,
+    thr_below: np.ndarray,
+    lengths: np.ndarray,
+    hint_rows: np.ndarray,
+    below_totals: np.ndarray,
+) -> None:
+    """Fused ladder solve, one row at a time (kernel source + reference).
+
+    Args:
+        padded: ``(n, width)`` C-contiguous float64 padded weight matrix.
+        thr_hint: Per-row constant throughput of the hinted cap.
+        thr_below: Per-row constant throughput of the next-lower cap.
+        lengths: Per-row unpadded window length (``1 <= length <= width``).
+        hint_rows: ``(n, width)`` output — the hinted cap's cumulative row.
+        below_totals: ``(n,)`` output — final entry of the lower cap's row.
+    """
+    n, width = padded.shape
+    for i in range(n):
+        th = thr_hint[i]
+        acc = 0.0
+        for j in range(width):
+            acc = acc + th * padded[i, j]
+            hint_rows[i, j] = acc
+        tb = thr_below[i]
+        total = 0.0
+        for j in range(lengths[i]):
+            total = total + tb * padded[i, j]
+        below_totals[i] = total
+
+
+def _get_compiled() -> Callable[..., Any] | None:
+    """JIT-compile the row loop on first use (None when numba is absent)."""
+    global _compiled
+    if _compiled is None and numba is not None:  # pragma: no cover - optional
+        _compiled = numba.njit(cache=False)(_ladder_rows_py)
+    return _compiled
+
+
+def ladder_rows(
+    padded: np.ndarray,
+    thr_hint: np.ndarray,
+    thr_below: np.ndarray,
+    lengths: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Solve one bucket's ladder rows, compiled when possible.
+
+    Returns ``(hint_rows, below_totals)`` exactly as the numpy two-pass
+    cumsum path computes them.  Callers gate on :func:`kernels_enabled`;
+    when the kernel is disabled mid-flight this still answers correctly via
+    the python reference (slow, but never wrong).
+    """
+    hint_rows = np.empty_like(padded)
+    below_totals = np.empty(padded.shape[0], dtype=np.float64)
+    impl = _get_compiled() if kernels_enabled() else None
+    if impl is None:
+        impl = _ladder_rows_py
+    impl(padded, thr_hint, thr_below, lengths, hint_rows, below_totals)
+    return hint_rows, below_totals

@@ -165,12 +165,10 @@ class ElasticFlowPolicy(SchedulerPolicy):
     def allocate(self, active: list[Job], now: float) -> dict[str, int]:
         """Algorithms 1 + 2: minimum shares, then marginal-return leftovers.
 
-        (An earlier generation kept an event-level round-fingerprint cache
-        here; it was removed because grids are anchored at the event time,
-        so two distinct events can never share a fingerprint and the layer
-        structurally never hit — see ``docs/performance.md``.  Repeated
-        solves *within* one event are already replayed by the admission
-        controller's fill memo.)
+        No event-level result cache lives here (grids re-anchor per event,
+        so cross-event hits are impossible — see ``docs/performance.md``);
+        repeated solves *within* one event are replayed by the admission
+        controller's fill memo.
         """
         if not active:
             return {}

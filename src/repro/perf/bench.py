@@ -216,6 +216,7 @@ def _run_sim(
         record_timeline=False,
     )
     recorder = probe.PhaseRecorder()
+    probe.reset_counters()
     start = time.perf_counter()
     with probe.recording(recorder):
         result = sim.run()
@@ -242,6 +243,7 @@ def _run_sim(
         **_percentiles_ms(sim.event_latencies),
         "phases": _phase_summary(recorder.events, sim.event_latencies),
         "incremental": incremental,
+        "counters": probe.counters(),
     }
     return metrics, result
 
@@ -362,6 +364,66 @@ def bench_allocation(n_jobs: int, rounds: int, seed: int) -> dict[str, Any]:
     }
 
 
+#: Buddy micro-bench shape: a 16k-scale half-cluster worth of GPUs and
+#: enough operations that per-op dispatch dominates the rng setup.
+BUDDY_BENCH_GPUS = 4096
+BUDDY_BENCH_OPS = 20_000
+
+
+def bench_buddy(
+    seed: int, *, capacity: int = BUDDY_BENCH_GPUS, ops: int = BUDDY_BENCH_OPS
+) -> dict[str, Any]:
+    """Time the buddy-allocator hot paths under a mixed op sequence.
+
+    A seeded stream of allocate-biased operations (allocate / free /
+    shrink, with an occasional full repack) keeps the allocator loaded so
+    ``allocate``'s fit scan and ``free``'s coalescing both run against a
+    realistically fragmented free list.  Reported throughput feeds the
+    ``buddy_bench`` pseudo-fraction in the :mod:`repro.perf.delta` gate.
+    """
+    from repro.cluster.buddy import BuddyAllocator
+
+    rng = np.random.default_rng(seed)
+    sizes = (1, 2, 4, 8, 16, 32, 64)
+    op_draws = rng.integers(0, 100, size=ops)
+    size_draws = rng.integers(0, len(sizes), size=ops)
+    victim_draws = rng.integers(0, 1 << 30, size=ops)
+    allocator = BuddyAllocator(capacity)
+    live: list = []
+    performed = 0
+    start = time.perf_counter()
+    for i in range(ops):
+        draw = op_draws[i]
+        if draw < 55:
+            size = sizes[size_draws[i]]
+            if allocator.can_allocate(size):
+                live.append(allocator.allocate(size))
+                performed += 1
+        elif draw < 85:
+            if live:
+                allocator.free(live.pop(victim_draws[i] % len(live)))
+                performed += 1
+        elif draw < 99:
+            if live:
+                index = victim_draws[i] % len(live)
+                block = live[index]
+                if block.size > 1:
+                    live[index] = allocator.shrink(block, block.size // 2)
+                    performed += 1
+        else:
+            plan = allocator.repack_plan()
+            allocator.apply_repack(plan)
+            live = [plan.get(block, block) for block in live]
+            performed += 1
+    wall = time.perf_counter() - start
+    return {
+        "capacity": capacity,
+        "ops": performed,
+        "wall_s": round(wall, 4),
+        "ops_per_sec": round(performed / wall, 1) if wall > 0 else 0.0,
+    }
+
+
 def run_benchmarks(
     *, quick: bool = False, seed: int = 0, scale: str | None = None
 ) -> dict[str, Any]:
@@ -388,6 +450,7 @@ def run_benchmarks(
         report["allocation"] = bench_allocation(
             params["n_jobs"], 20 if scale == "quick" else 60, seed
         )
+        report["buddy"] = bench_buddy(seed)
     report["end_to_end"] = bench_end_to_end(
         params["n_jobs"],
         seed,
@@ -473,6 +536,7 @@ def main(argv: list[str] | None = None) -> int:
         micro = (
             f"admission: {report['admission']['ops_per_sec']:.1f} ops/s | "
             f"allocation: {report['allocation']['allocs_per_sec']:.1f} allocs/s | "
+            f"buddy: {report['buddy']['ops_per_sec']:.0f} ops/s | "
         )
     print(
         micro

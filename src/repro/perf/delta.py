@@ -62,6 +62,26 @@ def _fractions(metrics: dict[str, Any]) -> dict[str, float]:
     }
 
 
+def _report_fractions(report: dict[str, Any]) -> dict[str, float]:
+    """All gated fractions: per-phase shares plus micro-bench pseudo-shares.
+
+    The buddy micro-bench rides along as ``buddy_bench`` — its wall time
+    over the cached end-to-end wall.  Dividing two same-process timings
+    keeps the runner-speed immunity the phase fractions have, so a buddy
+    hot-path regression trips the gate without a raw ops/sec floor.  The
+    key is optional on both sides: old baselines simply never gate it, and
+    scales that skip the micro benches (mid/xl) omit it from reports.
+    """
+    metrics = _cached_metrics(report)
+    fractions = _fractions(metrics)
+    buddy = report.get("buddy")
+    if buddy is not None:
+        fractions["buddy_bench"] = float(buddy["wall_s"]) / float(
+            metrics["wall_s"]
+        )
+    return fractions
+
+
 def extract_baseline(report: dict[str, Any]) -> dict[str, Any]:
     """Distill a report into the committed baseline snapshot.
 
@@ -77,7 +97,7 @@ def extract_baseline(report: dict[str, Any]) -> dict[str, Any]:
         "events_per_sec": round(float(metrics["events_per_sec"]), 2),
         "fractions": {
             name: round(value, 6)
-            for name, value in sorted(_fractions(metrics).items())
+            for name, value in sorted(_report_fractions(report).items())
         },
     }
 
@@ -95,7 +115,7 @@ def check_phases(
             f"baseline schema {baseline.get('schema')!r} != "
             f"{BASELINE_SCHEMA}; regenerate with --write-baseline"
         ]
-    current = _fractions(_cached_metrics(report))
+    current = _report_fractions(report)
     failures = []
     for name, base in sorted(baseline["fractions"].items()):
         if name not in current:
@@ -149,7 +169,7 @@ def main(argv: list[str] | None = None) -> int:
         for line in failures:
             print(f"FAIL: {line}", file=sys.stderr)
         return 1
-    current = _fractions(_cached_metrics(report))
+    current = _report_fractions(report)
     shares = ", ".join(
         f"{name}={current[name]:.3f}" for name in sorted(current)
     )

@@ -20,6 +20,15 @@ event and reads back the per-phase split::
 
 Phases are purely additive wall-clock buckets; time not attributed to a
 named phase is the residual the harness reports as ``other``.
+
+Alongside the timing probe this module keeps a flat operation-counter
+registry (:func:`bump` / :func:`counters` / :func:`reset_counters`).
+Unlike the recorder, counters are *always on*: one dict increment per
+counted operation is cheap at the granularity being counted (heap pushes
+and pops in the upgrade engine, buddy allocate/free calls), and an
+always-on count means unit tests and the bench harness read the same
+numbers.  Hot inner loops accumulate locally and flush once via
+:func:`add_counters`.
 """
 
 from __future__ import annotations
@@ -27,7 +36,18 @@ from __future__ import annotations
 from contextlib import contextmanager
 from time import perf_counter
 
-__all__ = ["PhaseRecorder", "recording", "install", "uninstall", "tick", "lap"]
+__all__ = [
+    "PhaseRecorder",
+    "recording",
+    "install",
+    "uninstall",
+    "tick",
+    "lap",
+    "bump",
+    "add_counters",
+    "counters",
+    "reset_counters",
+]
 
 #: Canonical phase names, in hot-loop order (documentation + report order).
 PHASES = ("views", "alg1", "alg2", "engine")
@@ -105,6 +125,32 @@ def end_event() -> dict[str, float]:
     if _recorder is not None:
         return _recorder.end_event()
     return {}
+
+
+# --------------------------------------------------------------- counters
+_counters: dict[str, int] = {}
+
+
+def bump(name: str, n: int = 1) -> None:
+    """Increment the named operation counter by ``n``."""
+    _counters[name] = _counters.get(name, 0) + n
+
+
+def add_counters(values: dict[str, int]) -> None:
+    """Merge a locally accumulated counter dict (one flush per hot call)."""
+    for name, n in values.items():
+        if n:
+            _counters[name] = _counters.get(name, 0) + n
+
+
+def counters() -> dict[str, int]:
+    """Snapshot of all operation counters, sorted by name."""
+    return {name: _counters[name] for name in sorted(_counters)}
+
+
+def reset_counters() -> None:
+    """Zero every operation counter (bench harness calls this per run)."""
+    _counters.clear()
 
 
 def tick() -> float:

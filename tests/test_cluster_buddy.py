@@ -25,7 +25,9 @@ class TestBlock:
         assert Block(offset=8, size=8).buddy_offset == 0
 
     def test_gpu_indices(self):
-        assert Block(offset=4, size=4).gpu_indices == [4, 5, 6, 7]
+        indices = Block(offset=4, size=4).gpu_indices
+        assert isinstance(indices, range)  # lazy — no 16k-element list at xl
+        assert list(indices) == [4, 5, 6, 7]
 
 
 class TestAllocateFree:
@@ -129,6 +131,78 @@ class TestShrink:
             allocator.shrink(Block(offset=0, size=4), 2)
 
 
+class TestReserveExact:
+    def test_reserve_left_half_releases_right_halves(self):
+        allocator = BuddyAllocator(16)
+        block = allocator.reserve_exact(0, 4)
+        assert block == Block(offset=0, size=4)
+        assert allocator.free_gpus == 12
+        # Split path keeps descending to the left: right halves released.
+        assert allocator._free[8] == {8}
+        assert allocator._free[4] == {4}
+
+    def test_reserve_right_half_releases_left_halves(self):
+        allocator = BuddyAllocator(16)
+        block = allocator.reserve_exact(12, 4)
+        assert block == Block(offset=12, size=4)
+        assert allocator.free_gpus == 12
+        # Split path keeps descending to the right: left halves released.
+        assert allocator._free[8] == {0}
+        assert allocator._free[4] == {8}
+
+    def test_reserve_overlapping_allocation_rejected(self):
+        allocator = BuddyAllocator(16)
+        allocator.allocate(4)
+        with pytest.raises(AllocationError):
+            allocator.reserve_exact(0, 8)
+
+    def test_reserve_inside_smaller_free_block(self):
+        allocator = BuddyAllocator(16)
+        allocator.allocate(8)  # occupies [0, 8); free block is 8@8
+        block = allocator.reserve_exact(10, 2)
+        assert block == Block(offset=10, size=2)
+        assert allocator._free[2] == {8}
+        assert allocator._free[4] == {12}
+
+
+class TestShrinkDecomposition:
+    def test_shrink_frees_standard_suffix_decomposition(self):
+        allocator = BuddyAllocator(16)
+        block = allocator.allocate(16)
+        allocator.shrink(block, 2)
+        # Freed suffix [2, 16) decomposes as the buddy ladder 2+4+8.
+        assert allocator._free[2] == {2}
+        assert allocator._free[4] == {4}
+        assert allocator._free[8] == {8}
+        assert allocator.free_gpus == 14
+
+    def test_shrunk_suffix_coalesces_with_later_frees(self):
+        allocator = BuddyAllocator(16)
+        block = allocator.allocate(16)
+        kept = allocator.shrink(block, 2)
+        allocator.free(kept)
+        # The kept prefix's release walks the whole buddy chain back up.
+        assert allocator.largest_free_block() == 16
+
+
+class TestAddGap:
+    def test_unaligned_start_emits_maximal_aligned_blocks(self):
+        allocator = BuddyAllocator(16)
+        allocator.allocate(16)  # empty the free lists
+        allocator._add_gap(5, 7)  # [5, 12): alignment limits the run
+        assert allocator._free[1] == {5}
+        assert allocator._free[2] == {6}
+        assert allocator._free[4] == {8}
+
+    def test_zero_start_limited_by_length(self):
+        allocator = BuddyAllocator(16)
+        allocator.allocate(16)
+        allocator._add_gap(0, 7)  # offset 0 aligns to anything; length rules
+        assert allocator._free[4] == {0}
+        assert allocator._free[2] == {4}
+        assert allocator._free[1] == {6}
+
+
 class TestRepack:
     def test_plan_is_empty_when_packed(self):
         allocator = BuddyAllocator(16)
@@ -158,6 +232,34 @@ class TestRepack:
         with pytest.raises(AllocationError):
             allocator.apply_repack({block: Block(offset=8, size=8)})
 
+    def test_repack_packs_into_gaps_around_pins(self):
+        allocator = BuddyAllocator(16)
+        pin = allocator.reserve_exact(8, 4)
+        moved = allocator.allocate(2)
+        assert moved.offset == 12  # best-fit picks the 4-block right of pin
+        plan = allocator.repack_plan(pinned=frozenset({pin}))
+        assert plan == {moved: Block(offset=0, size=2)}
+        allocator.apply_repack(plan)
+        assert allocator.free_gpus == 10
+        assert pin in allocator.allocated_blocks
+
+    def test_repack_skips_gaps_too_small_for_size_class(self):
+        allocator = BuddyAllocator(16)
+        pin_a = allocator.reserve_exact(0, 2)
+        pin_b = allocator.reserve_exact(6, 2)
+        big = allocator.allocate(8)
+        assert big.offset == 8
+        first = allocator.allocate(2)
+        second = allocator.allocate(2)
+        assert (first.offset, second.offset) == (2, 4)
+        allocator.free(first)
+        plan = allocator.repack_plan(pinned=frozenset({pin_a, pin_b}))
+        # The 8-block skips the [2,6) gap (too small) and stays put; the
+        # 2-block re-probes that gap and slides down into it.
+        assert plan == {second: Block(offset=2, size=2)}
+        allocator.apply_repack(plan)
+        assert allocator.allocated_gpus == 14
+
 
 # ---------------------------------------------------------------- properties
 @st.composite
@@ -171,6 +273,52 @@ def operation_sequences(draw):
         else:
             ops.append(("free", draw(st.integers(min_value=0, max_value=10**6))))
     return ops
+
+
+@st.composite
+def mixed_operation_sequences(draw):
+    """Random interleavings of all mutating operations (incl. shrink/repack)."""
+    n_ops = draw(st.integers(min_value=1, max_value=30))
+    kinds = st.sampled_from(["alloc", "alloc", "free", "shrink", "repack"])
+    ops = []
+    for _ in range(n_ops):
+        kind = draw(kinds)
+        if kind == "alloc":
+            ops.append(("alloc", draw(st.sampled_from([1, 2, 4, 8, 16]))))
+        elif kind == "repack":
+            ops.append(("repack", 0))
+        else:
+            ops.append((kind, draw(st.integers(min_value=0, max_value=10**6))))
+    return ops
+
+
+def assert_structural_invariants(allocator: BuddyAllocator) -> None:
+    """Free lists + allocated blocks tile the space; summaries are coherent."""
+    intervals = [(b.offset, b.offset + b.size) for b in allocator.allocated_blocks]
+    mask = 0
+    free_total = 0
+    for size, offsets in sorted(allocator._free.items()):
+        for offset in sorted(offsets):
+            intervals.append((offset, offset + size))
+            # Buddy coalescing invariant: no two free buddies coexist.
+            assert (offset ^ size) not in offsets
+        if offsets:
+            mask |= size
+            free_total += size * len(offsets)
+            # The lazy heap still knows every live offset and its minimum.
+            live = set(offsets)
+            heap = allocator._heaps[size]
+            assert live <= set(heap)
+            assert min(x for x in heap if x in live) == min(live)
+    intervals.sort()
+    cursor = 0
+    for start, end in intervals:
+        assert start == cursor, "free/allocated blocks overlap or leak"
+        cursor = end
+    assert cursor == allocator.capacity
+    assert allocator._mask == mask
+    assert allocator.free_gpus == free_total
+    assert allocator.free_gpus + allocator.allocated_gpus == allocator.capacity
 
 
 class TestBuddyProperties:
@@ -217,6 +365,34 @@ class TestBuddyProperties:
         while size <= free:
             assert allocator.can_allocate(size)
             size *= 2
+
+    @settings(max_examples=200, deadline=None)
+    @given(ops=mixed_operation_sequences())
+    def test_structural_invariants_under_all_operations(self, ops):
+        """Every mutation preserves tiling, summaries, and buddy invariants."""
+        allocator = BuddyAllocator(64)
+        live: list[Block] = []
+        for kind, value in ops:
+            if kind == "alloc":
+                try:
+                    live.append(allocator.allocate(value))
+                except AllocationError:
+                    assert not allocator.can_allocate(value)
+            elif kind == "free":
+                if live:
+                    allocator.free(live.pop(value % len(live)))
+            elif kind == "shrink":
+                if live:
+                    index = value % len(live)
+                    block = live[index]
+                    if block.size > 1:
+                        live[index] = allocator.shrink(block, block.size // 2)
+            else:
+                plan = allocator.repack_plan()
+                allocator.apply_repack(plan)
+                live = [plan.get(b, b) for b in live]
+            assert_structural_invariants(allocator)
+            assert set(live) == set(allocator.allocated_blocks)
 
     @settings(max_examples=100, deadline=None)
     @given(

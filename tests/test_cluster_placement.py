@@ -28,7 +28,7 @@ class TestPlaceRelease:
         first, _ = manager.place("a", 4)
         second, _ = manager.place("b", 4)
         assert first.nodes_spanned == second.nodes_spanned == 1
-        assert {g // 8 for g in first.gpu_indices + second.gpu_indices} == {0}
+        assert {g // 8 for g in [*first.gpu_indices, *second.gpu_indices]} == {0}
 
     def test_place_twice_rejected(self, manager):
         manager.place("a", 2)

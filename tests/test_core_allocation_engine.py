@@ -1,0 +1,335 @@
+"""Tests for the vectorized Algorithm 2 upgrade engine.
+
+The engine path (``_allocate_with_engine``) must be *decision-equivalent*
+to the sequential revalidating loop and to the cache-disabled reference —
+same final plans, bit for bit — because the escape hatches exist precisely
+to prove that.  The equivalence classes here run the identical scenario
+under all three configurations and compare the full per-job plans.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import AdmissionController, Ledger, SlotGrid, allocate_leftover
+from repro.core.allocation import Upgrade, _UpgradeEngine
+from repro.perf import probe
+from repro.perf.coherence import coherence_report
+from repro.perf.tables import batched_solver_disabled, planning_cache_disabled
+
+from conftest import synthetic_planning_job
+
+FIG_CURVE = {1: 1.0, 2: 1.5, 4: 2.0}
+
+
+def unit_grid(horizon: int = 5) -> SlotGrid:
+    return SlotGrid(origin=0.0, slot_seconds=1.0, horizon=horizon)
+
+
+def run_algorithm2(make_infos, grid, capacity, warm_hints=None):
+    """Algorithm 1 then Algorithm 2 on fresh views; returns final plans."""
+    infos = make_infos()
+    controller = AdmissionController(capacity)
+    result = controller.plan_shares(infos, grid, stop_on_failure=False)
+    decisions = allocate_leftover(
+        infos, result.ledger, grid.slot_seconds, warm_hints=warm_hints
+    )
+    plans = {info.job_id: result.ledger.plan_of(info.job_id) for info in infos}
+    return decisions, plans
+
+
+def assert_three_way_equivalence(make_infos, grid, capacity, warm_hints=None):
+    """Engine path == sequential solver == cache-disabled reference."""
+
+    def hints():
+        return None if warm_hints is None else dict(warm_hints)
+
+    engine_decisions, engine_plans = run_algorithm2(
+        make_infos, grid, capacity, hints()
+    )
+    with batched_solver_disabled():
+        seq_decisions, seq_plans = run_algorithm2(
+            make_infos, grid, capacity, hints()
+        )
+    with planning_cache_disabled():
+        ref_decisions, ref_plans = run_algorithm2(
+            make_infos, grid, capacity, hints()
+        )
+    assert engine_decisions == seq_decisions == ref_decisions
+    for job_id in engine_plans:
+        assert np.array_equal(engine_plans[job_id], seq_plans[job_id])
+        assert np.array_equal(engine_plans[job_id], ref_plans[job_id])
+
+
+class TestEngineEquivalence:
+    def test_contended_slo_mix(self):
+        grid = unit_grid()
+
+        def make():
+            return [
+                synthetic_planning_job("a", 3.0, 4.0, grid, 8, FIG_CURVE),
+                synthetic_planning_job(
+                    "b", 3.0, 4.0, grid, 8, {1: 1.0, 2: 1.9, 4: 3.6}
+                ),
+                synthetic_planning_job(
+                    "c", 2.0, 3.0, grid, 8, {1: 1.0, 2: 1.1, 4: 1.2}
+                ),
+            ]
+
+        assert_three_way_equivalence(make, grid, 6, warm_hints={})
+
+    def test_best_effort_and_slo_mix(self):
+        grid = unit_grid()
+
+        def make():
+            return [
+                synthetic_planning_job("slo", 3.0, 2.0, grid, 4, FIG_CURVE),
+                synthetic_planning_job(
+                    "be", 5.0, math.inf, grid, 4, FIG_CURVE, best_effort=True
+                ),
+            ]
+
+        assert_three_way_equivalence(make, grid, 4, warm_hints={})
+
+    def test_junk_warm_hints_are_harmless(self):
+        """Hints pointing at caps outside the ladder must not change plans."""
+        grid = unit_grid()
+
+        def make():
+            return [
+                synthetic_planning_job("a", 3.0, 4.0, grid, 8, FIG_CURVE),
+                synthetic_planning_job("b", 2.5, 4.0, grid, 8, FIG_CURVE),
+            ]
+
+        junk = {("a", 1): 3, ("b", 1): 999, ("ghost", 1): 2}
+        assert_three_way_equivalence(make, grid, 6, warm_hints=junk)
+
+    def test_warm_hints_reused_across_calls(self):
+        """A second pass with the hints the first populated stays equivalent."""
+        grid = unit_grid()
+
+        def make():
+            return [
+                synthetic_planning_job("a", 3.0, 4.0, grid, 8, FIG_CURVE),
+                synthetic_planning_job("b", 3.0, 4.0, grid, 8, FIG_CURVE),
+            ]
+
+        hints: dict = {}
+        run_algorithm2(make, grid, 6, hints)  # populate
+        assert_three_way_equivalence(make, grid, 6, warm_hints=hints)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        thr2=st.floats(min_value=1.01, max_value=2.0),
+        thr4=st.floats(min_value=1.01, max_value=4.0),
+        work_a=st.floats(min_value=0.5, max_value=4.0),
+        work_b=st.floats(min_value=0.5, max_value=4.0),
+        deadline_b=st.floats(min_value=2.0, max_value=5.0),
+        capacity=st.integers(min_value=3, max_value=8),
+        best_effort=st.booleans(),
+    )
+    def test_random_instances_equivalent(
+        self, thr2, thr4, work_a, work_b, deadline_b, capacity, best_effort
+    ):
+        grid = unit_grid(horizon=6)
+        curve_a = {1: 1.0, 2: thr2, 4: max(thr2, thr4)}
+        curve_b = {1: 1.0, 2: thr2 * 0.9 + 0.1}
+
+        def make():
+            return [
+                synthetic_planning_job("a", work_a, 4.0, grid, 8, curve_a),
+                synthetic_planning_job(
+                    "b",
+                    work_b,
+                    math.inf if best_effort else deadline_b,
+                    grid,
+                    8,
+                    curve_b,
+                    best_effort=best_effort,
+                ),
+            ]
+
+        assert_three_way_equivalence(make, grid, capacity, warm_hints={})
+
+
+class TestEngineState:
+    def ledger(self, capacity=8, horizon=5):
+        return Ledger(capacity, horizon)
+
+    def test_note_apply_slot0_only_records_past_horizon(self):
+        ledger = self.ledger()
+        engine = _UpgradeEngine(ledger, None)
+        old = np.array([1, 1, 1, 0, 0])
+        new = np.array([2, 1, 1, 0, 0])
+        engine.note_apply(old, new, version_after=7)
+        assert engine._perturb_versions == [7]
+        assert engine._perturb_watermarks == [ledger.horizon + 1]
+
+    def test_note_apply_stack_stays_monotone(self):
+        ledger = self.ledger()
+        engine = _UpgradeEngine(ledger, None)
+        engine.note_apply(
+            np.array([1, 1, 1, 0, 0]), np.array([2, 1, 1, 0, 0]), 3
+        )  # slot 0 only: watermark horizon+1
+        engine.note_apply(
+            np.array([2, 1, 1, 0, 0]), np.array([2, 1, 2, 0, 0]), 4
+        )  # first tail change at slot 2: dominates the earlier entry
+        assert engine._perturb_versions == [4]
+        assert engine._perturb_watermarks == [2]
+        engine.note_apply(
+            np.array([2, 1, 2, 0, 0]), np.array([2, 1, 2, 1, 0]), 5
+        )  # slot 3: strictly above, so both survive
+        assert engine._perturb_versions == [4, 5]
+        assert engine._perturb_watermarks == [2, 3]
+
+    def upgrade(self, version, available):
+        return Upgrade(
+            job_id="a",
+            plan=np.zeros(5, dtype=np.int64),
+            added_gpus=1,
+            priority=0.0,
+            tiebreak=0.0,
+            ledger_version=version,
+            available=available,
+        )
+
+    def test_window_undisturbed_without_snapshot(self):
+        engine = _UpgradeEngine(self.ledger(), None)
+        info = synthetic_planning_job("a", 3.0, 4.0, unit_grid(), 4, FIG_CURVE)
+        engine.note_apply(np.array([1, 1, 0, 0, 0]), np.array([1, 2, 0, 0, 0]), 9)
+        assert engine.window_undisturbed(self.upgrade(1, None), info)
+
+    def test_window_undisturbed_by_version_and_watermark(self):
+        engine = _UpgradeEngine(self.ledger(), None)
+        info = synthetic_planning_job("a", 3.0, 4.0, unit_grid(), 4, FIG_CURVE)
+        usable = info.window(1)
+        assert usable >= 2
+        snapshot = np.full(5, 4, dtype=np.int64)
+        # No applies newer than the proposal: undisturbed.
+        assert engine.window_undisturbed(self.upgrade(10, snapshot), info)
+        # A newer apply whose first tail change is past the window's end.
+        engine._perturb_versions.append(11)
+        engine._perturb_watermarks.append(1 + usable)
+        assert engine.window_undisturbed(self.upgrade(10, snapshot), info)
+        # ... but an apply inside the window is inconclusive.
+        engine._perturb_versions[-1:] = [12]
+        engine._perturb_watermarks[-1:] = [usable]
+        assert not engine.window_undisturbed(self.upgrade(10, snapshot), info)
+        # Entries at or before the proposal's version never disturb it.
+        assert engine.window_undisturbed(self.upgrade(12, snapshot), info)
+
+    def test_try_warm_plan_gates(self):
+        ledger = self.ledger()
+        info = synthetic_planning_job("a", 3.0, 4.0, unit_grid(), 4, FIG_CURVE)
+        avail_slots = np.full(5, 4, dtype=np.int64)
+        current = np.zeros(5, dtype=np.int64)
+        # No hint store at all.
+        assert (
+            _UpgradeEngine(ledger, None).try_warm_plan(info, avail_slots, current, 2)
+            is None
+        )
+        # Hint store without an entry for this job.
+        assert (
+            _UpgradeEngine(ledger, {}).try_warm_plan(info, avail_slots, current, 2)
+            is None
+        )
+        # Clamped window: min availability + own plan below the hinted cap.
+        clamped = np.array([4, 4, 0, 4, 4], dtype=np.int64)
+        engine = _UpgradeEngine(ledger, {("a", 1): 2})
+        assert engine.try_warm_plan(info, clamped, current, 2) is None
+        # A cap outside the job's ladder (stale hint).
+        stale = _UpgradeEngine(ledger, {("a", 1): 3})
+        assert stale.try_warm_plan(info, avail_slots, current, 2) is None
+
+    def test_try_warm_plan_matches_fallback(self):
+        """An accepted warm plan equals what progressive filling emits."""
+        from repro.core.admission import progressive_filling
+
+        ledger = self.ledger()
+        info = synthetic_planning_job("a", 3.0, 4.0, unit_grid(), 4, FIG_CURVE)
+        ledger.set_plan("a", np.array([1, 1, 1, 0, 0], dtype=np.int64))
+        avail_slots = ledger.available()
+        current = ledger.plan_view("a")
+        engine = _UpgradeEngine(ledger, {("a", 1): 1})
+        warm = engine.try_warm_plan(info, avail_slots, current, 2)
+        assert warm is not None
+        plan, top_free, new_cost = warm
+        head = np.zeros(5, dtype=np.int64)
+        head[0] = 2
+        fallback = progressive_filling(
+            info, avail_slots + current, start_slot=1, head=head
+        )
+        assert np.array_equal(plan, fallback)
+        assert top_free  # the whole window clears the job's top size
+        assert new_cost == info.gpu_seconds_of(plan)
+        # The emitted plan is memoized: a second ask returns it verbatim.
+        before = engine.counters["alg2_plan_cache_hits"]
+        again = engine.try_warm_plan(info, avail_slots, current, 2)
+        assert again is not None and again[0] is plan
+        assert engine.counters["alg2_plan_cache_hits"] == before + 1
+
+    def test_plan_cache_verdicts(self):
+        """Adopted and rejected keys short-circuit without row work."""
+        ledger = self.ledger()
+        info = synthetic_planning_job("a", 3.0, 4.0, unit_grid(), 4, FIG_CURVE)
+        avail_slots = np.full(5, 4, dtype=np.int64)
+        current = np.zeros(5, dtype=np.int64)
+        engine = _UpgradeEngine(ledger, {("a", 1): 1})
+        engine.reject_plan("a", 1, 2)
+        assert engine.try_warm_plan(info, avail_slots, current, 2) is None
+        memo = np.array([2, 1, 1, 1, 0], dtype=np.int64)
+        engine.adopt_plan("a", 1, 2, memo, 7.5)
+        warm = engine.try_warm_plan(info, avail_slots, current, 2)
+        assert warm is not None
+        plan, top_free, new_cost = warm
+        assert plan is memo and new_cost == 7.5
+        # The state-dependent gate still runs on a memo hit.
+        clamped = np.array([4, 0, 4, 4, 4], dtype=np.int64)
+        assert engine.try_warm_plan(info, clamped, current, 2) is None
+
+    def test_current_cost_memoizes_until_refreshed(self):
+        ledger = self.ledger()
+        info = synthetic_planning_job("a", 3.0, 4.0, unit_grid(), 4, FIG_CURVE)
+        engine = _UpgradeEngine(ledger, None)
+        plan = np.array([1, 1, 0, 0, 0], dtype=np.int64)
+        cost = engine.current_cost(info, plan)
+        assert cost == info.gpu_seconds_of(plan)
+        # Served from the memo even for a different array (apply updates it).
+        other = np.array([4, 4, 4, 4, 4], dtype=np.int64)
+        assert engine.current_cost(info, other) == cost
+        engine.job_cost["a"] = 42.0
+        assert engine.current_cost(info, other) == 42.0
+
+    def test_counters_flush_to_probe(self):
+        grid = unit_grid()
+        infos = [
+            synthetic_planning_job("a", 3.0, 4.0, grid, 8, FIG_CURVE),
+            synthetic_planning_job("b", 3.0, 4.0, grid, 8, FIG_CURVE),
+        ]
+        controller = AdmissionController(6)
+        result = controller.plan_shares(infos, grid, stop_on_failure=False)
+        probe.reset_counters()
+        allocate_leftover(infos, result.ledger, 1.0, warm_hints={})
+        counters = probe.counters()
+        assert counters["alg2_heap_pushes"] > 0
+        assert counters["alg2_heap_pops"] > 0
+        assert counters["alg2_heap_pops"] <= counters["alg2_heap_pushes"]
+        probe.reset_counters()
+        assert probe.counters() == {}
+
+
+def test_engine_coherence_declarations():
+    """Satellite: the engine's shared state is under the coherence linter."""
+    report = coherence_report(_UpgradeEngine)
+    assert report["coherent_fields"] == {
+        "_handles": "verified",
+        "_perturb_versions": "verified",
+        "_plan_cache": "verified",
+    }
+    assert report["mutators"]["register"] == ("_handles",)
+    assert report["mutators"]["try_warm_plan"] == ("_handles", "_plan_cache")
+    assert report["mutators"]["adopt_plan"] == ("_plan_cache",)
+    assert report["mutators"]["reject_plan"] == ("_plan_cache",)

@@ -1,0 +1,129 @@
+"""Tests for the optional compiled ladder kernel and the batch seam.
+
+The kernel is a zero-hard-dependency accelerator: without numba installed
+(this repo's CI image) every test here still runs, exercising the python
+reference against the numpy two-pass path — the bit-identity contract the
+module docstring argues must hold in all configurations.
+"""
+
+import numpy as np
+
+from repro.core.batch import WarmRowBatch
+from repro.core.kernels import (
+    _ladder_rows_py,
+    compiled_kernels_disabled,
+    kernels_available,
+    kernels_enabled,
+    ladder_rows,
+    set_kernels_enabled,
+)
+
+
+def random_bucket(rng, n_rows, width):
+    lengths = rng.integers(1, width + 1, size=n_rows)
+    padded = np.zeros((n_rows, width), dtype=np.float64)
+    for i in range(n_rows):
+        padded[i, : lengths[i]] = rng.uniform(0.1, 600.0, size=lengths[i])
+    thr_hint = rng.uniform(0.5, 8.0, size=n_rows)
+    thr_below = rng.uniform(0.0, 8.0, size=n_rows)
+    return padded, thr_hint, thr_below, lengths.astype(np.int64)
+
+
+def numpy_reference(padded, thr_hint, thr_below, lengths):
+    """The two-pass cumsum path exactly as WarmRowBatch writes it."""
+    hint_rows = np.cumsum(thr_hint[:, None] * padded, axis=1)
+    below_rows = np.cumsum(thr_below[:, None] * padded, axis=1)
+    ends = below_rows[np.arange(padded.shape[0]), lengths - 1]
+    return hint_rows, ends
+
+
+class TestLadderRows:
+    def test_python_reference_matches_numpy_bit_for_bit(self):
+        rng = np.random.default_rng(7)
+        for width in (1, 4, 16, 64):
+            padded, thr_hint, thr_below, lengths = random_bucket(rng, 23, width)
+            expect_rows, expect_ends = numpy_reference(
+                padded, thr_hint, thr_below, lengths
+            )
+            hint_rows = np.empty_like(padded)
+            ends = np.empty(padded.shape[0])
+            _ladder_rows_py(padded, thr_hint, thr_below, lengths, hint_rows, ends)
+            assert np.array_equal(hint_rows, expect_rows)  # exact, not approx
+            assert np.array_equal(ends, expect_ends)
+
+    def test_ladder_rows_matches_numpy_in_every_mode(self):
+        rng = np.random.default_rng(11)
+        padded, thr_hint, thr_below, lengths = random_bucket(rng, 17, 32)
+        expect_rows, expect_ends = numpy_reference(
+            padded, thr_hint, thr_below, lengths
+        )
+        for enabled in (True, False):
+            previous = set_kernels_enabled(enabled)
+            try:
+                rows, ends = ladder_rows(padded, thr_hint, thr_below, lengths)
+            finally:
+                set_kernels_enabled(previous)
+            assert np.array_equal(rows, expect_rows)
+            assert np.array_equal(ends, expect_ends)
+
+
+class TestToggles:
+    def test_set_kernels_enabled_returns_previous(self):
+        previous = set_kernels_enabled(False)
+        try:
+            assert not kernels_enabled()
+            assert set_kernels_enabled(True) is False
+            # Enabled only when numba is actually importable.
+            assert kernels_enabled() == kernels_available()
+        finally:
+            set_kernels_enabled(previous)
+
+    def test_context_manager_restores_state(self):
+        previous = set_kernels_enabled(True)
+        try:
+            with compiled_kernels_disabled():
+                assert not kernels_enabled()
+            assert kernels_enabled() == kernels_available()
+        finally:
+            set_kernels_enabled(previous)
+
+
+class TestSolvePending:
+    def add_rows(self, batch, rng, count):
+        handles = []
+        for _ in range(count):
+            length = int(rng.integers(1, 24))
+            weights = rng.uniform(0.1, 600.0, size=length)
+            handles.append(
+                batch.add(weights, float(rng.uniform(0.5, 8.0)), float(rng.uniform(0.0, 8.0)))
+            )
+        return handles
+
+    def test_incremental_solves_match_one_shot(self):
+        """Splitting adds across solves yields the all-at-once rows exactly."""
+        rng_a = np.random.default_rng(42)
+        rng_b = np.random.default_rng(42)
+        incremental = WarmRowBatch()
+        oneshot = WarmRowBatch()
+        # Mixed chunk sizes straddle SMALL_BATCH on both sides.
+        for chunk in (3, 12, 1, 9):
+            self.add_rows(incremental, rng_a, chunk)
+            incremental.solve_pending()
+        self.add_rows(oneshot, rng_b, 3 + 12 + 1 + 9)
+        oneshot.solve()
+        assert len(incremental) == len(oneshot)
+        for handle in range(len(oneshot)):
+            assert np.array_equal(
+                incremental.hint_row(handle), oneshot.hint_row(handle)
+            )
+            assert incremental.below_total(handle) == oneshot.below_total(handle)
+
+    def test_solve_is_idempotent(self):
+        rng = np.random.default_rng(3)
+        batch = WarmRowBatch()
+        handles = self.add_rows(batch, rng, 10)
+        batch.solve()
+        rows = [batch.hint_row(h).copy() for h in handles]
+        batch.solve()  # nothing pending: a no-op
+        for handle, row in zip(handles, rows):
+            assert np.array_equal(batch.hint_row(handle), row)

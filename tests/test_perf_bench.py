@@ -46,8 +46,24 @@ def test_main_writes_report(tmp_path, tiny_bench, capsys):
     assert allocation["rounds"] > 0
     assert allocation["allocs_per_sec"] > 0
 
+    buddy = report["buddy"]
+    assert buddy["ops"] > 0
+    assert buddy["ops_per_sec"] > 0
+
+    counters = e2e["cached"]["counters"]
+    assert counters["alg2_heap_pushes"] > 0
+    assert counters["buddy_allocs"] > 0
+
     printed = capsys.readouterr().out
     assert "end-to-end" in printed
+    assert "buddy" in printed
+
+
+def test_bench_buddy_is_deterministic():
+    first = bench.bench_buddy(3, ops=2000)
+    second = bench.bench_buddy(3, ops=2000)
+    assert first["ops"] == second["ops"] > 0
+    assert first["capacity"] == bench.BUDDY_BENCH_GPUS
 
 
 def test_decision_digest_orders_outcomes(tiny_bench):
@@ -58,8 +74,8 @@ def test_decision_digest_orders_outcomes(tiny_bench):
 
 
 # ------------------------------------------------------- perf-delta gate
-def _report(phases, wall=10.0):
-    return {
+def _report(phases, wall=10.0, buddy_wall=None):
+    report = {
         "scale": "quick",
         "seed": 0,
         "end_to_end": {
@@ -70,6 +86,9 @@ def _report(phases, wall=10.0):
             }
         },
     }
+    if buddy_wall is not None:
+        report["buddy"] = {"ops": 1000, "wall_s": buddy_wall, "ops_per_sec": 1.0}
+    return report
 
 
 class TestDeltaGate:
@@ -93,6 +112,26 @@ class TestDeltaGate:
         regressed = _report({"alg1_s": 3.0, "alg2_s": 9.0}, wall=14.0)
         failures = delta.check_phases(regressed, baseline)
         assert len(failures) == 1 and "alg2_s" in failures[0]
+
+    def test_buddy_pseudo_fraction_gates(self):
+        baseline = delta.extract_baseline(
+            _report({"alg1_s": 3.0}, wall=10.0, buddy_wall=1.0)
+        )
+        assert baseline["fractions"]["buddy_bench"] == pytest.approx(0.1)
+        same = _report({"alg1_s": 3.0}, wall=10.0, buddy_wall=1.0)
+        assert delta.check_phases(same, baseline) == []
+        regressed = _report({"alg1_s": 3.0}, wall=10.0, buddy_wall=2.0)
+        failures = delta.check_phases(regressed, baseline)
+        assert len(failures) == 1 and "buddy_bench" in failures[0]
+
+    def test_buddy_key_optional_on_both_sides(self):
+        """Old baselines never gate it; a baseline with it demands it."""
+        old_baseline = delta.extract_baseline(_report({"alg1_s": 3.0}))
+        with_buddy = _report({"alg1_s": 3.0}, buddy_wall=1.0)
+        assert delta.check_phases(with_buddy, old_baseline) == []
+        new_baseline = delta.extract_baseline(with_buddy)
+        failures = delta.check_phases(_report({"alg1_s": 3.0}), new_baseline)
+        assert any("buddy_bench" in line for line in failures)
 
     def test_missing_phase_fails(self):
         baseline = delta.extract_baseline(
