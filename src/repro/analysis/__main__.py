@@ -52,6 +52,16 @@ def _build_parser() -> argparse.ArgumentParser:
         help="accept all current findings into the baseline and exit 0",
     )
     parser.add_argument(
+        "--changed",
+        metavar="GIT_REF",
+        default=None,
+        help=(
+            "incremental mode: report findings only for modules changed "
+            "since the git ref (plus their call-graph dependents); the "
+            "whole program is still parsed and analysed"
+        ),
+    )
+    parser.add_argument(
         "--list-rules",
         action="store_true",
         help="print the rule catalog and exit",
@@ -88,6 +98,7 @@ def main(argv: list[str] | None = None) -> int:
             args.paths or None,
             baseline_path=args.baseline,
             update_baseline=args.update_baseline,
+            changed_ref=args.changed,
         )
     except AnalysisError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -102,10 +113,13 @@ def main(argv: list[str] | None = None) -> int:
         args.bench_out.write_text(
             json.dumps(
                 {
+                    "schema": 2,
                     "benchmark": "repro.analysis full-tree lint",
                     "files_analyzed": report.files_analyzed,
                     "rules_run": report.rules_run,
                     "duration_seconds": round(report.duration_seconds, 4),
+                    "callgraph": report.callgraph,
+                    "rule_seconds": report.rule_timings,
                     "budget_seconds": 10.0,
                     "within_budget": report.duration_seconds < 10.0,
                 },

@@ -7,6 +7,14 @@ baseline, so the gate blocks regressions without demanding a big-bang
 cleanup when a rule is introduced.  The file is committed at the repo
 root (``analysis-baseline.json``) and updated deliberately with
 ``--update-baseline``.
+
+Format v2 stamps every entry with the *implementation fingerprint* of the
+rule that produced it (:meth:`repro.analysis.registry.Rule.impl_fingerprint`).
+An entry only covers a finding while its rule's source is unchanged;
+editing a rule invalidates its accepted findings, forcing a deliberate
+re-acceptance instead of silently grandfathering them under the new
+semantics.  v1 entries carry no fingerprint and are therefore treated as
+stale on first contact with a v2 reader.
 """
 
 from __future__ import annotations
@@ -22,7 +30,7 @@ __all__ = ["Baseline", "DEFAULT_BASELINE_NAME"]
 
 DEFAULT_BASELINE_NAME = "analysis-baseline.json"
 
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = 2
 
 
 @dataclass
@@ -67,15 +75,36 @@ class Baseline:
         }
         return cls(entries=entries, path=path)
 
-    def covers(self, finding: Finding) -> bool:
-        """Whether a finding is already accepted."""
-        return finding.fingerprint in self.entries
+    def covers(
+        self, finding: Finding, rule_impls: dict[str, str] | None = None
+    ) -> bool:
+        """Whether a finding is already accepted.
 
-    def save(self, path: Path, findings: list[Finding]) -> None:
+        With ``rule_impls`` (rule id -> current implementation
+        fingerprint), an entry only counts while it was recorded against
+        the *same* rule implementation; entries written by an older rule
+        (or by the v1 format, which stamped none) are stale and the
+        finding resurfaces as new.
+        """
+        entry = self.entries.get(finding.fingerprint)
+        if entry is None:
+            return False
+        if rule_impls is None:
+            return True
+        return entry.get("rule_impl") == rule_impls.get(finding.rule_id)
+
+    def save(
+        self,
+        path: Path,
+        findings: list[Finding],
+        rule_impls: dict[str, str] | None = None,
+    ) -> None:
         """Write a fresh baseline accepting exactly ``findings``."""
+        rule_impls = rule_impls or {}
         entries = {
             f.fingerprint: {
                 "rule": f.rule_id,
+                "rule_impl": rule_impls.get(f.rule_id, ""),
                 "path": f.path,
                 "snippet": f.snippet,
             }

@@ -1,0 +1,63 @@
+"""Whole-program view handed to rules in the *prepare* phase.
+
+The runner builds one :class:`Program` per analysis run.  File-local
+rules never touch it; interprocedural rules ask for :attr:`callgraph` /
+:attr:`effects`, which are built lazily (and exactly once) so a run of
+purely file-local rules pays nothing.  Build time is recorded for the
+benchmark export.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.analysis.callgraph import CallGraph
+from repro.analysis.context import FileContext
+from repro.analysis.effects import EffectAnalysis
+
+__all__ = ["Program"]
+
+
+class Program:
+    """The analysed file set plus lazily built interprocedural indexes."""
+
+    def __init__(self, contexts: list[FileContext]) -> None:
+        self.contexts = contexts
+        self.context_by_path = {str(ctx.path): ctx for ctx in contexts}
+        self._callgraph: CallGraph | None = None
+        self._effects: EffectAnalysis | None = None
+        self.callgraph_build_seconds: float = 0.0
+        self.effects_build_seconds: float = 0.0
+
+    @property
+    def callgraph(self) -> CallGraph:
+        if self._callgraph is None:
+            start = time.perf_counter()
+            self._callgraph = CallGraph.build(self.contexts)
+            self.callgraph_build_seconds = time.perf_counter() - start
+        return self._callgraph
+
+    @property
+    def effects(self) -> EffectAnalysis:
+        if self._effects is None:
+            graph = self.callgraph
+            start = time.perf_counter()
+            self._effects = EffectAnalysis(graph)
+            self.effects_build_seconds = time.perf_counter() - start
+        return self._effects
+
+    @property
+    def built(self) -> bool:
+        """Whether any rule actually requested the interprocedural view."""
+        return self._callgraph is not None
+
+    def stats(self) -> dict[str, float | int]:
+        """Coverage + build-time statistics for reports and benchmarks."""
+        if self._callgraph is None:
+            return {}
+        coverage = self._callgraph.coverage()
+        coverage["build_seconds"] = round(
+            self.callgraph_build_seconds + self.effects_build_seconds, 4
+        )
+        coverage["coverage"] = round(float(coverage["coverage"]), 4)
+        return coverage

@@ -1,10 +1,12 @@
 """Rule base class and the rule registry.
 
-Every rule is a class decorated with :func:`register`.  Rules run in two
+Every rule is a class decorated with :func:`register`.  Rules run in three
 phases over the whole file set: a *collect* pass (whole-program facts, e.g.
-which classes declare coherent fields) followed by a *check* pass that
-yields findings per file.  Rules without cross-file state implement only
-``check``.
+which classes declare coherent fields), a *prepare* pass handed the
+assembled :class:`repro.analysis.program.Program` (interprocedural rules
+compute their findings here, against the call graph and effect
+summaries), and a *check* pass that yields findings per file.  Rules
+without cross-file state implement only ``check``.
 
 Adding a rule (see ``docs/static-analysis.md``):
 
@@ -18,11 +20,17 @@ Adding a rule (see ``docs/static-analysis.md``):
 from __future__ import annotations
 
 import ast
+import hashlib
+import inspect
 from collections.abc import Iterable, Iterator
+from typing import TYPE_CHECKING
 
 from repro.analysis.context import FileContext
 from repro.analysis.findings import Finding, Severity
 from repro.errors import AnalysisError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.analysis.program import Program
 
 __all__ = ["Rule", "register", "all_rules", "get_rule", "walk_scope"]
 
@@ -52,14 +60,36 @@ class Rule:
     def collect(self, ctx: FileContext) -> None:
         """Phase 1: gather whole-program facts.  Default: nothing."""
 
+    def prepare(self, program: "Program") -> None:
+        """Phase 2: whole-program analysis against the assembled
+        :class:`~repro.analysis.program.Program`.  Interprocedural rules
+        build the call graph / effect summaries here (lazily shared
+        across rules) and stage their findings for ``check``.  Default:
+        nothing."""
+
     def check(self, ctx: FileContext) -> Iterable[Finding]:
-        """Phase 2: yield findings for one file."""
+        """Phase 3: yield findings for one file."""
         raise NotImplementedError
 
     @classmethod
     def doc(cls) -> str:
         """The rule's published documentation (its class docstring)."""
         return (cls.__doc__ or "").strip()
+
+    @classmethod
+    def impl_fingerprint(cls) -> str:
+        """Hash of the rule's source, stamped into baseline entries.
+
+        Editing a rule changes its fingerprint, which invalidates every
+        baseline suppression recorded for it — a stale baseline must be
+        deliberately re-accepted against the new implementation, never
+        silently carried over.
+        """
+        try:
+            source = inspect.getsource(cls)
+        except (OSError, TypeError):  # pragma: no cover - e.g. REPL classes
+            source = cls.__qualname__
+        return hashlib.sha256(source.encode("utf-8")).hexdigest()[:12]
 
 
 _REGISTRY: dict[str, type[Rule]] = {}

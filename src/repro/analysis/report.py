@@ -22,6 +22,12 @@ class AnalysisReport:
         files_analyzed: Number of files parsed and checked.
         rules_run: Number of rules that ran.
         duration_seconds: Wall time of the run.
+        rule_timings: Per-rule wall seconds (collect + prepare + check),
+            excluding the shared interprocedural engine build.
+        callgraph: Call-graph statistics (site counts, coverage, build
+            seconds) — empty when no rule requested the engine.
+        changed_scope: In ``--changed`` mode, the sorted affected modules
+            findings were limited to; ``None`` for a full run.
     """
 
     findings: list[Finding] = field(default_factory=list)
@@ -30,6 +36,9 @@ class AnalysisReport:
     files_analyzed: int = 0
     rules_run: int = 0
     duration_seconds: float = 0.0
+    rule_timings: dict[str, float] = field(default_factory=dict)
+    callgraph: dict[str, float | int] = field(default_factory=dict)
+    changed_scope: list[str] | None = None
 
     @property
     def gating_findings(self) -> list[Finding]:
@@ -46,6 +55,9 @@ class AnalysisReport:
             "files_analyzed": self.files_analyzed,
             "rules_run": self.rules_run,
             "duration_seconds": round(self.duration_seconds, 4),
+            "rule_timings": self.rule_timings,
+            "callgraph": self.callgraph,
+            "changed_scope": self.changed_scope,
             "counts": {
                 "new": len(self.findings),
                 "gating": len(self.gating_findings),
@@ -68,6 +80,17 @@ class AnalysisReport:
             f"{self.files_analyzed} file(s), {self.rules_run} rule(s), "
             f"{self.duration_seconds:.2f}s"
         )
+        if self.callgraph:
+            summary += (
+                f"; call graph: {self.callgraph.get('call_sites', 0)} sites, "
+                f"{100 * float(self.callgraph.get('coverage', 0.0)):.1f}% "
+                f"resolved"
+            )
+        if self.changed_scope is not None:
+            summary += (
+                f"; incremental: findings limited to "
+                f"{len(self.changed_scope)} affected module(s)"
+            )
         if out:
             out.append("")
         out.append(summary)

@@ -11,6 +11,7 @@ from repro.analysis.rules import (  # noqa: F401  (imports register rules)
     cache_coherence,
     determinism,
     errors_hygiene,
+    interprocedural,
     numeric_hygiene,
     parallelism,
     sim_discipline,
@@ -21,6 +22,7 @@ __all__ = [
     "cache_coherence",
     "determinism",
     "errors_hygiene",
+    "interprocedural",
     "numeric_hygiene",
     "parallelism",
     "sim_discipline",

@@ -15,6 +15,7 @@ import ast
 from collections.abc import Iterable
 from dataclasses import dataclass, field
 
+from repro.analysis.astutil import dep_kind
 from repro.analysis.context import FileContext
 from repro.analysis.findings import Finding, Severity
 from repro.analysis.registry import Rule, register, walk_scope
@@ -41,7 +42,10 @@ _FROZEN = "frozen"
 #: against ground truth at every point of use (e.g. warm-start cap hints):
 #: stale entries cost time, never correctness, so declared mutators carry
 #: no invalidation obligation.  CC002 still requires the ``@mutates``
-#: declaration — the *intent* to mutate stays explicit.
+#: declaration — the *intent* to mutate stays explicit.  The declaration
+#: may name the verifier(s) — ``"verified:window_undisturbed"`` — which
+#: the interprocedural rule IP005 checks; here only the kind matters, so
+#: all comparisons go through :func:`repro.analysis.astutil.dep_kind`.
 _VERIFIED = "verified"
 
 #: Methods allowed to touch coherent fields without a declaration: object
@@ -380,7 +384,7 @@ class MutatorHookRule(_CCRuleBase):
                             f"class does not declare via @coherent(...)",
                         )
                         continue
-                    if dependency == _FROZEN:
+                    if dep_kind(dependency) == _FROZEN:
                         yield ctx.finding(
                             item,
                             self.rule_id,
@@ -388,7 +392,7 @@ class MutatorHookRule(_CCRuleBase):
                             f"no mutator may exist for it",
                         )
                         continue
-                    if dependency == _VERIFIED:
+                    if dep_kind(dependency) == _VERIFIED:
                         # Advisory state, re-validated at use: the declared
                         # mutator discharges nothing.
                         continue
@@ -469,12 +473,12 @@ class UndeclaredMutationRule(_CCRuleBase):
                     if field_name in declared:
                         continue
                     dependency = decl.coherent_fields[field_name]
-                    if dependency == _FROZEN:
+                    if dep_kind(dependency) == _FROZEN:
                         hint = (
                             "the field is frozen: move the mutation into "
                             "construction"
                         )
-                    elif dependency == _VERIFIED:
+                    elif dep_kind(dependency) == _VERIFIED:
                         hint = (
                             f"the field is advisory (verified at use): "
                             f"decorate the method with "

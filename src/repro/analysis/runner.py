@@ -1,24 +1,40 @@
-"""Drives one analysis run: discover, collect, check, gate.
+"""Drives one analysis run: discover, collect, prepare, check, gate.
 
 The runner is deliberately boring: enumerate files, run every registered
-rule's collect phase, run every check phase, then partition findings into
-suppressed / baselined / new.  All policy lives in the rules and in the
-baseline file.
+rule's collect phase, hand the assembled :class:`Program` to each rule's
+prepare phase (interprocedural rules build the shared call graph /
+effect summaries here), run every check phase, then partition findings
+into suppressed / baselined / new.  All policy lives in the rules and in
+the baseline file.
+
+``changed_ref`` enables the incremental pre-commit mode: the full file
+set is still parsed and the whole-program phases still run over
+everything (an interprocedural finding in a changed module can be caused
+by any file), but *findings* are reported only for modules that changed
+relative to the git ref — or that transitively import a changed module.
 """
 
 from __future__ import annotations
 
+import subprocess
 import time
 from pathlib import Path
 
 from repro.analysis.baseline import DEFAULT_BASELINE_NAME, Baseline
 from repro.analysis.context import FileContext
 from repro.analysis.findings import Finding
+from repro.analysis.program import Program
 from repro.analysis.registry import Rule, all_rules
 from repro.analysis.report import AnalysisReport
 from repro.errors import AnalysisError
 
-__all__ = ["run_analysis", "discover_files", "default_root", "find_baseline"]
+__all__ = [
+    "run_analysis",
+    "discover_files",
+    "default_root",
+    "find_baseline",
+    "changed_modules",
+]
 
 #: Rule whose findings police the suppression comments themselves; they
 #: must not be silenceable by the very comment they complain about.
@@ -77,11 +93,62 @@ def _display_path(path: Path) -> str:
         return str(path)
 
 
+def changed_modules(ref: str, contexts: list[FileContext]) -> set[str]:
+    """Modules of the analysed set touched since ``ref`` (per git diff)."""
+    repo_root = default_root().parents[1]
+    try:
+        result = subprocess.run(
+            ["git", "diff", "--name-only", ref, "--"],
+            cwd=repo_root,
+            capture_output=True,
+            text=True,
+            check=True,
+            timeout=30,
+        )
+    except (OSError, subprocess.SubprocessError) as exc:
+        detail = getattr(exc, "stderr", "") or str(exc)
+        raise AnalysisError(
+            f"cannot diff against {ref!r}: {detail.strip()}"
+        ) from exc
+    changed_paths = {
+        (repo_root / line.strip()).resolve()
+        for line in result.stdout.splitlines()
+        if line.strip().endswith(".py")
+    }
+    return {
+        ctx.module
+        for ctx in contexts
+        if Path(ctx.path).resolve() in changed_paths
+    }
+
+
+def _dependents_closure(
+    changed: set[str], module_deps: dict[str, set[str]]
+) -> set[str]:
+    """Changed modules plus everything that transitively imports them."""
+    affected = set(changed)
+    grew = True
+    while grew:
+        grew = False
+        for module, deps in module_deps.items():
+            if module in affected:
+                continue
+            for dep in deps:
+                if any(
+                    dep == hit or dep.startswith(hit + ".") for hit in affected
+                ):
+                    affected.add(module)
+                    grew = True
+                    break
+    return affected
+
+
 def run_analysis(
     paths: list[Path] | None = None,
     *,
     baseline_path: Path | None = None,
     update_baseline: bool = False,
+    changed_ref: str | None = None,
 ) -> AnalysisReport:
     """Run every registered rule over the file set.
 
@@ -92,27 +159,68 @@ def run_analysis(
             :func:`find_baseline`).
         update_baseline: Accept all current findings into the baseline
             instead of reporting them as new.
+        changed_ref: Git ref for incremental mode — findings are limited
+            to modules changed since the ref plus their call-graph
+            dependents.  The full program is still parsed and the
+            whole-program phases still run over everything.
 
     Returns:
         The populated :class:`AnalysisReport`.
     """
     start = time.perf_counter()
+    if update_baseline and changed_ref is not None:
+        raise AnalysisError(
+            "--update-baseline cannot be combined with --changed: a "
+            "filtered run must never rewrite the full baseline"
+        )
 
     from repro.analysis.rules.cache_coherence import reset_declarations
 
     reset_declarations()
 
     rules: list[Rule] = [rule_cls() for rule_cls in all_rules()]
+    rule_impls = {
+        rule_cls.rule_id: rule_cls.impl_fingerprint()
+        for rule_cls in all_rules()
+    }
     files = discover_files(paths)
     contexts = [
         FileContext.load(path, display_path=_display_path(path))
         for path in files
     ]
+    program = Program(contexts)
+    timings: dict[str, float] = {rule.rule_id: 0.0 for rule in rules}
 
     for rule in rules:
+        phase_start = time.perf_counter()
         for ctx in contexts:
             if rule.applies_to(ctx):
                 rule.collect(ctx)
+        timings[rule.rule_id] += time.perf_counter() - phase_start
+
+    for rule in rules:
+        phase_start = time.perf_counter()
+        engine_before = (
+            program.callgraph_build_seconds + program.effects_build_seconds
+        )
+        rule.prepare(program)
+        engine_delta = (
+            program.callgraph_build_seconds
+            + program.effects_build_seconds
+            - engine_before
+        )
+        # The first interprocedural rule triggers the lazy engine build;
+        # charge that to the separately reported build time, not the rule.
+        timings[rule.rule_id] += (
+            time.perf_counter() - phase_start - engine_delta
+        )
+
+    affected: set[str] | None = None
+    if changed_ref is not None:
+        changed = changed_modules(changed_ref, contexts)
+        affected = _dependents_closure(
+            changed, program.callgraph.module_deps
+        )
 
     resolved_baseline = find_baseline(baseline_path)
     baseline = Baseline.load(resolved_baseline)
@@ -121,23 +229,28 @@ def run_analysis(
     baselined: list[Finding] = []
     suppressed: list[Finding] = []
     for ctx in contexts:
+        if affected is not None and ctx.module not in affected:
+            continue
         for rule in rules:
             if not rule.applies_to(ctx):
                 continue
-            for finding in rule.check(ctx):
+            phase_start = time.perf_counter()
+            found = list(rule.check(ctx))
+            timings[rule.rule_id] += time.perf_counter() - phase_start
+            for finding in found:
                 if finding.rule_id not in _UNSUPPRESSABLE:
                     suppression = ctx.suppression_for(finding)
                     if suppression is not None and suppression.reason:
                         suppression.used = True
                         suppressed.append(finding)
                         continue
-                if baseline.covers(finding):
+                if baseline.covers(finding, rule_impls):
                     baselined.append(finding)
                     continue
                 new.append(finding)
 
     if update_baseline:
-        baseline.save(resolved_baseline, new + baselined)
+        baseline.save(resolved_baseline, new + baselined, rule_impls)
         baselined = sorted(baselined + new)
         new = []
 
@@ -148,4 +261,10 @@ def run_analysis(
         files_analyzed=len(contexts),
         rules_run=len(rules),
         duration_seconds=time.perf_counter() - start,
+        rule_timings={
+            rule_id: round(seconds, 4)
+            for rule_id, seconds in sorted(timings.items())
+        },
+        callgraph=program.stats(),
+        changed_scope=sorted(affected) if affected is not None else None,
     )

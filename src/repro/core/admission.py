@@ -666,6 +666,7 @@ class AdmissionController:
             tuple(sorted(jobs)),
         )
 
+    @mutates("Ledger._plans", "Ledger._used")
     def _replay(
         self, infos: list[PlanningJob], grid: SlotGrid, cached: tuple
     ) -> AdmissionResult:
@@ -801,6 +802,7 @@ class AdmissionController:
             return self._delta_fill_indexed(ordered, grid, retained)
         return self._delta_fill_sequential(ordered, grid, retained)
 
+    @mutates("Ledger._plans", "Ledger._used")
     def _delta_fill_indexed(
         self,
         ordered: list[PlanningJob],
@@ -946,6 +948,7 @@ class AdmissionController:
             slack=slack,
         )
 
+    @mutates("Ledger._plans", "Ledger._used")
     def _delta_fill_sequential(
         self,
         ordered: list[PlanningJob],
@@ -1058,6 +1061,7 @@ class AdmissionController:
             return self._fill_batched(ordered, grid)
         return self._fill_sequential(ordered, grid, stop_on_failure=stop_on_failure)
 
+    @mutates("Ledger._plans", "Ledger._used")
     def _fill_batched(
         self, ordered: list[PlanningJob], grid: SlotGrid
     ) -> AdmissionResult:
@@ -1186,6 +1190,7 @@ class AdmissionController:
             slack=slack,
         )
 
+    @mutates("Ledger._plans", "Ledger._used")
     def _fill_sequential(
         self,
         ordered: list[PlanningJob],

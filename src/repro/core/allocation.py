@@ -270,7 +270,11 @@ def _still_valid(
     return bool(np.array_equal(then, now))
 
 
-@coherent(_handles="verified", _perturb_versions="verified", _plan_cache="verified")
+@coherent(
+    _handles="verified:try_warm_plan",
+    _perturb_versions="verified:window_undisturbed",
+    _plan_cache="verified:try_warm_plan",
+)
 class _UpgradeEngine:
     """Per-call vectorized state for Algorithm 2's upgrade loop.
 
@@ -503,6 +507,7 @@ class _UpgradeEngine:
         self._plan_cache[key] = (plan, new_cost)
         return plan, m >= info.sizes[-1], new_cost
 
+    @mutates("_perturb_versions")
     def note_apply(
         self,
         old_plan: np.ndarray,

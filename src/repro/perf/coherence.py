@@ -17,6 +17,10 @@ metadata):
   invalidation; whoever mutates the field must trigger it".  The special
   dependencies ``"frozen"`` (never mutated after construction) and
   ``"verified"`` (advisory state re-validated at every use) need no hook.
+  A verified field may additionally *name its verifier(s)* —
+  ``"verified:window_undisturbed"`` — promising that every read crossing
+  a cache boundary is re-proved by a call to that function (checked
+  interprocedurally by rule IP005).
 - :func:`keyed` — class decorator declaring *key-invalidated* memo fields:
   ``@keyed(_rate_memo="curve_revision")`` says "entries of
   ``self._rate_memo`` stay coherent because their keys embed
@@ -35,7 +39,10 @@ The provider names form the **invalidation registry**
 is :func:`repro.perf.tables.invalidate_planning_tables`, and every
 declaration elsewhere in the tree resolves against entries registered here
 at import time.  :func:`coherence_report` exposes the collected metadata
-for tests and debugging.
+for tests and debugging; :func:`export_contracts` renders the whole
+registry (plus any classes handed to it) as one machine-readable document
+— the static analyser's interprocedural pass cross-checks its own
+source-derived view against this export.
 """
 
 from __future__ import annotations
@@ -53,6 +60,8 @@ __all__ = [
     "mutates",
     "invalidates",
     "coherence_report",
+    "parse_dependency",
+    "export_contracts",
 ]
 
 _F = TypeVar("_F", bound=Callable[..., Any])
@@ -86,7 +95,11 @@ def coherent(**field_hooks: str) -> Callable[[_C], _C]:
             *advisory* field whose every entry is re-validated against
             ground truth at the point of use — staleness can cost time
             but never correctness, so mutators need no invalidation hook
-            (e.g. the admission controller's warm-start cap hints).
+            (e.g. the admission controller's warm-start cap hints).  A
+            verified field may name the method(s) that perform the
+            re-validation — ``"verified:try_warm_plan"`` — which lets
+            the analyser prove every boundary-crossing read actually
+            reaches a verifier (rule IP005).
     """
 
     def decorate(cls: _C) -> _C:
@@ -147,6 +160,72 @@ def invalidates(*names: str) -> Callable[[_F], _F]:
         return func
 
     return decorate
+
+
+def parse_dependency(dependency: str) -> tuple[str, tuple[str, ...]]:
+    """Split one ``@coherent`` dependency string into ``(kind, verifiers)``.
+
+    ``kind`` is ``"frozen"``, ``"verified"`` or ``"hook"``; ``verifiers``
+    is the (possibly empty) tuple of function names declared after a
+    ``verified:`` prefix.  Examples::
+
+        parse_dependency("ledger_version")  == ("hook", ())
+        parse_dependency("frozen")          == ("frozen", ())
+        parse_dependency("verified")        == ("verified", ())
+        parse_dependency("verified:f,g")    == ("verified", ("f", "g"))
+    """
+    if dependency == "frozen":
+        return "frozen", ()
+    if dependency == "verified":
+        return "verified", ()
+    if dependency.startswith("verified:"):
+        names = dependency[len("verified:"):]
+        verifiers = tuple(
+            name.strip() for name in names.split(",") if name.strip()
+        )
+        return "verified", verifiers
+    return "hook", ()
+
+
+def export_contracts(classes: tuple[type, ...] = ()) -> dict[str, Any]:
+    """Machine-readable dump of every runtime coherence contract.
+
+    Returns a JSON-ready document holding the invalidation registry plus,
+    for each class handed in, its coherent/keyed fields (with parsed
+    dependency kinds and verifiers) and its declared mutators/providers.
+    The static analyser derives the same facts from source; tests diff the
+    two views so neither can silently drift.
+    """
+    contracts: dict[str, Any] = {
+        "invalidation_registry": {
+            name: list(providers)
+            for name, providers in sorted(INVALIDATION_REGISTRY.items())
+        },
+        "classes": {},
+    }
+    for cls in classes:
+        report = coherence_report(cls)
+        fields = {}
+        for field_name, dependency in sorted(report["coherent_fields"].items()):
+            kind, verifiers = parse_dependency(dependency)
+            fields[field_name] = {
+                "dependency": dependency,
+                "kind": kind,
+                "verifiers": list(verifiers),
+            }
+        contracts["classes"][cls.__qualname__] = {
+            "coherent_fields": fields,
+            "keyed_fields": dict(sorted(report["keyed_fields"].items())),
+            "mutators": {
+                name: list(fields_)
+                for name, fields_ in sorted(report["mutators"].items())
+            },
+            "providers": {
+                name: list(deps)
+                for name, deps in sorted(report["providers"].items())
+            },
+        }
+    return contracts
 
 
 def coherence_report(cls: type) -> dict[str, Any]:

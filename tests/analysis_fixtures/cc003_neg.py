@@ -18,5 +18,8 @@ class OwnerThreeNeg:
         self._bump()
 
 
+@mutates("OwnerThreeNeg._plans")
 def outside(owner: OwnerThreeNeg) -> None:
+    # Routing through the declared mutator satisfies CC003; the dotted
+    # declaration owns up to the transitive mutation (IP001).
     owner.set_item("x", 1)

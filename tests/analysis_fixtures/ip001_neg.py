@@ -1,0 +1,26 @@
+# lint-module: repro.perf.fixture_ip001_neg
+"""Negative IP001: the caller declares the transitive mutation."""
+from repro.perf.coherence import coherent, invalidates, mutates
+
+
+@coherent(_data="ip001_neg_dep")
+class HolderIPNeg:
+    def __init__(self):
+        self._data = {}
+
+    @invalidates("ip001_neg_dep")
+    def _invalidate(self):
+        pass
+
+    @mutates("_data")
+    def put(self, key, value):
+        self._data[key] = value
+        self._invalidate()
+
+
+@mutates("HolderIPNeg._data")
+def bulk_fill(holder: HolderIPNeg, items):
+    # The dotted declaration documents the transitive mutation and is
+    # terminal: callers of bulk_fill carry no fresh obligation.
+    for key, value in items.items():
+        holder.put(key, value)

@@ -1,0 +1,23 @@
+# lint-module: repro.perf.fixture_ip001
+"""Positive IP001: a helper calls a declared mutator without owning up."""
+from repro.perf.coherence import coherent, invalidates, mutates
+
+
+@coherent(_data="ip001_dep")
+class HolderIP:
+    def __init__(self):
+        self._data = {}
+
+    @invalidates("ip001_dep")
+    def _invalidate(self):
+        pass
+
+    @mutates("_data")
+    def put(self, key, value):
+        self._data[key] = value
+        self._invalidate()
+
+
+def bulk_fill(holder: HolderIP, items):
+    for key, value in items.items():
+        holder.put(key, value)  # <- finding

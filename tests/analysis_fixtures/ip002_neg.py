@@ -1,0 +1,21 @@
+# lint-module: repro.core.fixture_ip002_neg
+"""Negative IP002: all writes happen before the buffer is adopted."""
+import numpy as np
+
+
+class MiniLedgerNeg:
+    def __init__(self):
+        self._plans = {}
+
+    def set_plan(self, job_id, plan, trusted=False):
+        if not trusted:
+            plan = plan.copy()
+        plan.flags.writeable = False
+        self._plans[job_id] = plan
+
+
+def fill(ledger: MiniLedgerNeg, horizon):
+    plan = np.ones(horizon, dtype=np.int64)
+    plan[0] = 2  # still private: the ledger has not adopted it yet
+    ledger.set_plan("job-a", plan, trusted=True)
+    return plan

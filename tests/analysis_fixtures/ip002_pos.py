@@ -1,0 +1,21 @@
+# lint-module: repro.core.fixture_ip002
+"""Positive IP002: a trusted shared plan array is mutated after adoption."""
+import numpy as np
+
+
+class MiniLedger:
+    def __init__(self):
+        self._plans = {}
+
+    def set_plan(self, job_id, plan, trusted=False):
+        if not trusted:
+            plan = plan.copy()
+        plan.flags.writeable = False
+        self._plans[job_id] = plan
+
+
+def fill(ledger: MiniLedger, horizon):
+    plan = np.ones(horizon, dtype=np.int64)
+    ledger.set_plan("job-a", plan, trusted=True)
+    plan[0] = 2  # <- finding
+    return plan

@@ -1,0 +1,19 @@
+# lint-module: repro.perf.fixture_ip003_neg
+"""Negative IP003: the hatch is exercised by an in-tree caller."""
+from contextlib import contextmanager
+
+_FLAGS = {"probe": True}
+
+
+@contextmanager
+def mirror_probe_disabled():
+    _FLAGS["probe"] = False
+    try:
+        yield
+    finally:
+        _FLAGS["probe"] = True
+
+
+def probe_with_fallback(fn):
+    with mirror_probe_disabled():
+        return fn()

@@ -1,0 +1,14 @@
+# lint-module: repro.perf.fixture_ip003
+"""Positive IP003: an escape hatch that nothing can ever enter."""
+from contextlib import contextmanager
+
+_FLAGS = {"probe": True}
+
+
+@contextmanager
+def orphan_probe_disabled():  # <- finding
+    _FLAGS["probe"] = False
+    try:
+        yield
+    finally:
+        _FLAGS["probe"] = True

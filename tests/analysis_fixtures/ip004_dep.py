@@ -1,0 +1,7 @@
+# lint-module: repro.core.fixture_ip004_sink
+"""Companion module for the IP004 fixtures: an in-scope decision sink."""
+
+
+def pick_order(jobs, rng):
+    indices = rng.permutation(len(jobs))
+    return [jobs[index] for index in indices]

@@ -1,0 +1,9 @@
+# lint-module: repro.traces.fixture_ip004_neg
+"""Negative IP004: the driver threads a seeded generator into scope."""
+from numpy.random import default_rng
+
+from repro.core.fixture_ip004_sink import pick_order
+
+
+def shuffle_jobs(jobs, seed):
+    return pick_order(jobs, default_rng(seed))

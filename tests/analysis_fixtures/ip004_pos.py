@@ -1,0 +1,9 @@
+# lint-module: repro.traces.fixture_ip004
+"""Positive IP004: a driver outside the decision scope passes ambient RNG."""
+from numpy.random import default_rng
+
+from repro.core.fixture_ip004_sink import pick_order
+
+
+def shuffle_jobs(jobs):
+    return pick_order(jobs, default_rng())  # <- finding

@@ -1,0 +1,22 @@
+# lint-module: repro.perf.fixture_ip005_neg
+"""Negative IP005: every consuming read re-proves via the verifier."""
+from repro.perf.coherence import coherent, mutates
+
+
+@coherent(_caps="verified:caps_fresh")
+class HintStoreNeg:
+    def __init__(self, source):
+        self._source = source
+        self._caps = {}
+
+    def caps_fresh(self, key):
+        return self._caps.get(key) == self._source.get(key)
+
+    @mutates("_caps")
+    def remember(self, key, cap):
+        self._caps[key] = cap
+
+    def cap_for(self, key):
+        if not self.caps_fresh(key):
+            return 0
+        return self._caps.get(key, 0)

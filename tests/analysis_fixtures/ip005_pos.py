@@ -1,0 +1,20 @@
+# lint-module: repro.perf.fixture_ip005
+"""Positive IP005: verified state consumed without re-proof."""
+from repro.perf.coherence import coherent, mutates
+
+
+@coherent(_caps="verified:caps_fresh")
+class HintStore:
+    def __init__(self, source):
+        self._source = source
+        self._caps = {}
+
+    def caps_fresh(self, key):
+        return self._caps.get(key) == self._source.get(key)
+
+    @mutates("_caps")
+    def remember(self, key, cap):
+        self._caps[key] = cap
+
+    def cap_for(self, key):
+        return self._caps.get(key, 0)  # <- finding

@@ -1,0 +1,166 @@
+"""Property tests for the interprocedural engine.
+
+Hypothesis generates small random module graphs — functions spread over a
+few modules, each calling earlier functions (same-module bare calls or
+cross-module imports) and optionally writing its array parameter — then
+checks the :class:`~repro.analysis.callgraph.CallGraph` edges and the
+:class:`~repro.analysis.effects.EffectAnalysis` summaries against a
+brute-force interpreter over the generated specification.  On this
+restricted language the analysis should be *exact*, so every assertion
+is an equality, not an inclusion.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.callgraph import CallGraph
+from repro.analysis.context import FileContext
+from repro.analysis.effects import EffectAnalysis
+
+#: (module index, writes its parameter directly, callee function indices).
+_FuncSpec = tuple[int, bool, list[int]]
+
+
+@st.composite
+def module_graphs(draw) -> tuple[int, list[_FuncSpec]]:
+    n_modules = draw(st.integers(min_value=1, max_value=3))
+    n_funcs = draw(st.integers(min_value=2, max_value=8))
+    funcs: list[_FuncSpec] = []
+    for index in range(n_funcs):
+        module = draw(st.integers(min_value=0, max_value=n_modules - 1))
+        writes = draw(st.booleans())
+        callees = sorted(
+            draw(
+                st.sets(
+                    st.integers(min_value=0, max_value=index - 1), max_size=3
+                )
+            )
+        ) if index else []
+        funcs.append((module, writes, callees))
+    return n_modules, funcs
+
+
+def _render(n_modules: int, funcs: list[_FuncSpec]) -> dict[int, str]:
+    """Source text per module index for one generated specification."""
+    imports: dict[int, set[str]] = {m: set() for m in range(n_modules)}
+    bodies: dict[int, list[str]] = {m: [] for m in range(n_modules)}
+    for index, (module, writes, callees) in enumerate(funcs):
+        for callee in callees:
+            callee_module = funcs[callee][0]
+            if callee_module != module:
+                imports[module].add(
+                    f"from repro.genmod{callee_module} import fn{callee}"
+                )
+        lines = [f"def fn{index}(a):"]
+        if writes:
+            lines.append("    a[0] = 1")
+        lines.extend(f"    fn{callee}(a)" for callee in callees)
+        if not writes and not callees:
+            lines.append("    return a")
+        bodies[module].append("\n".join(lines))
+    sources: dict[int, str] = {}
+    for module in range(n_modules):
+        header = [
+            f"# lint-module: repro.genmod{module}",
+            '"""Generated module."""',
+        ]
+        sources[module] = "\n".join(
+            header + sorted(imports[module]) + bodies[module]
+        ) + "\n"
+    return sources
+
+
+def _oracle(funcs: list[_FuncSpec]) -> tuple[dict[int, bool], dict[int, set[int]]]:
+    """Brute-force writes-param closure and call reachability."""
+    writes = {index: spec[1] for index, spec in enumerate(funcs)}
+    changed = True
+    while changed:
+        changed = False
+        for index, (_, _, callees) in enumerate(funcs):
+            if not writes[index] and any(writes[c] for c in callees):
+                writes[index] = True
+                changed = True
+    reach: dict[int, set[int]] = {}
+    for index in range(len(funcs)):
+        seen: set[int] = set()
+        frontier = list(funcs[index][2])
+        while frontier:
+            current = frontier.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            frontier.extend(funcs[current][2])
+        reach[index] = seen
+    return writes, reach
+
+
+@settings(max_examples=30, deadline=None)
+@given(module_graphs())
+def test_engine_matches_brute_force_interpreter(
+    spec: tuple[int, list[_FuncSpec]],
+) -> None:
+    n_modules, funcs = spec
+    sources = _render(n_modules, funcs)
+    with tempfile.TemporaryDirectory() as tmp:
+        contexts = []
+        for module, source in sources.items():
+            path = Path(tmp) / f"genmod{module}.py"
+            path.write_text(source, encoding="utf-8")
+            contexts.append(FileContext.load(path))
+        graph = CallGraph.build(contexts)
+        effects = EffectAnalysis(graph)
+
+    def qual(index: int) -> str:
+        return f"repro.genmod{funcs[index][0]}.fn{index}"
+
+    # Every generated call site resolves — and resolves internally.
+    function_sites = [
+        site for site in graph.call_sites if not site.caller.endswith("<module>")
+    ]
+    assert all(site.resolution == "internal" for site in function_sites)
+
+    expected_writes, expected_reach = _oracle(funcs)
+    for index, (_, _, callees) in enumerate(funcs):
+        sites = graph.sites_in(qual(index))
+        got_edges = sorted(callee for site in sites for callee in site.callees)
+        assert got_edges == sorted(qual(c) for c in callees)
+
+        summary = effects.summary(qual(index))
+        assert summary is not None
+        assert ("a" in summary.writes_params) == expected_writes[index]
+        assert ("a" in summary.direct_writes_params) == funcs[index][1]
+
+        for target in range(len(funcs)):
+            expected = target in expected_reach[index]
+            assert (
+                effects.reaches_call(qual(index), {f"fn{target}"}) == expected
+            )
+
+
+def test_reaches_call_handles_cycles() -> None:
+    source = (
+        "# lint-module: repro.genmod0\n"
+        "def fn_a(x):\n"
+        "    fn_b(x)\n"
+        "def fn_b(x):\n"
+        "    fn_a(x)\n"
+        "def fn_c(x):\n"
+        "    fn_a(x)\n"
+        "    helper(x)\n"
+        "def helper(x):\n"
+        "    return x\n"
+    )
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "cyc.py"
+        path.write_text(source, encoding="utf-8")
+        graph = CallGraph.build([FileContext.load(path)])
+        effects = EffectAnalysis(graph)
+    assert effects.reaches_call("repro.genmod0.fn_a", {"fn_b"})
+    assert effects.reaches_call("repro.genmod0.fn_b", {"fn_b"})  # via fn_a
+    assert effects.reaches_call("repro.genmod0.fn_c", {"helper"})
+    assert not effects.reaches_call("repro.genmod0.helper", {"fn_a"})

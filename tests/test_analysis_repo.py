@@ -31,7 +31,11 @@ def test_live_tree_is_finding_free() -> None:
     assert not report.findings, [f.format_human() for f in report.findings]
     assert report.ok
     assert report.files_analyzed > 50
-    assert report.rules_run == 14
+    assert report.rules_run == 19
+    # The interprocedural engine ran, resolved the acceptance bar of call
+    # sites, and reported honest numbers for the rest.
+    assert report.callgraph["call_sites"] > 1000
+    assert report.callgraph["coverage"] >= 0.95
 
 
 def test_cli_clean_tree_exits_zero_with_json() -> None:
@@ -46,8 +50,20 @@ def test_cli_lists_all_rules() -> None:
     result = _cli("--list-rules")
     assert result.returncode == 0
     listed = [line.split()[0] for line in result.stdout.splitlines() if line]
-    assert len(listed) == 14
-    for rule_id in ("DET001", "CC001", "CC005", "NH001", "SIM001", "SUP001"):
+    assert len(listed) == 19
+    for rule_id in (
+        "DET001",
+        "CC001",
+        "CC005",
+        "NH001",
+        "SIM001",
+        "SUP001",
+        "IP001",
+        "IP002",
+        "IP003",
+        "IP004",
+        "IP005",
+    ):
         assert rule_id in listed
 
 
@@ -95,6 +111,9 @@ def test_cli_bench_out_records_budget(tmp_path: Path) -> None:
     result = _cli("--bench-out", str(bench))
     assert result.returncode == 0
     record = json.loads(bench.read_text())
+    assert record["schema"] == 2
     assert record["files_analyzed"] > 50
     assert record["budget_seconds"] == 10.0
     assert record["within_budget"] is True
+    assert record["callgraph"]["coverage"] >= 0.95
+    assert len(record["rule_seconds"]) == 19  # a timing for every rule

@@ -31,6 +31,11 @@ RULE_IDS = [
     "err002",
     "sup001",
     "par001",
+    "ip001",
+    "ip002",
+    "ip003",
+    "ip004",
+    "ip005",
 ]
 
 #: Line marker used by positive fixtures.  SUP001's finding *is* a
@@ -50,7 +55,14 @@ def _expected_line(path: Path, rule: str) -> int:
 
 def _run(path: Path, tmp_path: Path):
     # A fresh baseline path keeps the run hermetic (nothing baselined).
-    return run_analysis([path], baseline_path=tmp_path / "baseline.json")
+    # Interprocedural fixtures may span modules: a ``<rule>_dep*.py``
+    # companion (e.g. the in-scope sink the positive fixture calls into)
+    # is analysed alongside the fixture itself.
+    base = path.stem.rsplit("_", 1)[0]
+    companions = sorted(FIXTURE_DIR.glob(f"{base}_dep*.py"))
+    return run_analysis(
+        [path, *companions], baseline_path=tmp_path / "baseline.json"
+    )
 
 
 def test_rule_catalog_matches_fixture_set() -> None:

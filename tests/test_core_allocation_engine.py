@@ -325,11 +325,12 @@ def test_engine_coherence_declarations():
     """Satellite: the engine's shared state is under the coherence linter."""
     report = coherence_report(_UpgradeEngine)
     assert report["coherent_fields"] == {
-        "_handles": "verified",
-        "_perturb_versions": "verified",
-        "_plan_cache": "verified",
+        "_handles": "verified:try_warm_plan",
+        "_perturb_versions": "verified:window_undisturbed",
+        "_plan_cache": "verified:try_warm_plan",
     }
     assert report["mutators"]["register"] == ("_handles",)
     assert report["mutators"]["try_warm_plan"] == ("_handles", "_plan_cache")
     assert report["mutators"]["adopt_plan"] == ("_plan_cache",)
     assert report["mutators"]["reject_plan"] == ("_plan_cache",)
+    assert report["mutators"]["note_apply"] == ("_perturb_versions",)
