@@ -26,13 +26,16 @@ from repro.core.slots import SlotGrid
 from repro.errors import ConfigurationError
 from repro.numeric import EPS
 from repro.perf.coherence import coherent, keyed, mutates
+from repro.perf import probe
 from repro.perf.tables import (
     batching_enabled,
     cache_enabled,
+    fused_commit_enabled,
     ladder_consts,
-    note_batch_fill,
+    note_batched_walk,
     note_warm_fill,
     planning_tables_for,
+    tables_global_revision,
 )
 from repro.profiles.throughput import ScalingCurve
 
@@ -48,9 +51,9 @@ _EPS = EPS  # the shared numeric tolerance (repro.numeric)
 
 
 @coherent(
-    remaining_iterations="frozen",
-    deadline="frozen",
-    weights="frozen",
+    remaining_iterations="planning_frame",
+    deadline="planning_frame",
+    weights="planning_frame",
     throughput_table="frozen",
     size_table="frozen",
     sizes="frozen",
@@ -61,11 +64,19 @@ _EPS = EPS  # the shared numeric tolerance (repro.numeric)
 class PlanningJob:
     """Everything the planning algorithms need to know about one job.
 
-    The planning inputs are declared *frozen* coherent state: downstream
-    fill fingerprints hash them via ``tables_token``, so mutating any of
-    them after construction would silently desynchronise cached plans.
-    Build a fresh view instead (``planning_job``).  Only ``degraded`` and
-    ``min_share_plan`` are mutable working state.
+    Table-identity state (tables, sizes, token) is declared *frozen*
+    coherent state: downstream fill fingerprints hash it via
+    ``tables_token``, so mutating it after construction would silently
+    desynchronise cached plans — a view is rebuilt, never patched, when
+    its tables change.  The event-dependent planning inputs (remaining
+    work, padded deadline, weight row) belong to the ``planning_frame``
+    dependency: the persistent planning frame
+    (``repro.core.scheduler._PlanningFrame``) rewrites them in place on
+    every refresh through its declared mutator, which re-seeds the
+    per-view window memo in the same step so no derived state can
+    survive the inputs it was derived from.  Everywhere else these
+    fields are read-only.  Only ``degraded`` and ``min_share_plan`` are
+    free mutable working state.
 
     Attributes:
         job_id: The job's identifier.
@@ -209,6 +220,11 @@ def planning_job(
         best_effort=job.spec.best_effort,
         tables_token=tables.token,
     )
+
+
+def _deadline_order(info: PlanningJob) -> tuple[float, str]:
+    """Sort key of the Algorithm 1 deadline walk (EDF, ties broken by id)."""
+    return (info.deadline, info.job_id)
 
 
 def progressive_filling(
@@ -522,6 +538,14 @@ class AdmissionResult:
             plans without inspecting capacity — see
             ``AdmissionController._delta_fill_indexed``.  Empty on
             sequential-solver and cache-disabled fills.
+        perturbed: Job ids whose minimum-share plan was *re-filled* this
+            event (not reused by reference from the retained fill) — the
+            only jobs whose slot-0 share may differ from the previous
+            event on this grid.  ``None`` when the producing path cannot
+            bound the set (cold fills, cache replays, the sequential
+            delta walk); consumers holding per-job state keyed on the
+            share (the Algorithm 2 seed index) then rely on their
+            self-validation alone.
     """
 
     admitted: bool
@@ -530,6 +554,7 @@ class AdmissionResult:
     infeasible_job: str | None = None
     degraded: set[str] = field(default_factory=set)
     slack: dict[str, bool] = field(default_factory=dict, repr=False)
+    perturbed: frozenset[str] | None = field(default=None, repr=False)
 
 
 @dataclass
@@ -614,17 +639,54 @@ class AdmissionController:
         self._fill_cache: OrderedDict[tuple, tuple] = OrderedDict()
         self._retained: _RetainedFill | None = None
         self._warm_hints: dict[tuple[str, int], int] = {}
+        # Event-scoped constant-row store: the batched rows are pure view
+        # functions keyed by (job, cap, tables token), stable for as long
+        # as the grid and the planning tables stand still — i.e. for every
+        # fill of one scheduling event (admission baseline, trial delta,
+        # allocation pass).  ``_event_key`` names that validity domain; a
+        # mismatched key resets the store, and every lookup re-checks the
+        # stored window length, so stale rows cost a rebuild, never a
+        # wrong decision.
+        self._event_batch: WarmRowBatch | None = None
+        self._event_rows: dict[tuple[str, int, int], tuple[int, int, int]] = {}
+        self._event_key: tuple[float, float, int, int] | None = None
         self.fill_cache_hits = 0
         self.fill_cache_misses = 0
         self.delta_hits = 0
         self.delta_reuses = 0
         self.delta_slack_reuses = 0
         self.delta_refills = 0
+        self.delta_fast_accepts = 0
 
     @property
     def warm_hints(self) -> dict[tuple[str, int], int]:
         """The advisory cap-hint store, shared with Algorithm 2's refills."""
         return self._warm_hints
+
+    def _event_batch_for(self, grid: SlotGrid) -> WarmRowBatch:
+        """The event-scoped row batch, reset when the grid or tables move.
+
+        Within one scheduling event the grid origin and the planning-table
+        revision are fixed, so a job's constant-throughput rows — functions
+        of (usable-window weights, hinted cap's ladder constants) only —
+        are identical across the admission baseline, the trial delta and
+        the allocation fill.  Sharing one append-only
+        :class:`~repro.core.batch.WarmRowBatch` across those fills solves
+        each row once per event instead of once per fill.
+        """
+        key = (
+            grid.origin,
+            grid.slot_seconds,
+            grid.horizon,
+            tables_global_revision(),
+        )
+        batch = self._event_batch
+        if self._event_key != key or batch is None:
+            batch = WarmRowBatch()
+            self._event_key = key
+            self._event_batch = batch
+            self._event_rows = {}
+        return batch
 
     @mutates("_warm_hints")
     def prune_warm_hints(self, live_ids: set[str]) -> int:
@@ -718,8 +780,11 @@ class AdmissionController:
         Cache misses first try the event-delta path against the retained
         previous fill (:meth:`_delta_fill`) before falling back to the full
         deadline-ordered fill; either way the produced fill becomes the new
-        retained snapshot.
+        retained snapshot.  The deadline order is computed once here and
+        shared by the walk, the delta pass and the snapshot (they used to
+        sort independently).
         """
+        ordered = sorted(infos, key=_deadline_order)
         key = None
         if not stop_on_failure and cache_enabled():
             key = self._fingerprint(infos, grid)
@@ -729,14 +794,14 @@ class AdmissionController:
                     self._fill_cache.move_to_end(key)
                     self.fill_cache_hits += 1
                     result = self._replay(infos, grid, cached)
-                    self._retained = self._snapshot(infos, grid, result)
+                    self._retained = self._snapshot(ordered, grid, result)
                     return result
                 self.fill_cache_misses += 1
         result = None
         if key is not None:
-            result = self._delta_fill(infos, grid)
+            result = self._delta_fill(ordered, grid)
         if result is None:
-            result = self._fill(infos, grid, stop_on_failure=stop_on_failure)
+            result = self._fill(ordered, grid, stop_on_failure=stop_on_failure)
         if key is not None:
             # Plans are frozen at registration time and the occupancy
             # vector is never edited in place, so the cache stores both by
@@ -751,16 +816,20 @@ class AdmissionController:
             )
             while len(self._fill_cache) > self.FILL_CACHE_LIMIT:
                 self._fill_cache.popitem(last=False)
-            self._retained = self._snapshot(infos, grid, result)
+            self._retained = self._snapshot(ordered, grid, result)
         return result
 
     def _snapshot(
-        self, infos: list[PlanningJob], grid: SlotGrid, result: AdmissionResult
+        self, ordered: list[PlanningJob], grid: SlotGrid, result: AdmissionResult
     ) -> _RetainedFill:
-        """Package a finished soft fill for the next event's delta pass."""
+        """Package a finished soft fill for the next event's delta pass.
+
+        ``ordered`` must already be in deadline order (the caller sorts
+        once for the fill, the delta walk and this snapshot together).
+        """
         order: list[tuple[float, str, float, int]] = []
         plans: dict[str, np.ndarray] = {}
-        for info in sorted(infos, key=lambda i: (i.deadline, i.job_id)):
+        for info in ordered:
             if info.best_effort:
                 continue
             order.append(
@@ -777,7 +846,7 @@ class AdmissionController:
         )
 
     def _delta_fill(
-        self, infos: list[PlanningJob], grid: SlotGrid
+        self, ordered: list[PlanningJob], grid: SlotGrid
     ) -> AdmissionResult | None:
         """Rebuild a soft fill from the retained one, re-filling only deltas.
 
@@ -791,13 +860,13 @@ class AdmissionController:
         variant (:meth:`_delta_fill_sequential`) maintains the full
         old-minus-new delta vector.  Returns ``None`` (caller falls back
         to the full fill) when there is no retained fill for this grid.
+        ``ordered`` is the caller's deadline-sorted view list.
         """
         retained = self._retained
         if retained is None:
             return None
         if retained.grid_key != (grid.origin, grid.slot_seconds, grid.horizon):
             return None
-        ordered = sorted(infos, key=lambda i: (i.deadline, i.job_id))
         if batching_enabled():
             return self._delta_fill_indexed(ordered, grid, retained)
         return self._delta_fill_sequential(ordered, grid, retained)
@@ -831,9 +900,14 @@ class AdmissionController:
         under it changed.  (Warm-hint state may differ between the two
         fills, but under slack a wrong hint fails verification and the
         scan lands on the same minimal row, so the fill result is
-        hint-independent.)  Everything else re-runs
-        :func:`progressive_filling` against exact availability, exactly as
-        the cold fill would.
+        hint-independent.)  Refills first try a *fast accept* against the
+        event-scoped row store (:meth:`_event_batch_for`): when the job is
+        unclamped at its hinted cap and this event's baseline fill already
+        solved that cap's constant-throughput row, two scalar comparisons
+        replace the cumsums progressive_filling's warm verification would
+        re-run — same floats, same order, bit-identical outcome.
+        Everything else re-runs :func:`progressive_filling` against exact
+        availability, exactly as the cold fill would.
         """
         horizon = grid.horizon
         capacity = self.capacity
@@ -849,7 +923,16 @@ class AdmissionController:
         degraded: set[str] = set()
         infeasible: str | None = None
         zero_plan: np.ndarray | None = None
-        reuses = slack_reuses = refills = 0
+        reuses = slack_reuses = refills = fast = 0
+        refilled: list[str] = []
+        hints = self._warm_hints
+        # Rows solved by this event's baseline fill: an unclamped refill
+        # whose hinted cap still matches verifies against the stored row
+        # with two scalar comparisons instead of re-running the cumsums
+        # inside progressive_filling (same floats, same order — see
+        # :meth:`_event_batch_for`).
+        batch = self._event_batch_for(grid)
+        rows = self._event_rows
         for info in ordered:
             if info.best_effort:
                 info.degraded = False
@@ -906,11 +989,42 @@ class AdmissionController:
                     reuses += 1
                     continue
             refills += 1
+            refilled.append(info.job_id)
             old_plan = old_plans[info.job_id] if had_old else None
             free_min = capacity - int(used[:w].max()) if w else capacity
-            plan = progressive_filling(
-                info, capacity - used, warm_hints=self._warm_hints
-            )
+            plan = None
+            if w and info.sizes and info.remaining_iterations > _EPS:
+                cap = hints.get((info.job_id, 0))
+                if cap is not None and free_min >= cap:
+                    entry = rows.get((info.job_id, cap, info.tables_token))
+                    if entry is not None and entry[2] == w:
+                        # Unclamped at the hinted cap: the event row is
+                        # exactly the progress row progressive_filling's
+                        # warm verification would rebuild, so the same two
+                        # comparisons decide — and on success the hint
+                        # needs no write-back (it was read at this cap).
+                        required = info.remaining_iterations
+                        threshold = required - _EPS
+                        row = batch.hint_row(entry[0])
+                        if (
+                            row[-1] >= threshold
+                            and batch.below_total(entry[0]) < threshold
+                        ):
+                            fast += 1
+                            plan = _emit_plan(
+                                info,
+                                np.zeros(horizon, dtype=np.int64),
+                                entry[1],
+                                row,
+                                required,
+                                threshold,
+                                info.weights[:w],
+                                0,
+                            )
+            if plan is None:
+                plan = progressive_filling(
+                    info, capacity - used, warm_hints=hints
+                )
             if plan is None:
                 info.degraded = True
                 degraded.add(info.job_id)
@@ -935,10 +1049,13 @@ class AdmissionController:
                 used[:w] += plan[:w]
         ledger = Ledger(capacity, horizon)
         ledger.load_plans(plans, used)
+        note_batched_walk(fast, 0)
+        probe.add_counters({"alg1_delta_fast": fast})
         self.delta_hits += 1
         self.delta_reuses += reuses
         self.delta_slack_reuses += slack_reuses
         self.delta_refills += refills
+        self.delta_fast_accepts += fast
         return AdmissionResult(
             admitted=infeasible is None,
             plans=plans,
@@ -946,6 +1063,7 @@ class AdmissionController:
             infeasible_job=infeasible,
             degraded=degraded,
             slack=slack,
+            perturbed=frozenset(refilled),
         )
 
     @mutates("Ledger._plans", "Ledger._used")
@@ -1051,12 +1169,11 @@ class AdmissionController:
 
     def _fill(
         self,
-        infos: list[PlanningJob],
+        ordered: list[PlanningJob],
         grid: SlotGrid,
         *,
         stop_on_failure: bool,
     ) -> AdmissionResult:
-        ordered = sorted(infos, key=lambda i: (i.deadline, i.job_id))
         if not stop_on_failure and cache_enabled() and batching_enabled():
             return self._fill_batched(ordered, grid)
         return self._fill_sequential(ordered, grid, stop_on_failure=stop_on_failure)
@@ -1071,7 +1188,11 @@ class AdmissionController:
         into :class:`repro.core.batch.WarmRowBatch` and evaluates all
         hinted-cap and next-lower-cap cumulative-progress rows in a few
         bucketed matrix passes — these rows are pure view functions, valid
-        regardless of how earlier jobs' plans land.  Phase 2 walks the
+        regardless of how earlier jobs' plans land.  The batch is *event
+        scoped* (:meth:`_event_batch_for`): the second and third fill of
+        the same scheduling event (trial delta, allocation pass) find
+        their rows already solved and skip both the ladder lookups and the
+        cumsums for every job whose hinted cap did not move.  Phase 2 walks the
         deadline order committing plans: when the minimum free capacity
         across a job's window still covers its hinted cap (the fill is
         unclamped), the precomputed rows decide hint verification with two
@@ -1087,21 +1208,47 @@ class AdmissionController:
         largest runnable size was free across its whole window — which the
         next event's :meth:`_delta_fill_indexed` uses as its second reuse
         tier.
+
+        While :func:`repro.perf.tables.fused_commit_enabled` holds, runs
+        of consecutive fast-accepted plans are committed as *fused* array
+        updates: a fast-accepted plan is a constant ``s_cap`` prefix with
+        the completion slot shaved to at most ``s_cap`` — non-increasing —
+        so while every committed plan is non-increasing the occupancy
+        vector is too, and the per-window ``max`` the walk gates on is
+        just its slot-0 value.  Each fast accept then deposits three
+        integer entries into a difference vector instead of an O(window)
+        array add, and one ``cumsum`` materialises the whole run when a
+        fallback (or the final ledger load) needs exact per-slot
+        occupancy.  Integer arithmetic is exact, so the materialised
+        vector and every ``free_min`` read along the way are bit-equal to
+        the per-plan adds.
         """
         horizon = grid.horizon
         capacity = self.capacity
         hints = self._warm_hints
-        batch = WarmRowBatch()
-        prepared: list[tuple[int, int, int] | None] = [None] * len(ordered)
+        batch = self._event_batch_for(grid)
+        rows = self._event_rows
+        row_reuses = 0
+        prepared: list[tuple[int, int, int, int] | None] = [None] * len(ordered)
         for i, info in enumerate(ordered):
             if info.best_effort or not info.sizes:
                 continue
             if info.remaining_iterations <= _EPS:
                 continue
-            if info.window(0) == 0:
+            w = info.window(0)
+            if w == 0:
                 continue
             cap = hints.get((info.job_id, 0))
             if cap is None:
+                continue
+            rkey = (info.job_id, cap, info.tables_token)
+            entry = rows.get(rkey)
+            if entry is not None and entry[2] == w:
+                # Solved earlier this event (baseline or trial fill); the
+                # row is a pure view function, so reuse skips both the
+                # ladder lookup and the cumsum.
+                prepared[i] = (entry[0], cap, entry[1], w)
+                row_reuses += 1
                 continue
             consts = ladder_consts(
                 info.tables_token,
@@ -1114,10 +1261,9 @@ class AdmissionController:
             if consts is None:
                 continue  # stale hint from a different table build
             s_cap, thr_hint, _below, thr_below = consts
-            handle = batch.add(
-                info.weights[: info.window(0)], thr_hint, thr_below
-            )
-            prepared[i] = (handle, cap, s_cap)
+            handle = batch.add(info.weights[:w], thr_hint, thr_below)
+            rows[rkey] = (handle, s_cap, w)
+            prepared[i] = (handle, cap, s_cap, w)
         batch.solve()
 
         used = np.zeros(horizon, dtype=np.int64)
@@ -1126,6 +1272,35 @@ class AdmissionController:
         degraded: set[str] = set()
         infeasible: str | None = None
         zero_plan: np.ndarray | None = None
+        fused = fused_commit_enabled()
+        # Deferred fast-accept commits: ``diff`` holds per-slot deltas of
+        # the run in flight, ``pending0`` their exact slot-0 total and
+        # ``pending_hi`` one past the highest touched index.  ``fused``
+        # is demoted for the rest of the walk the moment a committed plan
+        # is not non-increasing, because only then can the occupancy max
+        # sit anywhere but slot 0.
+        diff = np.zeros(horizon + 1, dtype=np.int64) if fused else None
+        pending0 = 0
+        pending_hi = 0
+        fused_runs = 0
+        fused_jobs = 0
+        fast_accepts = 0
+        fallbacks = 0
+
+        def materialize() -> None:
+            nonlocal pending0, pending_hi, fused_runs
+            if pending_hi:
+                k = min(pending_hi, horizon)
+                # int64 cumsum: exact, so the fused run lands bit-equal
+                # to the per-plan adds it replaced.  The entry at index
+                # ``horizon`` (a run ending in the last slot) only closes
+                # intervals past the horizon and is dropped.
+                used[:k] += np.cumsum(diff[:k])
+                diff[:pending_hi] = 0
+                pending0 = 0
+                pending_hi = 0
+                fused_runs += 1
+
         for i, info in enumerate(ordered):
             info.degraded = False
             if info.best_effort:
@@ -1134,12 +1309,19 @@ class AdmissionController:
                 info.min_share_plan = zero_plan
                 plans[info.job_id] = zero_plan
                 continue
-            w = info.window(0)
-            free_min = capacity - int(used[:w].max()) if w else capacity
-            plan = None
             prep = prepared[i]
+            w = prep[3] if prep is not None else info.window(0)
+            if not w:
+                free_min = capacity
+            elif fused:
+                # Non-increasing occupancy: the max over any window prefix
+                # is the slot-0 value, materialised part plus pending part.
+                free_min = capacity - (int(used[0]) + pending0)
+            else:
+                free_min = capacity - int(used[:w].max())
+            plan = None
             if prep is not None:
-                handle, cap, s_cap = prep
+                handle, cap, s_cap, _w = prep
                 if free_min >= cap:
                     # Unclamped: the batched rows are exactly the rows the
                     # sequential warm verification would have built.
@@ -1150,9 +1332,9 @@ class AdmissionController:
                         row[-1] >= threshold
                         and batch.below_total(handle) < threshold
                     ):
-                        note_warm_fill(True)
-                        note_batch_fill(True)
-                        hints[(info.job_id, 0)] = cap
+                        # The verified hint came out of ``hints`` with this
+                        # exact cap, so there is nothing to write back.
+                        fast_accepts += 1
                         plan = _emit_plan(
                             info,
                             np.zeros(horizon, dtype=np.int64),
@@ -1163,8 +1345,31 @@ class AdmissionController:
                             info.weights[:w],
                             0,
                         )
+                        if fused and w:
+                            # Commit as three difference entries: s_cap
+                            # over [0, done), the shaved size at the
+                            # completion slot, nothing after.
+                            done = int(np.searchsorted(row, threshold))
+                            shaved = int(plan[done])
+                            diff[0] += s_cap
+                            diff[done] += shaved - s_cap
+                            diff[done + 1] -= shaved
+                            pending0 += s_cap if done else shaved
+                            if done + 2 > pending_hi:
+                                pending_hi = done + 2
+                            fused_jobs += 1
+                            if info.sizes:
+                                slack[info.job_id] = free_min >= int(
+                                    info.sizes[-1]
+                                )
+                            info.min_share_plan = plan
+                            plans[info.job_id] = plan
+                            continue
             if plan is None:
-                note_batch_fill(False)
+                fallbacks += 1
+                if fused:
+                    # The sequential fill reads exact per-slot capacity.
+                    materialize()
                 plan = progressive_filling(
                     info, capacity - used, warm_hints=hints
                 )
@@ -1179,6 +1384,18 @@ class AdmissionController:
             plans[info.job_id] = plan
             if w:
                 used[:w] += plan[:w]
+                if fused and np.any(np.diff(plan[:w]) > 0):
+                    fused = False  # occupancy max may leave slot 0 now
+        if fused:
+            materialize()
+        note_batched_walk(fast_accepts, fallbacks)
+        probe.add_counters(
+            {
+                "alg1_fused_runs": fused_runs,
+                "alg1_fused_jobs": fused_jobs,
+                "alg1_row_reuses": row_reuses,
+            }
+        )
         ledger = Ledger(capacity, horizon)
         ledger.load_plans(plans, used)
         return AdmissionResult(

@@ -16,17 +16,165 @@ from collections import OrderedDict
 import numpy as np
 
 from repro.core.admission import AdmissionController, PlanningJob, planning_job
-from repro.core.allocation import allocate_leftover
+from repro.core.allocation import UpgradeSeedIndex, allocate_leftover
 from repro.core.job import Job
 from repro.core.operator import OperatorPolicy
 from repro.core.slots import SlotGrid
 from repro.errors import ConfigurationError
 from repro.perf import probe
-from repro.perf.coherence import keyed
-from repro.perf.tables import cache_enabled, curve_revision, planning_tables_for
+from repro.perf.coherence import coherent, invalidates, keyed, mutates
+from repro.perf.tables import (
+    cache_enabled,
+    curve_revision,
+    frame_enabled,
+    planning_tables_for,
+    seed_index_enabled,
+    tables_global_revision,
+)
 from repro.sim.interface import SchedulerPolicy
 
 __all__ = ["ElasticFlowPolicy"]
+
+
+@coherent(_entries="planning_frame")
+class _PlanningFrame:
+    """Persistent planning views for the whole active set.
+
+    The previous generation rebuilt every ``PlanningJob`` through a
+    per-event LRU: grids re-anchor at each event's ``now``, so every key
+    missed across events and every view paid dataclass construction,
+    per-job padding math, and cache churn — O(active jobs) Python work on
+    every scheduling event.  The frame instead keeps one view per live
+    job and *refreshes* the event-dependent inputs in place with stacked
+    array math shared across the set: one vectorized padding pass over
+    the raw deadlines, one :meth:`SlotGrid.weights_matrix` build, one
+    :meth:`SlotGrid.window_ends` searchsorted — then scalar write-backs
+    into the persistent views.  Table-identity state (tables, sizes,
+    token) stays frozen on the views; a view is rebuilt, never patched,
+    when its curve's tables were invalidated, detected with one
+    :func:`repro.perf.tables.tables_global_revision` compare per refresh
+    (token compares per job run only after the counter moved, so the
+    steady state never touches the table store at all).
+
+    Refreshed values are bit-identical to the per-job path: the padding
+    expression performs the same IEEE ops elementwise (``inf`` deadlines
+    pass through unchanged because ``min(padding, inf) == padding``),
+    the weight rows and window ends equal ``weights_until``/per-view
+    windows (the slot-grid property tests pin this), and write-backs go
+    through ``.tolist()`` so views keep carrying plain Python floats —
+    the fill fingerprint hashes the identical values either way.
+    ``repro.perf.tables.planning_frame_disabled`` is the escape hatch
+    back to the per-event LRU path.
+
+    ``min_share_plan`` and ``degraded`` are deliberately *not* reset on
+    refresh: every fill path (cold, batched, delta, replay) overwrites
+    both for every participating view before anything reads them, which
+    is exactly the contract the LRU path relied on for cache hits.
+    """
+
+    def __init__(self, policy: "ElasticFlowPolicy") -> None:
+        self._policy = policy
+        self._entries: dict[str, PlanningJob] = {}
+        self._capacity = -1
+        self._tables_rev = -1
+
+    @mutates(
+        "_entries",
+        "PlanningJob.remaining_iterations",
+        "PlanningJob.deadline",
+        "PlanningJob.weights",
+    )
+    @invalidates("planning_frame")
+    def refresh(self, jobs: list[Job], grid: SlotGrid) -> list[PlanningJob]:
+        """Bring the frame to this event's grid; returns views in order.
+
+        This method is the ``planning_frame`` invalidation point: the
+        mutated inputs and every derived per-view memo (the window seed)
+        are rewritten together, so callers observe only fully refreshed
+        views.
+        """
+        policy = self._policy
+        entries = self._entries
+        capacity = policy.context.total_gpus
+        if capacity != self._capacity:
+            entries.clear()
+            self._capacity = capacity
+        revision = tables_global_revision()
+        validate = revision != self._tables_rev
+        self._tables_rev = revision
+
+        n = len(jobs)
+        raw = np.empty(n, dtype=np.float64)
+        remaining = np.empty(n, dtype=np.float64)
+        for i, job in enumerate(jobs):
+            raw[i] = job.spec.effective_deadline
+            remaining[i] = job.remaining_iterations
+        if policy.deadline_padding_s:
+            # Elementwise-identical to the scalar padding: for an infinite
+            # deadline the inner max is inf, the min collapses to the
+            # configured padding, and inf minus a finite float stays inf.
+            deadlines = raw - np.minimum(
+                policy.deadline_padding_s,
+                0.1 * np.maximum(0.0, raw - grid.origin),
+            )
+        else:
+            deadlines = raw
+        remaining *= 1.0 + policy.safety_margin
+        weight_rows = grid.weights_matrix(deadlines)
+        ends = grid.window_ends(deadlines)
+        deadline_list = deadlines.tolist()
+        remaining_list = remaining.tolist()
+
+        builds = 0
+        views: list[PlanningJob] = []
+        for i, job in enumerate(jobs):
+            view = entries.get(job.job_id)
+            if view is None or validate:
+                curve = policy._planning_curve(job)
+                tables = planning_tables_for(curve, capacity)
+                if view is None or view.tables_token != tables.token:
+                    builds += 1
+                    view = PlanningJob(
+                        job_id=job.job_id,
+                        remaining_iterations=remaining_list[i],
+                        deadline=deadline_list[i],
+                        weights=weight_rows[i],
+                        throughput_table=tables.throughput_table,
+                        size_table=tables.size_table,
+                        sizes=tables.sizes,
+                        best_effort=job.spec.best_effort,
+                        tables_token=tables.token,
+                    )
+                    entries[job.job_id] = view
+                    w0 = int(ends[i])
+                    view.__dict__["_windows"] = {0: w0, 1: max(w0 - 1, 0)}
+                    views.append(view)
+                    continue
+            view.remaining_iterations = remaining_list[i]
+            view.deadline = deadline_list[i]
+            view.weights = weight_rows[i]
+            w0 = int(ends[i])
+            # Window from slot 1 drops at most the slot-0 weight (the
+            # same seed the LRU batch path planted at construction).
+            view.__dict__["_windows"] = {0: w0, 1: max(w0 - 1, 0)}
+            views.append(view)
+
+        evictions = 0
+        if len(entries) > 2 * n + 64:
+            live = {job.job_id for job in jobs}
+            stale = [job_id for job_id in entries if job_id not in live]
+            for job_id in stale:
+                del entries[job_id]
+            evictions = len(stale)
+        probe.add_counters(
+            {
+                "frame_refreshes": 1,
+                "frame_rows": n,
+                "frame_builds": builds,
+                "frame_evictions": evictions,
+            }
+        )
+        return views
 
 
 @keyed(_info_cache="curve_revision")
@@ -116,6 +264,13 @@ class ElasticFlowPolicy(SchedulerPolicy):
         # switch.  Keys carry the curve revision: an online-profiling
         # correction invalidates every dependent view.
         self._info_cache: OrderedDict[tuple, PlanningJob] = OrderedDict()
+        # Persistent structure-of-arrays planning state; replaces the LRU
+        # rebuild path of _infos while repro.perf.tables.frame_enabled
+        # holds (see _PlanningFrame).
+        self._frame = _PlanningFrame(self)
+        # Persistent Algorithm 2 first-proposal verdicts, invalidated by
+        # the delta fill's perturbed set (see UpgradeSeedIndex).
+        self._seed_index = UpgradeSeedIndex()
 
     # ------------------------------------------------------------ interface
     def _planning_capacity(self) -> int:
@@ -184,11 +339,22 @@ class ElasticFlowPolicy(SchedulerPolicy):
         mark = probe.lap("views", mark)
         result = controller.plan_shares(infos, grid, stop_on_failure=False)
         mark = probe.lap("alg1", mark)
+        seed_index = None
+        if cache_enabled() and seed_index_enabled():
+            seed_index = self._seed_index
+            if result.perturbed is not None:
+                # Re-filled jobs may hold a different minimum share now;
+                # unperturbed entries stay and self-validate at lookup.
+                seed_index.invalidate(result.perturbed)
+            seed_index.prune(
+                {job.job_id for job in active}, bound=2 * len(active) + 64
+            )
         decisions = allocate_leftover(
             infos,
             result.ledger,
             grid.slot_seconds,
             warm_hints=controller.warm_hints if cache_enabled() else None,
+            seed_index=seed_index,
         )
         if self.stability_threshold > 0:
             decisions = self._stabilize(
@@ -328,9 +494,17 @@ class ElasticFlowPolicy(SchedulerPolicy):
         per-view window memo.  Every row is bit-identical to the
         single-job path, so views from either route are interchangeable —
         including under the fill fingerprint.
+
+        With the planning frame enabled (the default) the whole call is
+        served by :meth:`_PlanningFrame.refresh` instead: persistent
+        views updated in place, no per-event key hashing or LRU churn.
+        The branches below are the frame-disabled fallback and the
+        cache-disabled reference path.
         """
         if not cache_enabled():
             return [self._info(job, grid) for job in jobs]
+        if frame_enabled():
+            return self._frame.refresh(jobs, grid)
         views: list[PlanningJob | None] = [None] * len(jobs)
         misses: list[tuple[int, Job, object, tuple]] = []
         for idx, job in enumerate(jobs):

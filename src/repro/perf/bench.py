@@ -30,8 +30,12 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import cProfile
+import hashlib
 import json
+import pstats
 import time
+from contextlib import ExitStack
 from typing import Any
 
 import numpy as np
@@ -43,8 +47,12 @@ from repro.perf import probe
 from repro.perf.tables import (
     batched_solver_disabled,
     cache_stats,
+    fused_commit_disabled,
     planning_cache_disabled,
+    planning_frame_disabled,
     reset_cache,
+    seed_index_disabled,
+    sim_vector_disabled,
 )
 from repro.profiles.throughput import ThroughputModel
 from repro.sim.engine import Simulator
@@ -163,6 +171,41 @@ def _decision_digest(result: SimulationResult) -> list[tuple]:
     )
 
 
+def _digest_sha256(digest: list[tuple]) -> str:
+    """Stable hash of a decision digest, comparable across processes.
+
+    The digest is a sorted list of primitive tuples, so its ``repr`` is
+    deterministic; hashing it lets separate benchmark invocations (e.g.
+    the CI escape-hatch parity run vs the default run) assert decision
+    equivalence without carrying the full outcome list around.
+    """
+    return hashlib.sha256(repr(digest).encode()).hexdigest()
+
+
+#: Hotspot rows exported under the report's ``profile`` key.
+PROFILE_TOP_N = 20
+
+
+def _top_hotspots(profiler: cProfile.Profile, limit: int = PROFILE_TOP_N) -> list[dict]:
+    """The ``limit`` most cumulative-expensive functions of a profile run."""
+    stats = pstats.Stats(profiler)
+    stats.sort_stats("cumulative")
+    rows: list[dict] = []
+    for func in stats.fcn_list[:limit]:
+        cc, nc, tt, ct, _callers = stats.stats[func]
+        filename, line, name = func
+        rows.append(
+            {
+                "function": f"{filename}:{line}({name})",
+                "ncalls": nc,
+                "primitive_calls": cc,
+                "tottime_s": round(tt, 4),
+                "cumtime_s": round(ct, 4),
+            }
+        )
+    return rows
+
+
 def _benchmark_workload(
     n_jobs: int,
     seed: int,
@@ -255,6 +298,7 @@ def bench_end_to_end(
     cluster_gpus: int = BENCH_CLUSTER_GPUS,
     gpu_weights: dict[int, float] | None = None,
     reference_mode: str = "cache-disabled",
+    profile: bool = False,
 ) -> dict[str, Any]:
     """Run the benchmark trace twice and verify decision equivalence.
 
@@ -263,12 +307,21 @@ def bench_end_to_end(
     ``"sequential-solver"`` keeps the caches but disables the batched
     multi-job solver — the tractable yardstick for the large scales.  The
     comparison run's metrics keep the historical ``"uncached"`` key either
-    way so downstream readers need no schema branch.
+    way so downstream readers need no schema branch.  With ``profile`` the
+    *cached* run executes under :mod:`cProfile` and the report gains a
+    ``profile`` key with the top cumulative hotspots; the default path
+    never touches the profiler, so it stays zero-overhead when off.
     """
     reset_cache()
+    profiler: cProfile.Profile | None = None
+    if profile:
+        profiler = cProfile.Profile()
+        profiler.enable()
     cached_metrics, cached_result = _run_sim(
         n_jobs, seed, cluster_gpus=cluster_gpus, gpu_weights=gpu_weights
     )
+    if profiler is not None:
+        profiler.disable()
     cached_metrics["cache"] = cache_stats()
     if reference_mode == "sequential-solver":
         with batched_solver_disabled():
@@ -285,16 +338,20 @@ def bench_end_to_end(
         if cached_metrics["wall_s"] > 0
         else float("inf")
     )
-    return {
+    cached_digest = _decision_digest(cached_result)
+    report = {
         "n_jobs": n_jobs,
         "cluster_gpus": cluster_gpus,
         "reference_mode": reference_mode,
         "cached": cached_metrics,
         "uncached": uncached_metrics,
         "speedup": speedup,
-        "decisions_match": _decision_digest(cached_result)
-        == _decision_digest(uncached_result),
+        "decisions_match": cached_digest == _decision_digest(uncached_result),
+        "digest_sha256": _digest_sha256(cached_digest),
     }
+    if profiler is not None:
+        report["profile"] = _top_hotspots(profiler)
+    return report
 
 
 def bench_admission(n_candidates: int, seed: int) -> dict[str, Any]:
@@ -425,13 +482,24 @@ def bench_buddy(
 
 
 def run_benchmarks(
-    *, quick: bool = False, seed: int = 0, scale: str | None = None
+    *,
+    quick: bool = False,
+    seed: int = 0,
+    scale: str | None = None,
+    profile: bool = False,
+    disable_new_layers: bool = False,
 ) -> dict[str, Any]:
     """Run the harness at one scale and return the report dictionary.
 
     ``--quick`` remains an alias for ``scale="quick"``.  The two large
     scales run only the end-to-end benchmark (the micro benches measure
     per-call dispatch, which does not change with cluster size).
+    ``profile`` runs the cached end-to-end pass under :mod:`cProfile` and
+    exports the hotspots under the report's ``profile`` key.
+    ``disable_new_layers`` engages all four escape hatches of the
+    persistent-state layers (planning frame, vectorized sim advance, seed
+    index, fused commits) for the whole run — the CI parity gate compares
+    its decision digest against the default run's.
     """
     if scale is None:
         scale = "quick" if quick else "full"
@@ -442,22 +510,33 @@ def run_benchmarks(
         "quick": scale == "quick",
         "scale": scale,
         "seed": seed,
+        "new_layers_disabled": disable_new_layers,
     }
-    if scale in ("quick", "full"):
-        report["admission"] = bench_admission(
-            100 if scale == "quick" else 400, seed
+    with ExitStack() as stack:
+        if disable_new_layers:
+            stack.enter_context(planning_frame_disabled())
+            stack.enter_context(sim_vector_disabled())
+            stack.enter_context(seed_index_disabled())
+            stack.enter_context(fused_commit_disabled())
+        if scale in ("quick", "full"):
+            report["admission"] = bench_admission(
+                100 if scale == "quick" else 400, seed
+            )
+            report["allocation"] = bench_allocation(
+                params["n_jobs"], 20 if scale == "quick" else 60, seed
+            )
+            report["buddy"] = bench_buddy(seed)
+        end_to_end = bench_end_to_end(
+            params["n_jobs"],
+            seed,
+            cluster_gpus=params["cluster_gpus"],
+            gpu_weights=params["gpu_weights"],
+            reference_mode=params["reference_mode"],
+            profile=profile,
         )
-        report["allocation"] = bench_allocation(
-            params["n_jobs"], 20 if scale == "quick" else 60, seed
-        )
-        report["buddy"] = bench_buddy(seed)
-    report["end_to_end"] = bench_end_to_end(
-        params["n_jobs"],
-        seed,
-        cluster_gpus=params["cluster_gpus"],
-        gpu_weights=params["gpu_weights"],
-        reference_mode=params["reference_mode"],
-    )
+    if "profile" in end_to_end:
+        report["profile"] = end_to_end.pop("profile")
+    report["end_to_end"] = end_to_end
     return report
 
 
@@ -486,6 +565,21 @@ def main(argv: list[str] | None = None) -> int:
         "verify against the sequential solver)",
     )
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="cProfile the cached end-to-end run and export the top "
+        f"{PROFILE_TOP_N} cumulative hotspots under the report's "
+        "'profile' key (zero overhead when off)",
+    )
+    parser.add_argument(
+        "--disable-new-layers",
+        action="store_true",
+        help="engage all four persistent-state escape hatches (planning "
+        "frame, vectorized sim advance, Alg 2 seed index, fused commits) "
+        "— the CI parity gate compares this run's decision digest "
+        "against the default run's",
+    )
     parser.add_argument(
         "--workers",
         default="4",
@@ -519,7 +613,13 @@ def main(argv: list[str] | None = None) -> int:
         )
         print(f"report written to {output}")
         return 0
-    report = run_benchmarks(quick=args.quick, seed=args.seed, scale=args.scale)
+    report = run_benchmarks(
+        quick=args.quick,
+        seed=args.seed,
+        scale=args.scale,
+        profile=args.profile,
+        disable_new_layers=args.disable_new_layers,
+    )
     output = args.output or DEFAULT_OUTPUT
     with open(output, "w") as handle:
         json.dump(report, handle, indent=2)
